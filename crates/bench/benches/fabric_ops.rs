@@ -1,0 +1,59 @@
+//! Micro-benchmarks of the fabric allocation primitives every
+//! scheduling round is built from: gang (all-or-none) rates, greedy
+//! filling, MADD, and global max-min fairness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use saath_fabric::{
+    gang_rate, greedy_fill, madd_rates, max_min_fair, FlowEndpoints, PortBank,
+};
+use saath_simcore::{Bytes, DetRng, FlowId, NodeId, PortId, Rate};
+
+const NODES: usize = 150;
+
+fn synth_flows(n: usize) -> Vec<FlowEndpoints> {
+    let mut rng = DetRng::derive(7, "bench/fabric");
+    (0..n)
+        .map(|i| FlowEndpoints {
+            flow: FlowId(i as u32),
+            src: PortId::uplink(NodeId(rng.below(NODES as u64) as u32)),
+            dst: PortId::downlink(NodeId(rng.below(NODES as u64) as u32), NODES),
+        })
+        .collect()
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    for &n in &[16usize, 128, 1024] {
+        let flows = synth_flows(n);
+        let remaining: Vec<Bytes> = {
+            let mut rng = DetRng::derive(8, "bench/rem");
+            (0..n).map(|_| Bytes(rng.range_inclusive(1_000_000, 1_000_000_000))).collect()
+        };
+
+        c.bench_with_input(BenchmarkId::new("gang_rate", n), &n, |b, _| {
+            let bank = PortBank::uniform(NODES, Rate::gbps(1));
+            let mut scratch = vec![0u32; bank.num_ports()];
+            b.iter(|| gang_rate(&bank, &flows, &mut scratch));
+        });
+
+        c.bench_with_input(BenchmarkId::new("greedy_fill", n), &n, |b, _| {
+            let mut bank = PortBank::uniform(NODES, Rate::gbps(1));
+            b.iter(|| {
+                bank.reset_round();
+                greedy_fill(&mut bank, &flows)
+            });
+        });
+
+        c.bench_with_input(BenchmarkId::new("madd_rates", n), &n, |b, _| {
+            let bank = PortBank::uniform(NODES, Rate::gbps(1));
+            b.iter(|| madd_rates(&bank, &flows, &remaining));
+        });
+
+        c.bench_with_input(BenchmarkId::new("max_min_fair", n), &n, |b, _| {
+            let bank = PortBank::uniform(NODES, Rate::gbps(1));
+            b.iter(|| max_min_fair(&bank, &flows));
+        });
+    }
+}
+
+criterion_group!(benches, bench_primitives);
+criterion_main!(benches);

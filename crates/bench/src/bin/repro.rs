@@ -1,0 +1,93 @@
+//! `repro` — regenerates every table and figure of the Saath paper.
+//!
+//! ```text
+//! repro <experiment> [options]
+//!
+//! experiments:
+//!   fig2 fig3 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 table2 dynamics
+//!   all            run everything
+//!
+//! options:
+//!   --seed N       generator seed (default 1)
+//!   --panel P      fig14 panel: s | e | delta | a | d | all (default all)
+//!   --trace PATH   use a real coflow-benchmark file for the FB workload
+//!   --scale N      emulation time scale for fig15/fig16 (default 50)
+//!   --nodes N      emulation node cap for fig15/fig16 (default 40)
+//!   --small        use small traces (smoke test, seconds instead of minutes)
+//! ```
+//!
+//! CSV artifacts land in `results/`.
+
+use saath_bench::{figs, Lab};
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args.first().cloned().unwrap_or_else(|| {
+        eprintln!("usage: repro <fig2|fig3|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|fig17|table2|dynamics|all> [--seed N] [--panel P] [--trace PATH] [--scale N] [--nodes N] [--small]");
+        std::process::exit(2);
+    });
+    let seed: u64 = arg_value(&args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(1);
+    let panel = arg_value(&args, "--panel").unwrap_or_else(|| "all".into());
+    let scale: u64 = arg_value(&args, "--scale").and_then(|v| v.parse().ok()).unwrap_or(50);
+    let nodes: usize = arg_value(&args, "--nodes").and_then(|v| v.parse().ok()).unwrap_or(40);
+    let small = args.iter().any(|a| a == "--small");
+
+    let mut lab = if small { Lab::small(seed) } else { Lab::new(seed) };
+    if let Some(path) = arg_value(&args, "--trace") {
+        let trace = saath_workload::io::read_coflow_benchmark(
+            std::path::Path::new(&path),
+            saath_simcore::Rate::gbps(1),
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("cannot read trace {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!(
+            "using real trace {path}: {} nodes, {} coflows",
+            trace.num_nodes,
+            trace.coflows.len()
+        );
+        lab = lab.with_fb_trace(trace);
+    }
+
+    let t0 = std::time::Instant::now();
+    let run = |lab: &mut Lab, id: &str| -> Option<String> {
+        match id {
+            "fig2" => Some(figs::fig2(lab)),
+            "fig3" => Some(figs::fig3(lab)),
+            "fig9" => Some(figs::fig9(lab)),
+            "fig10" => Some(figs::fig10(lab)),
+            "fig11" => Some(figs::fig11(lab)),
+            "fig12" => Some(figs::fig12(lab)),
+            "fig13" => Some(figs::fig13(lab)),
+            "fig14" => Some(figs::fig14(lab, &panel)),
+            "fig15" | "fig16" | "fig15_16" => Some(figs::fig15_16(lab, scale, nodes)),
+            "fig17" => Some(figs::fig17(lab)),
+            "table2" => Some(figs::table2(lab)),
+            "dynamics" => Some(figs::dynamics(lab)),
+            _ => None,
+        }
+    };
+
+    if what == "all" {
+        for id in [
+            "fig2", "fig3", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+            "fig15_16", "fig17", "table2", "dynamics",
+        ] {
+            println!("{}", run(&mut lab, id).unwrap());
+        }
+    } else {
+        match run(&mut lab, &what) {
+            Some(text) => println!("{text}"),
+            None => {
+                eprintln!("unknown experiment `{what}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    eprintln!("[repro] done in {:.1?} (seed {seed}); CSVs in results/", t0.elapsed());
+}

@@ -1,0 +1,17 @@
+//! # saath-bench
+//!
+//! The reproduction harness: one function per table and figure of the
+//! paper's evaluation (§2.3, §6, §7, Appendix A), shared by the `repro`
+//! binary and the workspace integration tests. Criterion micro-benches
+//! (`benches/`) cover the schedule-compute latencies of Table 2.
+//!
+//! Run `cargo run -p saath-bench --release --bin repro -- all` to
+//! regenerate every experiment; each also writes CSV under `results/`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod figs;
+pub mod lab;
+
+pub use lab::Lab;

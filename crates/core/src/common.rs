@@ -1,0 +1,144 @@
+//! Shared machinery: contention computation and endpoint extraction.
+
+use crate::view::{ClusterView, CoflowView};
+use saath_fabric::FlowEndpoints;
+use saath_simcore::CoflowId;
+
+/// Per-CoFlow contention `k_c`: the number of *other* active CoFlows
+/// with at least one unfinished flow on any port where CoFlow `c` has an
+/// unfinished flow (§3.3, footnote 2). Returned parallel to
+/// `view.coflows`.
+///
+/// Built from a port → CoFlow incidence map; the union over a CoFlow's
+/// ports is deduplicated with a stamp array, so the whole computation is
+/// `O(Σ ports + Σ incidences)` with no hashing in the inner loop.
+pub fn contention(view: &ClusterView<'_>) -> Vec<u32> {
+    let num_ports = 2 * view.num_nodes;
+    // port → indices (into view.coflows) of coflows touching it.
+    let mut port_coflows: Vec<Vec<u32>> = vec![Vec::new(); num_ports];
+    for (ci, c) in view.coflows.iter().enumerate() {
+        for f in c.unfinished() {
+            let e = f.endpoints(view.num_nodes);
+            for p in [e.src.index(), e.dst.index()] {
+                // CoFlows are processed one at a time, so duplicates by
+                // the same CoFlow on a port are always adjacent: a tail
+                // check suffices to keep each incidence list a set.
+                if port_coflows[p].last() != Some(&(ci as u32)) {
+                    port_coflows[p].push(ci as u32);
+                }
+            }
+        }
+    }
+
+    let mut k = vec![0u32; view.coflows.len()];
+    let mut stamp = vec![u32::MAX; view.coflows.len()];
+    for (ci, c) in view.coflows.iter().enumerate() {
+        let mut count = 0u32;
+        for f in c.unfinished() {
+            let e = f.endpoints(view.num_nodes);
+            for p in [e.src.index(), e.dst.index()] {
+                for &other in &port_coflows[p] {
+                    if other != ci as u32 && stamp[other as usize] != ci as u32 {
+                        stamp[other as usize] = ci as u32;
+                        count += 1;
+                    }
+                }
+            }
+        }
+        k[ci] = count;
+    }
+    k
+}
+
+/// Endpoints of a CoFlow's unfinished flows, optionally restricted to
+/// ready (data-available) ones.
+pub fn endpoints_of(c: &CoflowView, num_nodes: usize, ready_only: bool) -> Vec<FlowEndpoints> {
+    c.unfinished()
+        .filter(|f| !ready_only || f.ready)
+        .map(|f| f.endpoints(num_nodes))
+        .collect()
+}
+
+/// Finds a CoFlow's index in the view by id (linear; views are small).
+pub fn index_of(view: &ClusterView<'_>, id: CoflowId) -> Option<usize> {
+    view.coflows.iter().position(|c| c.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::FlowView;
+    use saath_simcore::{Bytes, FlowId, NodeId, Time};
+
+    fn cf(id: u32, flows: &[(u32, u32)]) -> CoflowView {
+        CoflowView {
+            id: CoflowId(id),
+            arrival: Time::ZERO,
+            flows: flows
+                .iter()
+                .enumerate()
+                .map(|(i, (s, d))| FlowView {
+                    id: FlowId(id * 100 + i as u32),
+                    src: NodeId(*s),
+                    dst: NodeId(*d),
+                    sent: Bytes::ZERO,
+                    ready: true,
+                    finished: false,
+                    oracle_size: None,
+                })
+                .collect(),
+            restarted: false,
+        }
+    }
+
+    #[test]
+    fn fig1_contentions() {
+        // The Fig 1 topology: C2 spans senders 0,1,2; C1/C3/C4 use one
+        // sender each; receivers all distinct.
+        let coflows = vec![
+            cf(1, &[(0, 3)]),
+            cf(2, &[(0, 4), (1, 5), (2, 6)]),
+            cf(3, &[(1, 7)]),
+            cf(4, &[(2, 8)]),
+        ];
+        let view = ClusterView { now: Time::ZERO, num_nodes: 9, coflows: &coflows };
+        assert_eq!(contention(&view), vec![1, 3, 1, 1]);
+    }
+
+    #[test]
+    fn finished_flows_do_not_contend() {
+        let mut coflows = vec![cf(0, &[(0, 2)]), cf(1, &[(0, 3)])];
+        let view = ClusterView { now: Time::ZERO, num_nodes: 4, coflows: &coflows };
+        assert_eq!(contention(&view), vec![1, 1]);
+        coflows[0].flows[0].finished = true;
+        let view = ClusterView { now: Time::ZERO, num_nodes: 4, coflows: &coflows };
+        assert_eq!(contention(&view), vec![0, 0]);
+    }
+
+    #[test]
+    fn contention_counts_coflows_not_flows() {
+        // CoFlow 1 has three flows on sender 0; CoFlow 0 shares that
+        // port but must count CoFlow 1 once.
+        let coflows = vec![cf(0, &[(0, 2)]), cf(1, &[(0, 3), (0, 4), (0, 5)])];
+        let view = ClusterView { now: Time::ZERO, num_nodes: 6, coflows: &coflows };
+        assert_eq!(contention(&view), vec![1, 1]);
+    }
+
+    #[test]
+    fn receiver_side_contention_counts() {
+        // Two coflows sharing only a receiver.
+        let coflows = vec![cf(0, &[(0, 3)]), cf(1, &[(1, 3)])];
+        let view = ClusterView { now: Time::ZERO, num_nodes: 4, coflows: &coflows };
+        assert_eq!(contention(&view), vec![1, 1]);
+    }
+
+    #[test]
+    fn endpoints_respect_ready_filter() {
+        let mut c = cf(0, &[(0, 2), (1, 3)]);
+        c.flows[1].ready = false;
+        assert_eq!(endpoints_of(&c, 4, false).len(), 2);
+        assert_eq!(endpoints_of(&c, 4, true).len(), 1);
+        c.flows[0].finished = true;
+        assert_eq!(endpoints_of(&c, 4, false).len(), 1);
+    }
+}

@@ -1,0 +1,615 @@
+//! The Saath scheduler (Fig 7 of the paper).
+//!
+//! Each round the global coordinator:
+//!
+//! 1. **Assigns queues** with *per-flow thresholds* (D3/Eq. 1): a CoFlow
+//!    sits in the smallest queue whose per-flow share of the threshold
+//!    covers `m_c`, the most any of its flows has sent. For CoFlows
+//!    marked `restarted` (failures/stragglers), the §4.3 heuristic
+//!    replaces `m_c` with an estimate of the *remaining* length — which
+//!    can move a nearly-done CoFlow back *up* into high-priority queues,
+//!    approximating SRTF.
+//! 2. **Orders** each queue by *Least-Contention-First* (D1 step 3):
+//!    ascending `k_c`, the number of other CoFlows sharing its ports,
+//!    with deadline-expired CoFlows sorted ahead of everything (D5) and
+//!    arrival order breaking ties.
+//! 3. **Admits all-or-none** (D1 step 4 / D2): scanning queues high to
+//!    low, a CoFlow is scheduled only if *every* flow can get a nonzero
+//!    rate (and all its data is available, §4.3); admitted CoFlows get
+//!    MADD-style *equal* rates — the max-min share of their most
+//!    contended port — because running some flows faster than the
+//!    slowest cannot improve the CCT.
+//! 4. **Work-conserves** (D4): CoFlows that missed admission backfill
+//!    leftover port capacity flow-by-flow, in the same priority order.
+//!
+//! Ablation flags reproduce the Fig 10 breakdown: `all_or_none` only
+//! (FIFO order + Aalo-style total-bytes thresholds), `+ per-flow
+//! thresholds`, `+ LCoF` (= full Saath).
+
+use crate::common::{contention, endpoints_of};
+use crate::config::QueueConfig;
+use crate::timing::SchedTimings;
+use crate::view::{ClusterView, CoflowScheduler, CoflowView, Schedule};
+use saath_fabric::{gang_allocate, gang_rate, greedy_fill, PortBank};
+use saath_simcore::{Bytes, CoflowId, PortId, Time};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Saath configuration. [`SaathConfig::default`] is the full paper
+/// design with the paper's parameters (K=10, S=10 MB, E=10, d=2).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SaathConfig {
+    /// Priority-queue shape.
+    pub queues: QueueConfig,
+    /// Starvation deadline factor `d` (D5); deadline = `d · C_q · t_q`.
+    pub deadline_factor: u64,
+    /// Gang admission (key idea 1). Off = every CoFlow takes the greedy
+    /// path, which degenerates to Aalo-style uncoordinated filling.
+    pub all_or_none: bool,
+    /// Per-flow queue thresholds (key idea 2). Off = Aalo's total-bytes
+    /// rule.
+    pub per_flow_threshold: bool,
+    /// LCoF ordering (key idea 3). Off = FIFO within each queue.
+    pub lcof: bool,
+    /// Backfill idle ports with missed CoFlows (D4).
+    pub work_conservation: bool,
+    /// Enforce FIFO-derived deadlines (D5).
+    pub starvation_avoidance: bool,
+    /// §4.3 SRTF-style re-queue for restarted/straggling CoFlows.
+    pub dynamics_srtf: bool,
+    /// Skew-aware per-flow thresholds — the extension the paper
+    /// sketches for clusters with skewed flow-length distributions
+    /// (§3): each flow's threshold share scales with its observed byte
+    /// fraction instead of the plain equal split. Off by default (the
+    /// paper's evaluated design splits equally).
+    pub skew_aware_thresholds: bool,
+}
+
+impl Default for SaathConfig {
+    fn default() -> Self {
+        SaathConfig {
+            queues: QueueConfig::default(),
+            deadline_factor: 2,
+            all_or_none: true,
+            per_flow_threshold: true,
+            lcof: true,
+            work_conservation: true,
+            starvation_avoidance: true,
+            dynamics_srtf: true,
+            skew_aware_thresholds: false,
+        }
+    }
+}
+
+impl SaathConfig {
+    /// Fig 10's "A/N" ablation: all-or-none + FIFO + total-bytes
+    /// thresholds.
+    pub fn ablation_an() -> Self {
+        SaathConfig { per_flow_threshold: false, lcof: false, ..Default::default() }
+    }
+
+    /// Fig 10's "A/N + P/F" ablation: adds per-flow thresholds, still
+    /// FIFO.
+    pub fn ablation_an_pf() -> Self {
+        SaathConfig { lcof: false, ..Default::default() }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct CoflowState {
+    queue: usize,
+    deadline: Time,
+}
+
+/// The Saath global scheduler. See the module docs.
+pub struct Saath {
+    cfg: SaathConfig,
+    state: HashMap<CoflowId, CoflowState>,
+    /// Per-round overhead samples (Table 2).
+    pub timings: SchedTimings,
+    /// Scratch for [`gang_rate`] (kept across rounds; allocation-free
+    /// hot path).
+    scratch: Vec<u32>,
+    /// Rounds in which a deadline-expired CoFlow was force-prioritized
+    /// (§7.1 reports starvation avoidance kicking in <1 % of the time).
+    pub starvation_kicks: u64,
+}
+
+impl Saath {
+    /// A scheduler with the given configuration.
+    pub fn new(cfg: SaathConfig) -> Saath {
+        Saath {
+            cfg,
+            state: HashMap::new(),
+            timings: SchedTimings::default(),
+            scratch: Vec::new(),
+            starvation_kicks: 0,
+        }
+    }
+
+    /// The paper's full design with default parameters.
+    pub fn with_defaults() -> Saath {
+        Saath::new(SaathConfig::default())
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SaathConfig {
+        &self.cfg
+    }
+
+    /// The queue a CoFlow would be assigned this round (D3 + §4.3).
+    fn queue_of(&self, c: &CoflowView) -> usize {
+        if self.cfg.dynamics_srtf && c.restarted {
+            if let Some(m) = dynamics_remaining_estimate(c) {
+                return self.cfg.queues.queue_for_per_flow(m, c.width());
+            }
+        }
+        if self.cfg.per_flow_threshold {
+            if self.cfg.skew_aware_thresholds {
+                let sents: Vec<saath_simcore::Bytes> =
+                    c.flows.iter().map(|f| f.sent).collect();
+                self.cfg.queues.queue_for_skew_aware(&sents)
+            } else {
+                self.cfg.queues.queue_for_per_flow(c.max_flow_sent(), c.width())
+            }
+        } else {
+            self.cfg.queues.queue_for_total(c.total_sent())
+        }
+    }
+}
+
+/// §4.3: once some flows of a restarted/straggling CoFlow have finished,
+/// estimate each unfinished flow's remaining length as `f_e − f_i`
+/// (`f_e` = median finished flow length, `f_i` = bytes sent so far) and
+/// return `m_c = max_i f_i^rem`. `None` when no flow has finished yet
+/// (no basis for an estimate).
+fn dynamics_remaining_estimate(c: &CoflowView) -> Option<Bytes> {
+    let mut finished: Vec<u64> =
+        c.flows.iter().filter(|f| f.finished).map(|f| f.sent.as_u64()).collect();
+    if finished.is_empty() {
+        return None;
+    }
+    finished.sort_unstable();
+    let f_e = finished[finished.len() / 2];
+    let m = c
+        .unfinished()
+        .map(|f| f_e.saturating_sub(f.sent.as_u64()))
+        .max()
+        .unwrap_or(0);
+    Some(Bytes(m))
+}
+
+impl CoflowScheduler for Saath {
+    fn name(&self) -> &'static str {
+        "saath"
+    }
+
+    fn compute(&mut self, view: &ClusterView<'_>, bank: &mut PortBank, out: &mut Schedule) {
+        let t_total = Instant::now();
+        let n = view.coflows.len();
+        self.scratch.resize(bank.num_ports(), 0);
+
+        // ---- Ordering phase (queue assignment, deadlines, LCoF sort) ----
+        let t_order = Instant::now();
+
+        // Drop state for departed CoFlows.
+        if self.state.len() > n {
+            let live: std::collections::HashSet<CoflowId> =
+                view.coflows.iter().map(|c| c.id).collect();
+            self.state.retain(|id, _| live.contains(id));
+        }
+
+        // New queue assignment for everyone.
+        let queues: Vec<usize> = view.coflows.iter().map(|c| self.queue_of(c)).collect();
+
+        // Queue occupancy under the *new* assignment, for fresh deadlines.
+        let mut occupancy = vec![0usize; self.cfg.queues.num_queues];
+        for &q in &queues {
+            occupancy[q] += 1;
+        }
+
+        // Refresh deadlines for CoFlows that are new or changed queue
+        // (D5: "whenever a CoFlow arrives in a queue, a fresh deadline
+        // is set for it").
+        let nominal_rate = bank.capacity(PortId(0));
+        for (c, &q) in view.coflows.iter().zip(&queues) {
+            let needs_fresh = match self.state.get(&c.id) {
+                Some(s) => s.queue != q,
+                None => true,
+            };
+            if needs_fresh {
+                let t_q = self.cfg.queues.min_residence(q, nominal_rate);
+                let horizon = t_q
+                    .saturating_mul(self.cfg.deadline_factor)
+                    .saturating_mul(occupancy[q].max(1) as u64);
+                self.state.insert(
+                    c.id,
+                    CoflowState { queue: q, deadline: view.now.saturating_add(horizon) },
+                );
+            }
+        }
+
+        // Contention (only when LCoF orders by it).
+        let k = if self.cfg.lcof { contention(view) } else { vec![0; n] };
+
+        // Global scan order: queue asc (strict priority), expired
+        // deadlines first within the queue, then LCoF (or FIFO), then
+        // arrival, then id for full determinism.
+        let mut order: Vec<usize> = (0..n).collect();
+        let expired: Vec<bool> = view
+            .coflows
+            .iter()
+            .map(|c| {
+                self.cfg.starvation_avoidance
+                    && self.state.get(&c.id).map(|s| s.deadline <= view.now).unwrap_or(false)
+            })
+            .collect();
+        order.sort_by_key(|&i| {
+            (
+                queues[i],
+                !expired[i],
+                if self.cfg.lcof { k[i] } else { 0 },
+                view.coflows[i].arrival,
+                view.coflows[i].id,
+            )
+        });
+        if expired.iter().any(|&e| e) {
+            self.starvation_kicks += 1;
+        }
+        let order_elapsed = t_order.elapsed();
+
+        // ---- All-or-none admission (D1 step 4, D2) ----
+        let t_an = Instant::now();
+        let mut missed: Vec<usize> = Vec::new();
+        for &ci in &order {
+            let c = &view.coflows[ci];
+            let eps = endpoints_of(c, view.num_nodes, false);
+            if eps.is_empty() {
+                continue; // fully finished; driver will drop it
+            }
+            if !self.cfg.all_or_none || !c.all_ready() {
+                missed.push(ci);
+                continue;
+            }
+            let r = gang_rate(bank, &eps, &mut self.scratch);
+            if r.is_zero() {
+                missed.push(ci);
+            } else {
+                gang_allocate(bank, &eps, r);
+                for e in &eps {
+                    out.set(e.flow, r);
+                }
+            }
+        }
+        let an_elapsed = t_an.elapsed();
+
+        // ---- Work conservation (D4) ----
+        let t_wc = Instant::now();
+        if self.cfg.work_conservation || !self.cfg.all_or_none {
+            for &ci in &missed {
+                let c = &view.coflows[ci];
+                let eps = endpoints_of(c, view.num_nodes, true);
+                if eps.is_empty() {
+                    continue;
+                }
+                let rates = greedy_fill(bank, &eps);
+                for (e, r) in eps.iter().zip(rates) {
+                    if !r.is_zero() {
+                        out.set(e.flow, r);
+                    }
+                }
+            }
+        }
+        let wc_elapsed = t_wc.elapsed();
+
+        self.timings.ordering.push(order_elapsed);
+        self.timings.all_or_none.push(an_elapsed);
+        self.timings.work_conservation.push(wc_elapsed);
+        self.timings.total.push(t_total.elapsed());
+        self.timings.active_coflows.push(n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::FlowView;
+    use saath_simcore::{FlowId, NodeId, Rate};
+
+    const GBPS: Rate = Rate::gbps(1);
+
+    fn fv(id: u32, src: u32, dst: u32, sent: u64) -> FlowView {
+        FlowView {
+            id: FlowId(id),
+            src: NodeId(src),
+            dst: NodeId(dst),
+            sent: Bytes(sent),
+            ready: true,
+            finished: false,
+            oracle_size: None,
+        }
+    }
+
+    fn cv(id: u32, arrival_ms: u64, flows: Vec<FlowView>) -> CoflowView {
+        CoflowView {
+            id: CoflowId(id),
+            arrival: Time::from_millis(arrival_ms),
+            flows,
+            restarted: false,
+        }
+    }
+
+    fn run(
+        sched: &mut Saath,
+        coflows: &[CoflowView],
+        num_nodes: usize,
+        now: Time,
+    ) -> Schedule {
+        let view = ClusterView { now, num_nodes, coflows };
+        let mut bank = PortBank::uniform(num_nodes, GBPS);
+        let mut out = Schedule::default();
+        sched.compute(&view, &mut bank, &mut out);
+        out
+    }
+
+    /// Fig 1: LCoF + all-or-none schedules the three narrow CoFlows and
+    /// defers wide C2 entirely.
+    #[test]
+    fn fig1_round_one_defers_the_wide_coflow() {
+        let coflows = vec![
+            cv(1, 0, vec![fv(10, 0, 3, 0)]),
+            cv(2, 1, vec![fv(20, 0, 4, 0), fv(21, 1, 5, 0), fv(22, 2, 6, 0)]),
+            cv(3, 2, vec![fv(30, 1, 7, 0)]),
+            cv(4, 3, vec![fv(40, 2, 8, 0)]),
+        ];
+        let mut s = Saath::with_defaults();
+        let out = run(&mut s, &coflows, 9, Time::from_millis(4));
+        // Narrow CoFlows run at full port rate.
+        for flow in [10, 30, 40] {
+            assert_eq!(out.rate_of(FlowId(flow)), GBPS, "flow f{flow}");
+        }
+        // C2 is blocked on every port (its senders are all taken) and
+        // work conservation finds nothing for it either.
+        for flow in [20, 21, 22] {
+            assert_eq!(out.rate_of(FlowId(flow)), Rate::ZERO, "flow f{flow}");
+        }
+    }
+
+    /// All-or-none assigns *equal* rates: the most contended port's
+    /// max-min share goes to every flow of the CoFlow (D2).
+    #[test]
+    fn gang_rates_are_equal_and_bottlenecked() {
+        // One CoFlow with two flows out of the same sender.
+        let coflows = vec![cv(0, 0, vec![fv(0, 0, 1, 0), fv(1, 0, 2, 0)])];
+        let mut s = Saath::with_defaults();
+        let out = run(&mut s, &coflows, 3, Time::ZERO);
+        assert_eq!(out.rate_of(FlowId(0)), GBPS.div_even(2));
+        assert_eq!(out.rate_of(FlowId(1)), GBPS.div_even(2));
+    }
+
+    /// Fig 4: work conservation backfills the idle port of a missed
+    /// CoFlow; disabling it leaves the port idle.
+    #[test]
+    fn work_conservation_backfills_missed_coflows() {
+        let coflows = vec![
+            cv(1, 0, vec![fv(10, 0, 2, 0)]),
+            cv(2, 1, vec![fv(20, 0, 3, 0), fv(21, 1, 4, 0)]),
+        ];
+        let mut s = Saath::with_defaults();
+        let out = run(&mut s, &coflows, 5, Time::from_millis(1));
+        assert_eq!(out.rate_of(FlowId(10)), GBPS);
+        assert_eq!(out.rate_of(FlowId(20)), Rate::ZERO, "sender 0 is taken");
+        assert_eq!(out.rate_of(FlowId(21)), GBPS, "backfilled by WC");
+
+        let mut s = Saath::new(SaathConfig { work_conservation: false, ..Default::default() });
+        let out = run(&mut s, &coflows, 5, Time::from_millis(1));
+        assert_eq!(out.rate_of(FlowId(21)), Rate::ZERO, "A/N strict: port idles");
+    }
+
+    /// LCoF orders by contention; FIFO (ablation) orders by arrival.
+    #[test]
+    fn lcof_vs_fifo_ordering() {
+        // C1 (arrives first) is wide across both senders; C2/C3 narrow.
+        let coflows = vec![
+            cv(1, 0, vec![fv(10, 0, 2, 0), fv(11, 1, 3, 0)]),
+            cv(2, 1, vec![fv(20, 0, 4, 0)]),
+            cv(3, 2, vec![fv(30, 1, 5, 0)]),
+        ];
+        // Full Saath: k1 = 2, k2 = k3 = 1 → C2, C3 win the ports.
+        let mut s = Saath::with_defaults();
+        let out = run(&mut s, &coflows, 6, Time::from_millis(2));
+        assert_eq!(out.rate_of(FlowId(20)), GBPS);
+        assert_eq!(out.rate_of(FlowId(30)), GBPS);
+        assert_eq!(out.rate_of(FlowId(10)), Rate::ZERO);
+
+        // FIFO ablation: C1 arrived first and takes both ports.
+        let mut s = Saath::new(SaathConfig::ablation_an_pf());
+        let out = run(&mut s, &coflows, 6, Time::from_millis(2));
+        assert_eq!(out.rate_of(FlowId(10)), GBPS);
+        assert_eq!(out.rate_of(FlowId(20)), Rate::ZERO);
+    }
+
+    /// Per-flow thresholds demote a wide CoFlow once any flow crosses
+    /// its share; the total-bytes ablation keeps it high.
+    #[test]
+    fn per_flow_threshold_demotes_early() {
+        // Width 4, one flow has sent 3 MB; total 3 MB.
+        // Per-flow share of Q0 (10 MB / 4 = 2.5 MB) is crossed → Q1.
+        let wide = cv(
+            0,
+            0,
+            vec![
+                fv(0, 0, 4, 3_000_000),
+                fv(1, 1, 5, 0),
+                fv(2, 2, 6, 0),
+                fv(3, 3, 7, 0),
+            ],
+        );
+        let s = Saath::with_defaults();
+        assert_eq!(s.queue_of(&wide), 1);
+        let s = Saath::new(SaathConfig::ablation_an());
+        assert_eq!(s.queue_of(&wide), 0, "total rule: 3 MB ≤ 10 MB stays in Q0");
+    }
+
+    /// Queue priority is strict: a Q0 CoFlow beats a Q1 CoFlow even when
+    /// the Q1 CoFlow has lower contention and earlier arrival.
+    #[test]
+    fn strict_queue_priority() {
+        // C0 has sent >10 MB on its flow → Q1. C1 fresh → Q0.
+        let coflows = vec![
+            cv(0, 0, vec![fv(0, 0, 2, 20_000_000)]),
+            cv(1, 5, vec![fv(10, 0, 3, 0)]),
+        ];
+        let mut s = Saath::with_defaults();
+        let out = run(&mut s, &coflows, 4, Time::from_millis(5));
+        assert_eq!(out.rate_of(FlowId(10)), GBPS, "Q0 CoFlow wins the sender");
+        assert_eq!(out.rate_of(FlowId(0)), Rate::ZERO);
+    }
+
+    /// A CoFlow past its deadline jumps the LCoF order (D5).
+    #[test]
+    fn starvation_deadline_preempts_lcof() {
+        // C0 is wide (senders 0 and 1, k = 2); narrow CoFlows keep
+        // arriving on both its senders, so LCoF alone would starve it.
+        let wide = cv(0, 0, vec![fv(0, 0, 2, 0), fv(1, 1, 3, 0)]);
+        let narrow1 = cv(1, 1, vec![fv(10, 0, 4, 0)]);
+        let narrow2 = cv(2, 2, vec![fv(20, 1, 5, 0)]);
+
+        let mut s = Saath::with_defaults();
+        // C0 alone gets its deadline stamped at t = 1 ms.
+        let _ = run(&mut s, std::slice::from_ref(&wide), 6, Time::from_millis(1));
+        assert_eq!(s.starvation_kicks, 0);
+        // Much later, fresh narrow CoFlows appear. Their deadlines are
+        // new; C0's has long expired (d·C_q·t_q is sub-second here), so
+        // C0 must be force-prioritized despite its higher contention.
+        let all = vec![wide.clone(), narrow1.clone(), narrow2.clone()];
+        let out = run(&mut s, &all, 6, Time::from_secs(3600));
+        assert!(s.starvation_kicks > 0);
+        assert_eq!(out.rate_of(FlowId(0)), GBPS, "expired CoFlow is prioritized");
+        assert_eq!(out.rate_of(FlowId(1)), GBPS);
+        assert_eq!(out.rate_of(FlowId(10)), Rate::ZERO);
+        assert_eq!(out.rate_of(FlowId(20)), Rate::ZERO);
+
+        // With starvation avoidance off, LCoF keeps starving it.
+        let mut s =
+            Saath::new(SaathConfig { starvation_avoidance: false, ..Default::default() });
+        let _ = run(&mut s, std::slice::from_ref(&wide), 6, Time::from_millis(1));
+        let out = run(&mut s, &all, 6, Time::from_secs(3600));
+        assert_eq!(out.rate_of(FlowId(10)), GBPS);
+        assert_eq!(out.rate_of(FlowId(20)), GBPS);
+        assert_eq!(out.rate_of(FlowId(0)), Rate::ZERO);
+    }
+
+    /// §4.3: a restarted CoFlow whose finished flows reveal little
+    /// remaining work moves back to a high-priority queue.
+    #[test]
+    fn dynamics_requeues_upward() {
+        // Width 2: one flow finished at 100 MB, the other restarted at
+        // 95 MB sent. Estimate: f_e = 100 MB, remaining = 5 MB.
+        // Per-flow Q0 share = 5 MB ⇒ remaining 5 MB ≤ 5 MB ⇒ Q0,
+        // even though m_c (95 MB sent) would put it in Q2.
+        let mut c = cv(0, 0, vec![fv(0, 0, 2, 100_000_000), fv(1, 1, 3, 95_000_000)]);
+        c.flows[0].finished = true;
+        c.restarted = true;
+        let s = Saath::with_defaults();
+        assert_eq!(s.queue_of(&c), 0);
+
+        // Without the restart marker the normal rule applies.
+        c.restarted = false;
+        assert_eq!(s.queue_of(&c), 2);
+
+        // Restarted but nothing finished yet: no estimate, normal rule.
+        let mut c2 = cv(1, 0, vec![fv(2, 0, 2, 50_000_000)]);
+        c2.restarted = true;
+        assert_eq!(dynamics_remaining_estimate(&c2), None);
+    }
+
+    /// CoFlows with unavailable data are skipped by all-or-none and
+    /// their ready flows ride work conservation only.
+    #[test]
+    fn unready_data_blocks_gang_admission() {
+        let mut c = cv(0, 0, vec![fv(0, 0, 2, 0), fv(1, 1, 3, 0)]);
+        c.flows[1].ready = false;
+        let coflows = vec![c];
+        let mut s = Saath::with_defaults();
+        let out = run(&mut s, &coflows, 4, Time::ZERO);
+        // The ready flow still runs (work conservation), the unready one
+        // must not be scheduled.
+        assert_eq!(out.rate_of(FlowId(0)), GBPS);
+        assert_eq!(out.rate_of(FlowId(1)), Rate::ZERO);
+    }
+
+    /// Departed CoFlows' state is garbage-collected.
+    #[test]
+    fn state_is_garbage_collected() {
+        let coflows: Vec<CoflowView> =
+            (0..5).map(|i| cv(i, 0, vec![fv(i * 10, 0, 2, 0)])).collect();
+        let mut s = Saath::with_defaults();
+        let _ = run(&mut s, &coflows, 4, Time::ZERO);
+        assert_eq!(s.state.len(), 5);
+        let _ = run(&mut s, &coflows[..1], 4, Time::from_millis(8));
+        assert_eq!(s.state.len(), 1);
+    }
+
+    /// D5: a CoFlow gets a *fresh* deadline whenever it changes queue,
+    /// so demotion does not carry a stale (possibly expired) deadline
+    /// into the new queue.
+    #[test]
+    fn deadline_refreshes_on_queue_change() {
+        let mut s = Saath::with_defaults();
+        // Round 1: fresh CoFlow in Q0.
+        let c = cv(0, 0, vec![fv(0, 0, 2, 0)]);
+        let _ = run(&mut s, std::slice::from_ref(&c), 3, Time::from_millis(1));
+        let d0 = s.state[&CoflowId(0)].deadline;
+        assert_eq!(s.state[&CoflowId(0)].queue, 0);
+
+        // Round 2 much later, same queue: deadline must NOT refresh
+        // (that is what lets starvation detection fire eventually).
+        let _ = run(&mut s, std::slice::from_ref(&c), 3, Time::from_secs(100));
+        assert_eq!(s.state[&CoflowId(0)].deadline, d0);
+
+        // Round 3: the CoFlow has sent past Q0's threshold → demoted to
+        // a new queue with a *fresh* (later) deadline.
+        let moved = cv(0, 0, vec![fv(0, 0, 2, 20_000_000)]);
+        let _ = run(&mut s, std::slice::from_ref(&moved), 3, Time::from_secs(200));
+        assert_eq!(s.state[&CoflowId(0)].queue, 1);
+        assert!(s.state[&CoflowId(0)].deadline > d0, "deadline must refresh on move");
+        assert!(s.state[&CoflowId(0)].deadline > Time::from_secs(200));
+    }
+
+    /// The skew-aware extension keeps naturally-uneven CoFlows in high
+    /// queues longer than the equal split, and is identical for even
+    /// ones.
+    #[test]
+    fn skew_aware_threshold_option() {
+        let uneven = cv(
+            0,
+            0,
+            vec![fv(0, 0, 4, 4_000_000), fv(1, 1, 5, 10_000), fv(2, 2, 6, 10_000)],
+        );
+        let default = Saath::with_defaults();
+        let skew = Saath::new(SaathConfig {
+            skew_aware_thresholds: true,
+            ..Default::default()
+        });
+        assert!(default.queue_of(&uneven) > skew.queue_of(&uneven));
+
+        let even = cv(1, 0, vec![fv(3, 0, 4, 1_000_000), fv(4, 1, 5, 1_000_000)]);
+        assert_eq!(default.queue_of(&even), skew.queue_of(&even));
+    }
+
+    /// Timings accumulate one sample set per round.
+    #[test]
+    fn timings_accumulate() {
+        let coflows = vec![cv(0, 0, vec![fv(0, 0, 1, 0)])];
+        let mut s = Saath::with_defaults();
+        for i in 0..3 {
+            let _ = run(&mut s, &coflows, 2, Time::from_millis(i * 8));
+        }
+        assert_eq!(s.timings.rounds(), 3);
+        assert_eq!(s.timings.active_coflows, vec![1, 1, 1]);
+        assert_eq!(s.timings.ordering.len(), 3);
+        assert_eq!(s.timings.all_or_none.len(), 3);
+        assert_eq!(s.timings.work_conservation.len(), 3);
+    }
+}

@@ -1,0 +1,91 @@
+//! Scheduling-overhead instrumentation (Table 2).
+//!
+//! The paper breaks the coordinator's schedule-compute time into the
+//! time spent ordering CoFlows (per-flow thresholds + LCoF), admitting
+//! them all-or-none, and assigning work-conservation rates. [`Saath`]
+//! (and the other schedulers, for the total) accumulate wall-clock
+//! samples here; `repro table2` and the Criterion benches report the
+//! same columns as the paper: average and P90, total and per phase.
+//!
+//! These are *wall-clock* measurements of this Rust implementation, the
+//! one place in the workspace allowed to touch `std::time::Instant` —
+//! they measure the scheduler itself, not the simulated cluster.
+//!
+//! [`Saath`]: crate::saath::Saath
+
+use std::time::Duration as StdDuration;
+
+/// Accumulated per-round timings.
+#[derive(Clone, Debug, Default)]
+pub struct SchedTimings {
+    /// Total time of each `compute()` round.
+    pub total: Vec<StdDuration>,
+    /// Time ordering CoFlows (queue assignment + sort — "LCoF" column).
+    pub ordering: Vec<StdDuration>,
+    /// Time in all-or-none admission + rate assignment.
+    pub all_or_none: Vec<StdDuration>,
+    /// Time assigning work-conservation rates.
+    pub work_conservation: Vec<StdDuration>,
+    /// Active CoFlows per round (context for the latency numbers).
+    pub active_coflows: Vec<usize>,
+}
+
+impl SchedTimings {
+    /// Number of recorded rounds.
+    pub fn rounds(&self) -> usize {
+        self.total.len()
+    }
+
+    /// Drops all samples.
+    pub fn clear(&mut self) {
+        self.total.clear();
+        self.ordering.clear();
+        self.all_or_none.clear();
+        self.work_conservation.clear();
+        self.active_coflows.clear();
+    }
+
+    /// `(average, p90)` of a sample column, in milliseconds.
+    pub fn avg_p90_ms(samples: &[StdDuration]) -> (f64, f64) {
+        if samples.is_empty() {
+            return (0.0, 0.0);
+        }
+        let ms: Vec<f64> = samples.iter().map(|d| d.as_secs_f64() * 1e3).collect();
+        let avg = ms.iter().sum::<f64>() / ms.len() as f64;
+        let mut sorted = ms;
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = ((0.9 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        (avg, sorted[rank - 1])
+    }
+
+    /// Convenience summary: `(avg_ms, p90_ms)` for the total column.
+    pub fn total_avg_p90_ms(&self) -> (f64, f64) {
+        Self::avg_p90_ms(&self.total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avg_and_p90() {
+        let samples: Vec<StdDuration> =
+            (1..=10).map(StdDuration::from_millis).collect();
+        let (avg, p90) = SchedTimings::avg_p90_ms(&samples);
+        assert!((avg - 5.5).abs() < 1e-9);
+        assert!((p90 - 9.0).abs() < 1e-9);
+        assert_eq!(SchedTimings::avg_p90_ms(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = SchedTimings::default();
+        t.total.push(StdDuration::from_millis(1));
+        t.active_coflows.push(3);
+        assert_eq!(t.rounds(), 1);
+        t.clear();
+        assert_eq!(t.rounds(), 0);
+        assert!(t.active_coflows.is_empty());
+    }
+}

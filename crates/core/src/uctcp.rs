@@ -1,0 +1,122 @@
+//! UC-TCP — the uncoordinated baseline (§6.1).
+//!
+//! "In UC-TCP, there are no queues, and all the flows are scheduled upon
+//! arrival as per TCP." The fluid-model equivalent of many long-lived
+//! TCP flows sharing edge ports is global max-min fairness, which
+//! [`max_min_fair`] computes exactly. No coordinator state, no
+//! priorities, no gang semantics — every ready flow always progresses at
+//! its fair share.
+
+use crate::timing::SchedTimings;
+use crate::view::{ClusterView, CoflowScheduler, Schedule};
+use saath_fabric::{max_min_fair, FlowEndpoints, PortBank};
+use std::time::Instant;
+
+/// The UC-TCP scheduler.
+#[derive(Default)]
+pub struct UcTcp {
+    /// Per-round overhead samples.
+    pub timings: SchedTimings,
+}
+
+impl UcTcp {
+    /// A new UC-TCP baseline.
+    pub fn new() -> UcTcp {
+        UcTcp::default()
+    }
+}
+
+impl CoflowScheduler for UcTcp {
+    fn name(&self) -> &'static str {
+        "uc-tcp"
+    }
+
+    fn compute(&mut self, view: &ClusterView<'_>, bank: &mut PortBank, out: &mut Schedule) {
+        let t_total = Instant::now();
+        let eps: Vec<FlowEndpoints> = view
+            .coflows
+            .iter()
+            .flat_map(|c| {
+                c.unfinished()
+                    .filter(|f| f.ready)
+                    .map(|f| f.endpoints(view.num_nodes))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let rates = max_min_fair(bank, &eps);
+        for (e, r) in eps.iter().zip(rates) {
+            if !r.is_zero() {
+                bank.allocate(e.src, r);
+                bank.allocate(e.dst, r);
+                out.set(e.flow, r);
+            }
+        }
+        self.timings.total.push(t_total.elapsed());
+        self.timings.active_coflows.push(view.coflows.len());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::{CoflowView, FlowView};
+    use saath_simcore::{Bytes, CoflowId, FlowId, NodeId, Rate, Time};
+
+    fn fv(id: u32, src: u32, dst: u32) -> FlowView {
+        FlowView {
+            id: FlowId(id),
+            src: NodeId(src),
+            dst: NodeId(dst),
+            sent: Bytes::ZERO,
+            ready: true,
+            finished: false,
+            oracle_size: None,
+        }
+    }
+
+    #[test]
+    fn flows_share_fairly_regardless_of_coflow() {
+        // Three flows on one uplink, from two CoFlows: each flow gets a
+        // third (per-flow fairness, not per-CoFlow).
+        let coflows = vec![
+            CoflowView {
+                id: CoflowId(0),
+                arrival: Time::ZERO,
+                flows: vec![fv(0, 0, 1), fv(1, 0, 2)],
+                restarted: false,
+            },
+            CoflowView {
+                id: CoflowId(1),
+                arrival: Time::ZERO,
+                flows: vec![fv(2, 0, 3)],
+                restarted: false,
+            },
+        ];
+        let view = ClusterView { now: Time::ZERO, num_nodes: 4, coflows: &coflows };
+        let mut bank = PortBank::uniform(4, Rate(900));
+        let mut out = Schedule::default();
+        UcTcp::new().compute(&view, &mut bank, &mut out);
+        for f in 0..3 {
+            assert_eq!(out.rate_of(FlowId(f)), Rate(300));
+        }
+    }
+
+    #[test]
+    fn never_oversubscribes() {
+        // A dense mesh; the debug assertion in `allocate` would fire on
+        // oversubscription.
+        let flows: Vec<FlowView> =
+            (0..12).map(|i| fv(i, i % 3, 3 + (i % 2))).collect();
+        let coflows = vec![CoflowView {
+            id: CoflowId(0),
+            arrival: Time::ZERO,
+            flows,
+            restarted: false,
+        }];
+        let view = ClusterView { now: Time::ZERO, num_nodes: 5, coflows: &coflows };
+        let mut bank = PortBank::uniform(5, Rate(1000));
+        let mut out = Schedule::default();
+        UcTcp::new().compute(&view, &mut bank, &mut out);
+        assert!(!out.rates.is_empty());
+    }
+}

@@ -1,0 +1,252 @@
+//! The coordinator's view of the cluster, and the schedule it produces.
+//!
+//! These types are the contract between a scheduler and whatever drives
+//! it (the discrete-event simulator or the distributed runtime). The
+//! driver owns ground truth; the view exposes only what a real
+//! coordinator would know from local-agent reports (§4.2 "Input"):
+//! bytes sent per flow, readiness, finishedness, port locations — plus
+//! an optional *oracle* (ground-truth sizes) that only clairvoyant
+//! baselines may read.
+
+use saath_fabric::{FlowEndpoints, PortBank};
+use saath_simcore::{Bytes, CoflowId, FlowId, NodeId, PortId, Rate, Time};
+
+/// One flow as the coordinator sees it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlowView {
+    /// Globally unique flow id (dense across the run).
+    pub id: FlowId,
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Bytes sent so far — the only size signal online schedulers get.
+    pub sent: Bytes,
+    /// Whether the flow's data is available to send (§4.3 pipelining).
+    pub ready: bool,
+    /// Whether the flow has completed.
+    pub finished: bool,
+    /// Ground-truth total size. `Some` only when the driver runs in
+    /// clairvoyant mode; online schedulers must not read it (enforced by
+    /// review + the `requires_clairvoyance` handshake, not by types,
+    /// because the simulator builds one view for all schedulers).
+    pub oracle_size: Option<Bytes>,
+}
+
+impl FlowView {
+    /// The flow's two contended ports.
+    pub fn endpoints(&self, num_nodes: usize) -> FlowEndpoints {
+        FlowEndpoints {
+            flow: self.id,
+            src: PortId::uplink(self.src),
+            dst: PortId::downlink(self.dst, num_nodes),
+        }
+    }
+
+    /// Ground-truth remaining volume (clairvoyant only).
+    ///
+    /// # Panics
+    /// Panics if the driver did not provide the oracle.
+    pub fn oracle_remaining(&self) -> Bytes {
+        self.oracle_size
+            .expect("clairvoyant scheduler run without an oracle")
+            .saturating_sub(self.sent)
+    }
+}
+
+/// One active CoFlow as the coordinator sees it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CoflowView {
+    /// The CoFlow.
+    pub id: CoflowId,
+    /// When it was released to the scheduler (after DAG dependencies).
+    pub arrival: Time,
+    /// All of its flows, finished ones included — the dynamics heuristic
+    /// (§4.3) estimates remaining lengths from finished siblings.
+    pub flows: Vec<FlowView>,
+    /// Set when the driver has told the coordinator (via the `update()`
+    /// CoFlow operation) that this CoFlow was hit by a failure or
+    /// straggler, enabling the §4.3 re-queue heuristic.
+    pub restarted: bool,
+}
+
+impl CoflowView {
+    /// Flows still in progress.
+    pub fn unfinished(&self) -> impl Iterator<Item = &FlowView> {
+        self.flows.iter().filter(|f| !f.finished)
+    }
+
+    /// Whether every flow has finished (the driver normally drops such
+    /// CoFlows from the view).
+    pub fn is_done(&self) -> bool {
+        self.flows.iter().all(|f| f.finished)
+    }
+
+    /// Width = number of flows (Eq. 1 divides thresholds by it).
+    pub fn width(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Total bytes sent so far (Aalo's queue key).
+    pub fn total_sent(&self) -> Bytes {
+        self.flows.iter().map(|f| f.sent).sum()
+    }
+
+    /// Max bytes sent by any single flow — the paper's `m_c` (D1/D3).
+    pub fn max_flow_sent(&self) -> Bytes {
+        self.flows.iter().map(|f| f.sent).max().unwrap_or(Bytes::ZERO)
+    }
+
+    /// Whether every unfinished flow has data ready; all-or-none only
+    /// admits fully-ready CoFlows (§4.3).
+    pub fn all_ready(&self) -> bool {
+        self.unfinished().all(|f| f.ready)
+    }
+}
+
+/// What the scheduler knows this round.
+#[derive(Debug)]
+pub struct ClusterView<'a> {
+    /// Current time (schedule epochs are δ-aligned).
+    pub now: Time,
+    /// Cluster size; ports number `2 * num_nodes`.
+    pub num_nodes: usize,
+    /// Active (not yet complete) CoFlows.
+    pub coflows: &'a [CoflowView],
+}
+
+/// The output of one scheduling round: a rate for every flow that may
+/// send. Flows not listed are paused (rate zero).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Schedule {
+    /// `(flow, rate)` pairs; each flow appears at most once.
+    pub rates: Vec<(FlowId, Rate)>,
+}
+
+impl Schedule {
+    /// Clears for reuse across rounds (keeps capacity).
+    pub fn clear(&mut self) {
+        self.rates.clear();
+    }
+
+    /// Adds a flow's rate (skips zero rates — absent means paused).
+    pub fn set(&mut self, flow: FlowId, rate: Rate) {
+        debug_assert!(
+            !self.rates.iter().any(|(f, _)| *f == flow),
+            "flow {flow} scheduled twice"
+        );
+        if !rate.is_zero() {
+            self.rates.push((flow, rate));
+        }
+    }
+
+    /// Looks up a flow's rate (zero if absent).
+    pub fn rate_of(&self, flow: FlowId) -> Rate {
+        self.rates
+            .iter()
+            .find(|(f, _)| *f == flow)
+            .map(|(_, r)| *r)
+            .unwrap_or(Rate::ZERO)
+    }
+}
+
+/// A CoFlow scheduling policy. Implementations must be deterministic
+/// functions of the view, the bank, and their own internal state.
+pub trait CoflowScheduler {
+    /// Short name used in reports ("saath", "aalo", …).
+    fn name(&self) -> &'static str;
+
+    /// Whether the policy reads ground-truth sizes. Drivers refuse to
+    /// run clairvoyant policies without an oracle, so a misconfiguration
+    /// fails loudly instead of producing silently-wrong numbers.
+    fn requires_clairvoyance(&self) -> bool {
+        false
+    }
+
+    /// Computes this round's schedule. `bank` arrives reset to the
+    /// current capacities (straggler effects included); the scheduler
+    /// draws it down as it admits flows, and fills `out` (cleared by the
+    /// caller).
+    fn compute(&mut self, view: &ClusterView<'_>, bank: &mut PortBank, out: &mut Schedule);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fv(id: u32, sent: u64, finished: bool) -> FlowView {
+        FlowView {
+            id: FlowId(id),
+            src: NodeId(0),
+            dst: NodeId(1),
+            sent: Bytes(sent),
+            ready: true,
+            finished,
+            oracle_size: Some(Bytes(1000)),
+        }
+    }
+
+    #[test]
+    fn coflow_view_accessors() {
+        let c = CoflowView {
+            id: CoflowId(0),
+            arrival: Time::ZERO,
+            flows: vec![fv(0, 100, false), fv(1, 700, true), fv(2, 300, false)],
+            restarted: false,
+        };
+        assert_eq!(c.width(), 3);
+        assert_eq!(c.total_sent(), Bytes(1100));
+        assert_eq!(c.max_flow_sent(), Bytes(700));
+        assert_eq!(c.unfinished().count(), 2);
+        assert!(!c.is_done());
+        assert!(c.all_ready());
+    }
+
+    #[test]
+    fn readiness_only_considers_unfinished() {
+        let mut c = CoflowView {
+            id: CoflowId(0),
+            arrival: Time::ZERO,
+            flows: vec![fv(0, 0, true), fv(1, 0, false)],
+            restarted: false,
+        };
+        c.flows[0].ready = false; // finished flow's readiness is moot
+        assert!(c.all_ready());
+        c.flows[1].ready = false;
+        assert!(!c.all_ready());
+    }
+
+    #[test]
+    fn schedule_set_and_lookup() {
+        let mut s = Schedule::default();
+        s.set(FlowId(3), Rate(100));
+        s.set(FlowId(4), Rate::ZERO); // dropped
+        assert_eq!(s.rate_of(FlowId(3)), Rate(100));
+        assert_eq!(s.rate_of(FlowId(4)), Rate::ZERO);
+        assert_eq!(s.rates.len(), 1);
+        s.clear();
+        assert_eq!(s.rate_of(FlowId(3)), Rate::ZERO);
+    }
+
+    #[test]
+    fn oracle_remaining() {
+        let f = fv(0, 300, false);
+        assert_eq!(f.oracle_remaining(), Bytes(700));
+    }
+
+    #[test]
+    #[should_panic(expected = "without an oracle")]
+    fn missing_oracle_panics() {
+        let mut f = fv(0, 0, false);
+        f.oracle_size = None;
+        let _ = f.oracle_remaining();
+    }
+
+    #[test]
+    fn endpoints_encode_ports() {
+        let f = fv(0, 0, false);
+        let e = f.endpoints(4);
+        assert_eq!(e.src, PortId(0));
+        assert_eq!(e.dst, PortId(5)); // 4 + 1
+    }
+}

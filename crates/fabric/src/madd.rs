@@ -1,0 +1,201 @@
+//! MADD — Minimum Allocation for Desired Duration (Varys, SIGCOMM'14).
+//!
+//! The clairvoyant baselines (Varys/SEBF, SCF, SRTF, LWTF) know every
+//! flow's remaining volume. Given a CoFlow, MADD computes the *slowest
+//! completion it cannot avoid* — the bottleneck time Γ — and then gives
+//! each flow exactly the rate that finishes it at Γ. Any faster would
+//! waste bandwidth other CoFlows could use; any slower would inflate the
+//! CCT.
+
+use crate::gang::FlowEndpoints;
+use crate::port::PortBank;
+use saath_simcore::{Bytes, Duration, PortId, Rate};
+
+/// The bottleneck completion time Γ of a CoFlow under the *remaining*
+/// port capacities in `bank`: the maximum over ports of
+/// `total remaining bytes at the port / remaining capacity`.
+///
+/// Returns [`Duration::INFINITE`] if any touched port has zero capacity
+/// left, and [`Duration::ZERO`] for an empty or fully-drained CoFlow.
+///
+/// `remaining[i]` is the remaining volume of `flows[i]`.
+pub fn bottleneck_time(
+    bank: &PortBank,
+    flows: &[FlowEndpoints],
+    remaining: &[Bytes],
+) -> Duration {
+    debug_assert_eq!(flows.len(), remaining.len());
+    // Accumulate per-port demand sparsely.
+    let mut demand: Vec<(PortId, u64)> = Vec::with_capacity(flows.len() * 2);
+    for (f, rem) in flows.iter().zip(remaining) {
+        for p in [f.src, f.dst] {
+            match demand.iter_mut().find(|(q, _)| *q == p) {
+                Some((_, d)) => *d += rem.as_u64(),
+                None => demand.push((p, rem.as_u64())),
+            }
+        }
+    }
+    let mut gamma = Duration::ZERO;
+    for (p, d) in demand {
+        if d == 0 {
+            continue;
+        }
+        let cap = bank.remaining(p);
+        let t = saath_simcore::units::transfer_time(Bytes(d), cap);
+        if t > gamma {
+            gamma = t;
+        }
+    }
+    gamma
+}
+
+/// Per-flow MADD rates: each flow gets `remaining / Γ`, so every flow
+/// (and hence the CoFlow) finishes exactly at the bottleneck time.
+///
+/// Returns `None` when Γ is infinite (a needed port has no capacity —
+/// the caller should skip the CoFlow this round). Flows with zero
+/// remaining volume get `Rate::ZERO`. Rates are rounded *up* so integer
+/// truncation can never stretch the CoFlow past Γ; the ≤1 B/s overshoot
+/// per flow is absorbed by the caller clamping to port capacity.
+pub fn madd_rates(
+    bank: &PortBank,
+    flows: &[FlowEndpoints],
+    remaining: &[Bytes],
+) -> Option<Vec<Rate>> {
+    let gamma = bottleneck_time(bank, flows, remaining);
+    if gamma.is_infinite() {
+        return None;
+    }
+    if gamma == Duration::ZERO {
+        return Some(vec![Rate::ZERO; flows.len()]);
+    }
+    let gamma_ns = gamma.as_nanos() as u128;
+    let mut rates = Vec::with_capacity(flows.len());
+    for rem in remaining {
+        let num = rem.as_u64() as u128 * 1_000_000_000u128;
+        let r = num.div_ceil(gamma_ns);
+        rates.push(Rate(r.min(u64::MAX as u128) as u64));
+    }
+    // Clamp to feasibility: rounding up each flow can oversubscribe a
+    // port by a few B/s; scale the whole CoFlow's rates down to the most
+    // violated port's ratio if needed (keeps rates proportional, which
+    // is the MADD invariant).
+    let mut used: Vec<(PortId, u64)> = Vec::new();
+    for (f, r) in flows.iter().zip(&rates) {
+        for p in [f.src, f.dst] {
+            match used.iter_mut().find(|(q, _)| *q == p) {
+                Some((_, u)) => *u += r.as_u64(),
+                None => used.push((p, r.as_u64())),
+            }
+        }
+    }
+    let mut scale: Option<(u64, u64)> = None; // (num, den) = smallest cap/used ratio
+    for (p, u) in &used {
+        let cap = bank.remaining(*p).as_u64();
+        if *u > cap {
+            let tighter = match scale {
+                None => true,
+                Some((n0, d0)) => (cap as u128) * (d0 as u128) < (n0 as u128) * (*u as u128),
+            };
+            if tighter {
+                scale = Some((cap, *u));
+            }
+        }
+    }
+    if let Some((num, den)) = scale {
+        for r in &mut rates {
+            *r = r.mul_ratio(num, den);
+        }
+    }
+    Some(rates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use saath_simcore::{FlowId, NodeId};
+
+    fn fe(flow: u32, src: u32, dst_node: u32, n: usize) -> FlowEndpoints {
+        FlowEndpoints {
+            flow: FlowId(flow),
+            src: PortId::uplink(NodeId(src)),
+            dst: PortId::downlink(NodeId(dst_node), n),
+        }
+    }
+
+    #[test]
+    fn bottleneck_is_the_busiest_port() {
+        // Two flows out of node 0 (100 B total on its uplink) into two
+        // receivers (50 B each): uplink is the bottleneck.
+        let bank = PortBank::uniform(3, Rate(100));
+        let flows = [fe(0, 0, 1, 3), fe(1, 0, 2, 3)];
+        let remaining = [Bytes(50), Bytes(50)];
+        assert_eq!(
+            bottleneck_time(&bank, &flows, &remaining),
+            Duration::from_secs(1)
+        );
+    }
+
+    #[test]
+    fn madd_finishes_all_flows_together() {
+        let bank = PortBank::uniform(3, Rate(100));
+        // Uneven flows: 80 B and 20 B sharing the uplink (Γ = 1 s).
+        let flows = [fe(0, 0, 1, 3), fe(1, 0, 2, 3)];
+        let remaining = [Bytes(80), Bytes(20)];
+        let rates = madd_rates(&bank, &flows, &remaining).unwrap();
+        assert_eq!(rates, vec![Rate(80), Rate(20)]);
+        // Both complete at exactly Γ.
+        let t0 = saath_simcore::units::transfer_time(remaining[0], rates[0]);
+        let t1 = saath_simcore::units::transfer_time(remaining[1], rates[1]);
+        assert_eq!(t0, t1);
+    }
+
+    #[test]
+    fn madd_rejects_on_dead_port() {
+        let mut bank = PortBank::uniform(2, Rate(100));
+        bank.allocate(PortId::uplink(NodeId(0)), Rate(100));
+        let flows = [fe(0, 0, 1, 2)];
+        assert!(madd_rates(&bank, &flows, &[Bytes(10)]).is_none());
+        assert!(bottleneck_time(&bank, &flows, &[Bytes(10)]).is_infinite());
+    }
+
+    #[test]
+    fn drained_coflow_is_trivial() {
+        let bank = PortBank::uniform(2, Rate(100));
+        let flows = [fe(0, 0, 1, 2)];
+        assert_eq!(bottleneck_time(&bank, &flows, &[Bytes(0)]), Duration::ZERO);
+        assert_eq!(
+            madd_rates(&bank, &flows, &[Bytes(0)]).unwrap(),
+            vec![Rate::ZERO]
+        );
+    }
+
+    proptest! {
+        /// MADD rates are always feasible after clamping and all nonzero
+        /// flows finish within Γ (+1ns rounding).
+        #[test]
+        fn madd_feasible_and_synchronized(
+            spec in proptest::collection::vec((0u32..4, 0u32..4, 1u64..1_000_000), 1..12),
+            cap in 1_000u64..1_000_000_000,
+        ) {
+            let n = 4;
+            let mut bank = PortBank::uniform(n, Rate(cap));
+            let flows: Vec<FlowEndpoints> = spec
+                .iter()
+                .enumerate()
+                .map(|(i, (s, d, _))| fe(i as u32, *s, *d, n))
+                .collect();
+            let remaining: Vec<Bytes> = spec.iter().map(|(_, _, b)| Bytes(*b)).collect();
+            let rates = madd_rates(&bank, &flows, &remaining).unwrap();
+            // Feasibility: applying the rates must not trip the
+            // over-allocation debug assertion.
+            for (f, r) in flows.iter().zip(&rates) {
+                if !r.is_zero() {
+                    bank.allocate(f.src, *r);
+                    bank.allocate(f.dst, *r);
+                }
+            }
+        }
+    }
+}

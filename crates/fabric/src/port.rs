@@ -1,0 +1,172 @@
+//! Per-port capacity accounting for one scheduling round.
+
+use saath_simcore::{NodeId, PortId, Rate};
+use serde::{Deserialize, Serialize};
+
+/// The fabric's contended resources: `2N` ports (uplink `0..N`,
+/// downlink `N..2N`) with a capacity each, plus a *remaining* vector
+/// that one scheduling round draws down as it admits flows.
+///
+/// Capacities can differ per port — that is how straggling or degraded
+/// nodes are modelled (§4.3): a straggler's ports keep working at a
+/// fraction of their nominal rate.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PortBank {
+    num_nodes: usize,
+    capacity: Vec<Rate>,
+    remaining: Vec<Rate>,
+}
+
+impl PortBank {
+    /// A bank of `2 * num_nodes` ports, all at `uniform` capacity.
+    pub fn uniform(num_nodes: usize, uniform: Rate) -> PortBank {
+        PortBank {
+            num_nodes,
+            capacity: vec![uniform; 2 * num_nodes],
+            remaining: vec![uniform; 2 * num_nodes],
+        }
+    }
+
+    /// Number of nodes (half the number of ports).
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of ports (`2 * num_nodes`).
+    pub fn num_ports(&self) -> usize {
+        self.capacity.len()
+    }
+
+    /// Nominal capacity of a port.
+    pub fn capacity(&self, p: PortId) -> Rate {
+        self.capacity[p.index()]
+    }
+
+    /// Sets the nominal capacity of a port (straggler/failure
+    /// injection). Also clamps the remaining capacity down to the new
+    /// value so an in-flight round cannot over-allocate.
+    pub fn set_capacity(&mut self, p: PortId, cap: Rate) {
+        self.capacity[p.index()] = cap;
+        if self.remaining[p.index()] > cap {
+            self.remaining[p.index()] = cap;
+        }
+    }
+
+    /// Scales both ports of `node` by `num/den` (e.g. a 10× straggler is
+    /// `scale_node(n, 1, 10)`). Restore with `scale_node(n, 1, 1)` after
+    /// resetting capacity via [`PortBank::set_node_capacity`].
+    pub fn scale_node(&mut self, node: NodeId, num: u64, den: u64) {
+        let up = PortId::uplink(node);
+        let down = PortId::downlink(node, self.num_nodes);
+        let new_up = self.capacity[up.index()].mul_ratio(num, den);
+        let new_down = self.capacity[down.index()].mul_ratio(num, den);
+        self.set_capacity(up, new_up);
+        self.set_capacity(down, new_down);
+    }
+
+    /// Sets both ports of `node` to `cap`.
+    pub fn set_node_capacity(&mut self, node: NodeId, cap: Rate) {
+        self.set_capacity(PortId::uplink(node), cap);
+        self.set_capacity(PortId::downlink(node, self.num_nodes), cap);
+    }
+
+    /// Remaining (un-allocated) capacity of a port in this round.
+    pub fn remaining(&self, p: PortId) -> Rate {
+        self.remaining[p.index()]
+    }
+
+    /// Whether the port still has any spare capacity.
+    pub fn has_spare(&self, p: PortId) -> bool {
+        !self.remaining[p.index()].is_zero()
+    }
+
+    /// Draws `r` from the port's remaining capacity.
+    ///
+    /// # Panics
+    /// Panics in debug builds on over-allocation — schedulers must never
+    /// hand out more than a port has.
+    pub fn allocate(&mut self, p: PortId, r: Rate) {
+        debug_assert!(
+            r <= self.remaining[p.index()],
+            "over-allocating {r} on {p} (remaining {})",
+            self.remaining[p.index()]
+        );
+        self.remaining[p.index()] = self.remaining[p.index()].saturating_sub(r);
+    }
+
+    /// Starts a new scheduling round: remaining := capacity everywhere.
+    pub fn reset_round(&mut self) {
+        self.remaining.copy_from_slice(&self.capacity);
+    }
+
+    /// Sum of allocated rate across all ports (diagnostics).
+    pub fn total_allocated(&self) -> Rate {
+        let cap: u64 = self.capacity.iter().map(|r| r.as_u64()).sum();
+        let rem: u64 = self.remaining.iter().map(|r| r.as_u64()).sum();
+        Rate(cap - rem)
+    }
+
+    /// Uplink port of `node`.
+    pub fn uplink(&self, node: NodeId) -> PortId {
+        PortId::uplink(node)
+    }
+
+    /// Downlink port of `node`.
+    pub fn downlink(&self, node: NodeId) -> PortId {
+        PortId::downlink(node, self.num_nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_bank() {
+        let bank = PortBank::uniform(150, Rate::gbps(1));
+        assert_eq!(bank.num_nodes(), 150);
+        assert_eq!(bank.num_ports(), 300);
+        assert_eq!(bank.capacity(PortId(0)), Rate::gbps(1));
+        assert_eq!(bank.remaining(PortId(299)), Rate::gbps(1));
+    }
+
+    #[test]
+    fn allocate_and_reset() {
+        let mut bank = PortBank::uniform(2, Rate(100));
+        let p = bank.uplink(NodeId(0));
+        bank.allocate(p, Rate(60));
+        assert_eq!(bank.remaining(p), Rate(40));
+        assert!(bank.has_spare(p));
+        bank.allocate(p, Rate(40));
+        assert!(!bank.has_spare(p));
+        assert_eq!(bank.total_allocated(), Rate(100));
+        bank.reset_round();
+        assert_eq!(bank.remaining(p), Rate(100));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "over-allocating")]
+    fn over_allocation_is_caught() {
+        let mut bank = PortBank::uniform(1, Rate(10));
+        bank.allocate(PortId(0), Rate(11));
+    }
+
+    #[test]
+    fn straggler_scaling_clamps_remaining() {
+        let mut bank = PortBank::uniform(2, Rate(1000));
+        let up = bank.uplink(NodeId(1));
+        bank.allocate(up, Rate(100)); // 900 remaining
+        bank.scale_node(NodeId(1), 1, 10); // capacity now 100
+        assert_eq!(bank.capacity(up), Rate(100));
+        assert_eq!(bank.remaining(up), Rate(100), "remaining clamped to new cap");
+        // Downlink scaled too.
+        assert_eq!(bank.capacity(bank.downlink(NodeId(1))), Rate(100));
+        // Other node untouched.
+        assert_eq!(bank.capacity(bank.uplink(NodeId(0))), Rate(1000));
+        // Recovery.
+        bank.set_node_capacity(NodeId(1), Rate(1000));
+        bank.reset_round();
+        assert_eq!(bank.remaining(up), Rate(1000));
+    }
+}

@@ -1,0 +1,113 @@
+//! Table 1 — binning CoFlows by total size and width.
+//!
+//! | | width ≤ 10 | width > 10 |
+//! |---------------|------------|------------|
+//! | size ≤ 100 MB | bin-1 | bin-2 |
+//! | size > 100 MB | bin-3 | bin-4 |
+//!
+//! Figs 11 and 12 break the per-bin median speedup down along these
+//! bins; the same classification is reused by the workload generators.
+
+use crate::record::CoflowRecord;
+use saath_simcore::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// Table 1's width boundary.
+pub const WIDTH_SPLIT: usize = 10;
+/// Table 1's size boundary.
+pub const SIZE_SPLIT: Bytes = Bytes::mb(100);
+
+/// One of the four Table-1 bins.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Bin {
+    /// size ≤ 100 MB, width ≤ 10 — *short and thin*, the bulk of real
+    /// traces and the biggest LCoF beneficiary.
+    ShortNarrow,
+    /// size ≤ 100 MB, width > 10.
+    ShortWide,
+    /// size > 100 MB, width ≤ 10.
+    LongNarrow,
+    /// size > 100 MB, width > 10.
+    LongWide,
+}
+
+impl Bin {
+    /// All bins in Table-1 order (bin-1 … bin-4).
+    pub const ALL: [Bin; 4] = [Bin::ShortNarrow, Bin::ShortWide, Bin::LongNarrow, Bin::LongWide];
+
+    /// The paper's label ("bin-1" … "bin-4").
+    pub fn label(self) -> &'static str {
+        match self {
+            Bin::ShortNarrow => "bin-1",
+            Bin::ShortWide => "bin-2",
+            Bin::LongNarrow => "bin-3",
+            Bin::LongWide => "bin-4",
+        }
+    }
+}
+
+/// Classifies by raw size and width.
+pub fn classify(total: Bytes, width: usize) -> Bin {
+    match (total > SIZE_SPLIT, width > WIDTH_SPLIT) {
+        (false, false) => Bin::ShortNarrow,
+        (false, true) => Bin::ShortWide,
+        (true, false) => Bin::LongNarrow,
+        (true, true) => Bin::LongWide,
+    }
+}
+
+/// Classifies a result record.
+pub fn bin_of(r: &CoflowRecord) -> Bin {
+    classify(r.total_bytes, r.width)
+}
+
+/// Splits `(bin, value)` pairs into the four per-bin sample vectors, in
+/// Table-1 order, together with each bin's fraction of the population
+/// (the x-label percentages of Fig 11).
+pub fn group_by_bin(pairs: &[(Bin, f64)]) -> [(Vec<f64>, f64); 4] {
+    let mut groups: [Vec<f64>; 4] = Default::default();
+    for (bin, v) in pairs {
+        let idx = Bin::ALL.iter().position(|b| b == bin).unwrap();
+        groups[idx].push(*v);
+    }
+    let total = pairs.len().max(1) as f64;
+    let fracs: Vec<f64> = groups.iter().map(|g| g.len() as f64 / total).collect();
+    let mut it = groups.into_iter().zip(fracs);
+    std::array::from_fn(|_| it.next().unwrap())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundaries_are_inclusive_below() {
+        assert_eq!(classify(Bytes::mb(100), 10), Bin::ShortNarrow);
+        assert_eq!(classify(Bytes::mb(100) + Bytes(1), 10), Bin::LongNarrow);
+        assert_eq!(classify(Bytes::mb(100), 11), Bin::ShortWide);
+        assert_eq!(classify(Bytes::gb(1), 500), Bin::LongWide);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Bin::ShortNarrow.label(), "bin-1");
+        assert_eq!(Bin::LongWide.label(), "bin-4");
+        assert_eq!(Bin::ALL.len(), 4);
+    }
+
+    #[test]
+    fn grouping_preserves_mass() {
+        let pairs = vec![
+            (Bin::ShortNarrow, 1.0),
+            (Bin::ShortNarrow, 2.0),
+            (Bin::LongWide, 3.0),
+        ];
+        let groups = group_by_bin(&pairs);
+        assert_eq!(groups[0].0, vec![1.0, 2.0]);
+        assert!((groups[0].1 - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(groups[1].0.len(), 0);
+        assert_eq!(groups[3].0, vec![3.0]);
+        let total_frac: f64 = groups.iter().map(|g| g.1).sum();
+        assert!((total_frac - 1.0).abs() < 1e-12);
+    }
+}

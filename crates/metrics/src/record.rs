@@ -1,0 +1,108 @@
+//! Per-CoFlow result records.
+
+use saath_simcore::{Bytes, CoflowId, Duration, JobId, Time};
+use serde::{Deserialize, Serialize};
+
+/// Everything one run (simulation or testbed emulation) reports about
+/// one completed CoFlow.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoflowRecord {
+    /// The CoFlow.
+    pub id: CoflowId,
+    /// Its job, if the workload models jobs (Fig 16).
+    pub job: Option<JobId>,
+    /// When it registered with the coordinator.
+    pub arrival: Time,
+    /// When it became runnable (equals `arrival` unless DAG dependencies
+    /// delayed it).
+    pub released: Time,
+    /// When its last flow completed.
+    pub finish: Time,
+    /// Number of flows (the paper's *width*).
+    pub width: usize,
+    /// Ground-truth total volume (the paper's *size*).
+    pub total_bytes: Bytes,
+    /// Per-flow completion times, measured from `released` — the FCTs
+    /// whose per-CoFlow deviation §2.3 analyzes.
+    pub flow_fcts: Vec<Duration>,
+    /// Per-flow ground-truth sizes, parallel to `flow_fcts`.
+    pub flow_sizes: Vec<Bytes>,
+}
+
+impl CoflowRecord {
+    /// CoFlow completion time: "the time duration between when the first
+    /// flow arrives and the last flow completes" (§2.1). With pipelined
+    /// release, the clock starts at `released`.
+    pub fn cct(&self) -> Duration {
+        self.finish.since(self.released)
+    }
+
+    /// Whether all flows have equal ground-truth size (Figs 2c and 13
+    /// split on this).
+    pub fn has_equal_flows(&self) -> bool {
+        match self.flow_sizes.first() {
+            None => true,
+            Some(first) => self.flow_sizes.iter().all(|s| s == first),
+        }
+    }
+}
+
+/// Pairs the records of two runs over the same trace by CoFlow id,
+/// returning `(id, record_a, record_b)` for CoFlows present in both.
+/// Records missing from either side are skipped (e.g. a run truncated
+/// by a horizon).
+pub fn join_runs<'a>(
+    a: &'a [CoflowRecord],
+    b: &'a [CoflowRecord],
+) -> Vec<(CoflowId, &'a CoflowRecord, &'a CoflowRecord)> {
+    use std::collections::HashMap;
+    let bmap: HashMap<CoflowId, &CoflowRecord> = b.iter().map(|r| (r.id, r)).collect();
+    a.iter()
+        .filter_map(|ra| bmap.get(&ra.id).map(|rb| (ra.id, ra, *rb)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn rec(id: u32, released_ms: u64, finish_ms: u64) -> CoflowRecord {
+        CoflowRecord {
+            id: CoflowId(id),
+            job: None,
+            arrival: Time::from_millis(released_ms),
+            released: Time::from_millis(released_ms),
+            finish: Time::from_millis(finish_ms),
+            width: 1,
+            total_bytes: Bytes::mb(1),
+            flow_fcts: vec![Duration::from_millis(finish_ms - released_ms)],
+            flow_sizes: vec![Bytes::mb(1)],
+        }
+    }
+
+    #[test]
+    fn cct_is_finish_minus_release() {
+        let r = rec(0, 100, 350);
+        assert_eq!(r.cct(), Duration::from_millis(250));
+    }
+
+    #[test]
+    fn equal_flow_detection() {
+        let mut r = rec(0, 0, 10);
+        r.flow_sizes = vec![Bytes::mb(2), Bytes::mb(2)];
+        assert!(r.has_equal_flows());
+        r.flow_sizes = vec![Bytes::mb(2), Bytes::mb(3)];
+        assert!(!r.has_equal_flows());
+    }
+
+    #[test]
+    fn join_matches_by_id_and_skips_missing() {
+        let a = vec![rec(0, 0, 10), rec(1, 0, 20), rec(2, 0, 30)];
+        let b = vec![rec(1, 0, 5), rec(0, 0, 40)];
+        let joined = join_runs(&a, &b);
+        assert_eq!(joined.len(), 2);
+        assert_eq!(joined[0].0, CoflowId(0));
+        assert_eq!(joined[0].2.finish, Time::from_millis(40));
+        assert_eq!(joined[1].0, CoflowId(1));
+    }
+}

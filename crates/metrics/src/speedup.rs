@@ -1,0 +1,130 @@
+//! Per-CoFlow speedup distributions.
+//!
+//! §6.1: "We define the *speedup* using Saath as the ratio of the CCT
+//! under other policy to the CCT under Saath for individual CoFlows."
+//! [`speedups`] computes exactly that over a pair of runs, and
+//! [`SpeedupSummary`] carries the median and the P10/P90 error bars of
+//! Fig 9, plus the overall (average-CCT) speedup Fig 3(b) reports.
+
+use crate::record::{join_runs, CoflowRecord};
+use crate::stats::{mean, percentile};
+use serde::{Deserialize, Serialize};
+
+/// Per-CoFlow speedups of `ours` relative to `baseline`:
+/// `cct_baseline / cct_ours`, one entry per CoFlow present in both runs.
+///
+/// A zero `ours` CCT (possible only for degenerate zero-byte workloads,
+/// which trace validation rejects) is skipped defensively.
+pub fn speedups(baseline: &[CoflowRecord], ours: &[CoflowRecord]) -> Vec<f64> {
+    join_runs(baseline, ours)
+        .into_iter()
+        .filter_map(|(_, b, o)| {
+            let num = b.cct().as_nanos() as f64;
+            let den = o.cct().as_nanos() as f64;
+            (den > 0.0).then_some(num / den)
+        })
+        .collect()
+}
+
+/// The summary statistics the paper's bar charts report.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SpeedupSummary {
+    /// Number of CoFlows compared.
+    pub n: usize,
+    /// Median per-CoFlow speedup.
+    pub median: f64,
+    /// 10th-percentile per-CoFlow speedup (lower error bar).
+    pub p10: f64,
+    /// 90th-percentile per-CoFlow speedup (upper error bar).
+    pub p90: f64,
+    /// Average per-CoFlow speedup.
+    pub mean: f64,
+    /// Ratio of the *average CCTs* (the "overall CCT" of Fig 3b):
+    /// `mean(baseline CCT) / mean(ours CCT)`.
+    pub overall: f64,
+}
+
+impl SpeedupSummary {
+    /// Computes the summary over a pair of runs. Returns `None` if the
+    /// runs share no CoFlows.
+    pub fn compute(baseline: &[CoflowRecord], ours: &[CoflowRecord]) -> Option<SpeedupSummary> {
+        let joined = join_runs(baseline, ours);
+        if joined.is_empty() {
+            return None;
+        }
+        let per: Vec<f64> = speedups(baseline, ours);
+        let base_ccts: Vec<f64> =
+            joined.iter().map(|(_, b, _)| b.cct().as_nanos() as f64).collect();
+        let our_ccts: Vec<f64> =
+            joined.iter().map(|(_, _, o)| o.cct().as_nanos() as f64).collect();
+        Some(SpeedupSummary {
+            n: per.len(),
+            median: percentile(&per, 50.0)?,
+            p10: percentile(&per, 10.0)?,
+            p90: percentile(&per, 90.0)?,
+            mean: mean(&per)?,
+            overall: mean(&base_ccts)? / mean(&our_ccts)?,
+        })
+    }
+}
+
+impl std::fmt::Display for SpeedupSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "median {:.2}x (p10 {:.2}x, p90 {:.2}x, mean {:.2}x, overall {:.2}x, n={})",
+            self.median, self.p10, self.p90, self.mean, self.overall, self.n
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saath_simcore::{Bytes, CoflowId, Duration, Time};
+
+    fn rec(id: u32, cct_ms: u64) -> CoflowRecord {
+        CoflowRecord {
+            id: CoflowId(id),
+            job: None,
+            arrival: Time::ZERO,
+            released: Time::ZERO,
+            finish: Time::from_millis(cct_ms),
+            width: 1,
+            total_bytes: Bytes::mb(1),
+            flow_fcts: vec![Duration::from_millis(cct_ms)],
+            flow_sizes: vec![Bytes::mb(1)],
+        }
+    }
+
+    #[test]
+    fn per_coflow_ratios() {
+        let base = vec![rec(0, 100), rec(1, 300), rec(2, 50)];
+        let ours = vec![rec(0, 50), rec(1, 100), rec(2, 100)];
+        let s = speedups(&base, &ours);
+        assert_eq!(s, vec![2.0, 3.0, 0.5]);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let base = vec![rec(0, 100), rec(1, 300), rec(2, 50)];
+        let ours = vec![rec(0, 50), rec(1, 100), rec(2, 100)];
+        let s = SpeedupSummary::compute(&base, &ours).unwrap();
+        assert_eq!(s.n, 3);
+        assert_eq!(s.median, 2.0);
+        assert_eq!(s.p10, 0.5);
+        assert_eq!(s.p90, 3.0);
+        // overall = mean(base)/mean(ours) = 150/83.33.
+        assert!((s.overall - 1.8).abs() < 1e-9);
+        let shown = format!("{s}");
+        assert!(shown.contains("median 2.00x"));
+    }
+
+    #[test]
+    fn disjoint_runs_yield_none() {
+        let base = vec![rec(0, 100)];
+        let ours = vec![rec(1, 100)];
+        assert!(SpeedupSummary::compute(&base, &ours).is_none());
+        assert!(speedups(&base, &ours).is_empty());
+    }
+}

@@ -1,0 +1,126 @@
+//! Percentiles, means, and CDFs.
+//!
+//! The paper reports medians, P10/P90 error bars (Fig 9), and CDFs
+//! (Figs 2, 3, 13, 15). These helpers use the nearest-rank definition on
+//! a sorted copy, which is stable, deterministic, and matches how the
+//! coflowsim-era evaluations computed their numbers.
+
+/// Nearest-rank percentile (`p` in `[0, 100]`) of `samples`.
+/// Returns `None` on an empty slice. Not-a-number samples are rejected
+/// by debug assertion (they cannot be ordered meaningfully).
+pub fn percentile(samples: &[f64], p: f64) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    debug_assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+    debug_assert!(samples.iter().all(|x| !x.is_nan()), "NaN sample");
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+    if p <= 0.0 {
+        return Some(sorted[0]);
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    Some(sorted[rank.clamp(1, sorted.len()) - 1])
+}
+
+/// Median (P50).
+pub fn median(samples: &[f64]) -> Option<f64> {
+    percentile(samples, 50.0)
+}
+
+/// Arithmetic mean.
+pub fn mean(samples: &[f64]) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    Some(samples.iter().sum::<f64>() / samples.len() as f64)
+}
+
+/// Population standard deviation.
+pub fn stddev(samples: &[f64]) -> Option<f64> {
+    let m = mean(samples)?;
+    let var = samples.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / samples.len() as f64;
+    Some(var.sqrt())
+}
+
+/// `(value, cumulative fraction)` points of the empirical CDF — one per
+/// sample, suitable for plotting or for reading off "X % of CoFlows had
+/// deviation under Y".
+pub fn cdf_points(samples: &[f64]) -> Vec<(f64, f64)> {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+    let n = sorted.len() as f64;
+    sorted
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (*v, (i + 1) as f64 / n))
+        .collect()
+}
+
+/// Fraction of samples `<= threshold` (a single CDF read-out, e.g.
+/// "71 % of them had normalized FCT deviation under 10 %").
+pub fn fraction_at_most(samples: &[f64], threshold: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().filter(|&&x| x <= threshold).count() as f64 / samples.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = [15.0, 20.0, 35.0, 40.0, 50.0];
+        assert_eq!(percentile(&v, 0.0), Some(15.0));
+        assert_eq!(percentile(&v, 30.0), Some(20.0));
+        assert_eq!(percentile(&v, 40.0), Some(20.0));
+        assert_eq!(percentile(&v, 50.0), Some(35.0));
+        assert_eq!(percentile(&v, 100.0), Some(50.0));
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(median(&[3.0]), Some(3.0));
+    }
+
+    #[test]
+    fn mean_and_stddev() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), Some(2.0));
+        assert_eq!(mean(&[]), None);
+        let s = stddev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((s - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_shape() {
+        let pts = cdf_points(&[3.0, 1.0, 2.0]);
+        assert_eq!(pts, vec![(1.0, 1.0 / 3.0), (2.0, 2.0 / 3.0), (3.0, 1.0)]);
+        assert_eq!(fraction_at_most(&[3.0, 1.0, 2.0], 2.0), 2.0 / 3.0);
+        assert_eq!(fraction_at_most(&[], 1.0), 0.0);
+    }
+
+    proptest! {
+        /// Percentile is monotone in p and bounded by min/max.
+        #[test]
+        fn percentile_monotone(mut v in proptest::collection::vec(-1e9f64..1e9, 1..100),
+                               p1 in 0.0f64..100.0, p2 in 0.0f64..100.0) {
+            let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+            let a = percentile(&v, lo).unwrap();
+            let b = percentile(&v, hi).unwrap();
+            prop_assert!(a <= b);
+            v.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            prop_assert!(a >= v[0] && b <= v[v.len() - 1]);
+        }
+
+        /// The CDF is a nondecreasing step function ending at 1.
+        #[test]
+        fn cdf_is_monotone(v in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+            let pts = cdf_points(&v);
+            for w in pts.windows(2) {
+                prop_assert!(w[0].0 <= w[1].0);
+                prop_assert!(w[0].1 <= w[1].1);
+            }
+            prop_assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! The local agent: one per machine (Fig 6).
+//!
+//! An agent owns the flows whose *sender* is its node. It emulates the
+//! machine's NIC with token-bucket byte counters: every tick it credits
+//! each flow `rate × elapsed` bytes, capped at the flow's size — the
+//! fluid equivalent of a socket draining at an enforced rate, which is
+//! all that matters for completion times. Every δ it reports per-flow
+//! statistics to the coordinator (bytes sent, finished, data-ready),
+//! and whenever a schedule push arrives it applies the new rates —
+//! *complying with the previous schedule until then*, exactly as §5
+//! prescribes. Stale pushes (older epoch) are ignored, which makes
+//! agent behaviour correct across coordinator restarts.
+
+use crate::clock::EmuClock;
+use crate::proto::{FlowStat, Message, RateAssignment};
+use crate::transport::{Transport, TransportError};
+use saath_simcore::units::bytes_in;
+use saath_simcore::{Bytes, Duration, Rate, Time};
+
+/// One flow assigned to an agent (its node is the sender).
+#[derive(Clone, Debug)]
+pub struct AgentFlow {
+    /// Dense flow id (shared with the coordinator's registry).
+    pub flow: u32,
+    /// Total bytes to move.
+    pub size: Bytes,
+    /// When the owning CoFlow arrives (simulated time).
+    pub activate_at: Time,
+    /// When the flow's data becomes available (≥ `activate_at`).
+    pub ready_at: Time,
+}
+
+struct LiveFlow {
+    spec: AgentFlow,
+    sent: Bytes,
+    rate: Rate,
+}
+
+/// Runs one agent until shutdown. Returns the number of schedule
+/// epochs applied (diagnostics).
+pub fn run_agent(
+    node: u32,
+    flows: Vec<AgentFlow>,
+    mut transport: Box<dyn Transport>,
+    clock: EmuClock,
+    delta: Duration,
+    tick: Duration,
+) -> Result<u64, TransportError> {
+    transport.send(&Message::Hello { node })?;
+
+    let mut live: Vec<LiveFlow> = flows
+        .into_iter()
+        .map(|spec| LiveFlow { spec, sent: Bytes::ZERO, rate: Rate::ZERO })
+        .collect();
+    live.sort_by_key(|f| f.spec.flow);
+
+    let mut last_epoch: u64 = 0;
+    let mut epochs_applied: u64 = 0;
+    let mut last_advance = clock.now();
+    let mut last_report = Time::ZERO;
+    let tick_wall = clock.to_wall(tick);
+
+    loop {
+        // 1. Apply any pending schedule pushes (newest epoch wins).
+        loop {
+            match transport.recv_timeout(std::time::Duration::ZERO) {
+                Ok(Some(Message::Schedule { epoch, rates })) => {
+                    if epoch >= last_epoch {
+                        last_epoch = epoch;
+                        epochs_applied += 1;
+                        apply_schedule(&mut live, &rates);
+                    }
+                }
+                Ok(Some(Message::Shutdown)) => return Ok(epochs_applied),
+                Ok(Some(_)) | Ok(None) => break,
+                Err(TransportError::Disconnected) => return Ok(epochs_applied),
+                Err(e) => return Err(e),
+            }
+        }
+
+        // 2. Advance the emulated NIC by the actually-elapsed time.
+        let now = clock.now();
+        let dt = now.saturating_since(last_advance);
+        last_advance = now;
+        for f in &mut live {
+            if f.rate.is_zero() || f.sent >= f.spec.size || now < f.spec.ready_at {
+                continue;
+            }
+            f.sent = (f.sent + bytes_in(f.rate, dt)).min(f.spec.size);
+        }
+
+        // 3. Report stats every δ.
+        if now.saturating_since(last_report) >= delta || last_report == Time::ZERO {
+            last_report = now;
+            let stats: Vec<FlowStat> = live
+                .iter()
+                .filter(|f| f.spec.activate_at <= now)
+                .map(|f| FlowStat {
+                    flow: f.spec.flow,
+                    sent: f.sent.as_u64(),
+                    finished: f.sent >= f.spec.size,
+                    ready: f.spec.ready_at <= now,
+                })
+                .collect();
+            match transport.send(&Message::Stats { node, now_ns: now.as_nanos(), flows: stats })
+            {
+                Ok(()) => {}
+                Err(TransportError::Disconnected) => return Ok(epochs_applied),
+                Err(e) => return Err(e),
+            }
+        }
+
+        // 4. Nap until roughly the next tick (the recv poll above keeps
+        // schedule latency below one tick).
+        match transport.recv_timeout(tick_wall) {
+            Ok(Some(Message::Schedule { epoch, rates })) => {
+                if epoch >= last_epoch {
+                    last_epoch = epoch;
+                    epochs_applied += 1;
+                    apply_schedule(&mut live, &rates);
+                }
+            }
+            Ok(Some(Message::Shutdown)) => return Ok(epochs_applied),
+            Ok(Some(_)) | Ok(None) => {}
+            Err(TransportError::Disconnected) => return Ok(epochs_applied),
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn apply_schedule(live: &mut [LiveFlow], rates: &[RateAssignment]) {
+    // Flows absent from a push are paused (§4.2: unlisted = rate 0).
+    for f in live.iter_mut() {
+        f.rate = Rate::ZERO;
+    }
+    for r in rates {
+        if let Ok(i) = live.binary_search_by_key(&r.flow, |f| f.spec.flow) {
+            live[i].rate = Rate(r.rate);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::inproc_pair;
+
+    /// Drives a one-flow agent through a full lifecycle from the
+    /// coordinator's side of the transport.
+    #[test]
+    fn agent_sends_at_the_assigned_rate_and_reports() {
+        let (coord_side, agent_side) = inproc_pair(64);
+        let clock = EmuClock::start(100); // 100× wall
+        let flow = AgentFlow {
+            flow: 7,
+            size: Bytes::mb(50),
+            activate_at: Time::ZERO,
+            ready_at: Time::ZERO,
+        };
+        let c2 = clock.clone();
+        let handle = std::thread::spawn(move || {
+            run_agent(
+                3,
+                vec![flow],
+                Box::new(agent_side),
+                c2,
+                Duration::from_millis(400), // sim δ = 4 ms wall
+                Duration::from_millis(100),
+            )
+        });
+
+        let mut coord: Box<dyn Transport> = Box::new(coord_side);
+        // Hello first.
+        let hello = coord.recv_timeout(std::time::Duration::from_secs(2)).unwrap().unwrap();
+        assert_eq!(hello, Message::Hello { node: 3 });
+
+        // Give the flow 1 Gbps (sim): 50 MB takes 0.4 sim-s = 4 wall-ms.
+        coord
+            .send(&Message::Schedule {
+                epoch: 1,
+                rates: vec![RateAssignment { flow: 7, rate: 125_000_000 }],
+            })
+            .unwrap();
+
+        // Wait for a stats report that shows completion.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        let mut finished = false;
+        let mut last_sent = 0;
+        while std::time::Instant::now() < deadline && !finished {
+            if let Some(Message::Stats { node, flows, .. }) =
+                coord.recv_timeout(std::time::Duration::from_millis(200)).unwrap()
+            {
+                assert_eq!(node, 3);
+                if let Some(st) = flows.iter().find(|f| f.flow == 7) {
+                    assert!(st.sent >= last_sent, "sent must be monotone");
+                    assert!(st.sent <= Bytes::mb(50).as_u64(), "overshoot");
+                    last_sent = st.sent;
+                    finished = st.finished;
+                }
+            }
+        }
+        assert!(finished, "flow never finished (sent {last_sent})");
+
+        coord.send(&Message::Shutdown).unwrap();
+        let epochs = handle.join().unwrap().unwrap();
+        assert!(epochs >= 1);
+    }
+
+    #[test]
+    fn unready_flows_do_not_send_and_stale_epochs_are_ignored() {
+        let (coord_side, agent_side) = inproc_pair(64);
+        let clock = EmuClock::start(100);
+        let flow = AgentFlow {
+            flow: 1,
+            size: Bytes::mb(10),
+            activate_at: Time::ZERO,
+            // Data not ready for 1000 simulated seconds (10 wall s —
+            // far beyond this test's observation window).
+            ready_at: Time::from_secs(1000),
+        };
+        let c2 = clock.clone();
+        let handle = std::thread::spawn(move || {
+            run_agent(
+                0,
+                vec![flow],
+                Box::new(agent_side),
+                c2,
+                Duration::from_millis(400),
+                Duration::from_millis(100),
+            )
+        });
+        let mut coord: Box<dyn Transport> = Box::new(coord_side);
+        let _hello = coord.recv_timeout(std::time::Duration::from_secs(2)).unwrap();
+
+        // Assign a rate with epoch 5, then a *stale* epoch-3 push that
+        // would zero it; the agent must keep epoch 5's view... and in
+        // either case, send nothing (data not ready).
+        coord
+            .send(&Message::Schedule {
+                epoch: 5,
+                rates: vec![RateAssignment { flow: 1, rate: 125_000_000 }],
+            })
+            .unwrap();
+        coord.send(&Message::Schedule { epoch: 3, rates: vec![] }).unwrap();
+
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        // Observe stats for a bounded window (the agent reports every
+        // few wall-ms, so an unbounded drain would never end).
+        let mut sent = None;
+        let until = std::time::Instant::now() + std::time::Duration::from_millis(200);
+        while std::time::Instant::now() < until {
+            if let Some(Message::Stats { flows, .. }) = coord.recv_timeout(std::time::Duration::from_millis(20)).unwrap() {
+                if let Some(st) = flows.iter().find(|f| f.flow == 1) {
+                    assert!(!st.ready, "flow reported ready far too early");
+                    sent = Some(st.sent);
+                }
+            }
+        }
+        assert_eq!(sent, Some(0), "unready flow must not send");
+        coord.send(&Message::Shutdown).unwrap();
+        handle.join().unwrap().unwrap();
+    }
+}

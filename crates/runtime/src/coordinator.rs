@@ -1,0 +1,274 @@
+//! The global coordinator (Fig 6, §5).
+//!
+//! Every δ the coordinator (1) drains the agents' stats reports,
+//! (2) rebuilds its view of the cluster *from those reports alone* —
+//! it is stateless across intervals, the property the paper uses for
+//! cheap failover — (3) runs whatever [`CoflowScheduler`] policy it was
+//! given, and (4) pushes the schedule to every agent with a monotone
+//! epoch. CoFlow registration is the [`CoflowRegistry`]: in the paper
+//! the framework calls `register()`/`deregister()` over REST; here the
+//! harness preloads the registry from the trace, which is equivalent
+//! because registration happens at arrival times the coordinator only
+//! acts on once they pass.
+
+use crate::clock::EmuClock;
+use crate::proto::{FlowStat, Message, RateAssignment};
+use crate::transport::{Transport, TransportError};
+use saath_core::view::{ClusterView, CoflowScheduler, CoflowView, FlowView, Schedule};
+use saath_fabric::PortBank;
+use saath_metrics::CoflowRecord;
+use saath_simcore::{Bytes, CoflowId, Duration, FlowId, NodeId, Rate, Time};
+use saath_workload::Trace;
+
+/// Static description of one registered CoFlow.
+struct RegEntry {
+    id: CoflowId,
+    arrival: Time,
+    job: Option<saath_simcore::JobId>,
+    /// `(flow id, src, dst, size, ready offset)`.
+    flows: Vec<(u32, NodeId, NodeId, Bytes, Duration)>,
+}
+
+/// The coordinator's CoFlow registry, preloaded from a trace.
+pub struct CoflowRegistry {
+    entries: Vec<RegEntry>,
+    num_nodes: usize,
+    port_rate: Rate,
+    total_flows: usize,
+}
+
+impl CoflowRegistry {
+    /// Builds a registry with the same dense flow ids the harness hands
+    /// to agents (flows numbered in trace order).
+    ///
+    /// # Panics
+    /// Panics on traces with DAG dependencies — the emulation registers
+    /// CoFlows at arrival like the paper's testbed replay; DAG release
+    /// is a simulator feature.
+    pub fn from_trace(trace: &Trace) -> CoflowRegistry {
+        let mut entries = Vec::with_capacity(trace.coflows.len());
+        let mut next_flow = 0u32;
+        for c in &trace.coflows {
+            assert!(
+                c.deps.is_empty(),
+                "testbed emulation replays arrival-released traces only"
+            );
+            let flows = c
+                .flows
+                .iter()
+                .map(|f| {
+                    let id = next_flow;
+                    next_flow += 1;
+                    (id, f.src, f.dst, f.size, f.available_after)
+                })
+                .collect();
+            entries.push(RegEntry { id: c.id, arrival: c.arrival, job: c.job, flows });
+        }
+        CoflowRegistry {
+            entries,
+            num_nodes: trace.num_nodes,
+            port_rate: trace.port_rate,
+            total_flows: next_flow as usize,
+        }
+    }
+
+    /// Number of registered CoFlows.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Coordinator tuning.
+pub struct CoordinatorConfig {
+    /// Scheduling interval δ (simulated time).
+    pub delta: Duration,
+    /// Expose ground-truth sizes to the scheduler (clairvoyant runs).
+    pub clairvoyant: bool,
+    /// Recreate the scheduler at this simulated time — emulates a
+    /// coordinator crash + failover; agents keep complying with the
+    /// last schedule and the fresh scheduler rebuilds its state from
+    /// the next stats wave (deadlines are re-derived, §5).
+    pub restart_at: Option<Time>,
+    /// Wall-clock watchdog: give up after this much real time.
+    pub wall_deadline: std::time::Duration,
+}
+
+/// What a coordinator run produced.
+pub struct CoordinatorReport {
+    /// Completed CoFlows (coordinator-observed times, δ-granular).
+    pub records: Vec<CoflowRecord>,
+    /// Schedule epochs pushed.
+    pub epochs: u64,
+    /// Whether the watchdog tripped before all CoFlows finished.
+    pub timed_out: bool,
+    /// Whether a mid-run scheduler restart was performed.
+    pub restarted: bool,
+}
+
+/// Runs the coordinator until every registered CoFlow completes (or the
+/// watchdog fires). `make_sched` builds the policy — and rebuilds it on
+/// failover.
+pub fn run_coordinator(
+    registry: &CoflowRegistry,
+    make_sched: &dyn Fn() -> Box<dyn CoflowScheduler>,
+    agents: &mut [Box<dyn Transport>],
+    clock: &EmuClock,
+    cfg: &CoordinatorConfig,
+) -> CoordinatorReport {
+    let mut sched = make_sched();
+    let mut restarted = false;
+
+    // Latest per-flow stats (dense).
+    #[derive(Clone, Copy)]
+    struct FlowObs {
+        sent: u64,
+        finished: bool,
+        finished_at: Time,
+        ready: Option<bool>,
+    }
+    let mut obs =
+        vec![FlowObs { sent: 0, finished: false, finished_at: Time::ZERO, ready: None }; registry.total_flows];
+
+    let mut done: Vec<Option<Time>> = vec![None; registry.entries.len()];
+    let mut records = Vec::with_capacity(registry.entries.len());
+    let mut epochs: u64 = 0;
+    let mut bank = PortBank::uniform(registry.num_nodes, registry.port_rate);
+    let mut out = Schedule::default();
+    let started_wall = std::time::Instant::now();
+    let delta_wall = clock.to_wall(cfg.delta);
+
+    loop {
+        if started_wall.elapsed() > cfg.wall_deadline {
+            for a in agents.iter_mut() {
+                let _ = a.send(&Message::Shutdown);
+            }
+            records.sort_by_key(|r: &CoflowRecord| r.id);
+            return CoordinatorReport { records, epochs, timed_out: true, restarted };
+        }
+
+        // Failover injection.
+        if let Some(t) = cfg.restart_at {
+            if !restarted && clock.now() >= t {
+                sched = make_sched();
+                restarted = true;
+            }
+        }
+
+        // Drain stats from every agent.
+        let now = clock.now();
+        for a in agents.iter_mut() {
+            loop {
+                match a.recv_timeout(std::time::Duration::ZERO) {
+                    Ok(Some(Message::Stats { flows, .. })) => {
+                        for FlowStat { flow, sent, finished, ready } in flows {
+                            let o = &mut obs[flow as usize];
+                            o.sent = o.sent.max(sent);
+                            o.ready = Some(ready);
+                            if finished && !o.finished {
+                                o.finished = true;
+                                o.finished_at = now;
+                            }
+                        }
+                    }
+                    Ok(Some(_)) | Ok(None) => break,
+                    Err(TransportError::Disconnected) => break,
+                    Err(_) => break,
+                }
+            }
+        }
+
+        // Completion bookkeeping.
+        for (ci, e) in registry.entries.iter().enumerate() {
+            if done[ci].is_some() || e.arrival > now {
+                continue;
+            }
+            if e.flows.iter().all(|(fid, ..)| obs[*fid as usize].finished) {
+                let finish = e
+                    .flows
+                    .iter()
+                    .map(|(fid, ..)| obs[*fid as usize].finished_at)
+                    .max()
+                    .unwrap_or(now);
+                done[ci] = Some(finish);
+                records.push(CoflowRecord {
+                    id: e.id,
+                    job: e.job,
+                    arrival: e.arrival,
+                    released: e.arrival,
+                    finish,
+                    width: e.flows.len(),
+                    total_bytes: e.flows.iter().map(|(_, _, _, s, _)| *s).sum(),
+                    flow_fcts: e
+                        .flows
+                        .iter()
+                        .map(|(fid, ..)| {
+                            obs[*fid as usize].finished_at.saturating_since(e.arrival)
+                        })
+                        .collect(),
+                    flow_sizes: e.flows.iter().map(|(_, _, _, s, _)| *s).collect(),
+                });
+            }
+        }
+        if records.len() == registry.entries.len() {
+            for a in agents.iter_mut() {
+                let _ = a.send(&Message::Shutdown);
+            }
+            records.sort_by_key(|r: &CoflowRecord| r.id);
+            return CoordinatorReport { records, epochs, timed_out: false, restarted };
+        }
+
+        // Build the view of active CoFlows and compute a schedule.
+        let mut views: Vec<CoflowView> = Vec::new();
+        for (ci, e) in registry.entries.iter().enumerate() {
+            if done[ci].is_some() || e.arrival > now {
+                continue;
+            }
+            views.push(CoflowView {
+                id: e.id,
+                arrival: e.arrival,
+                flows: e
+                    .flows
+                    .iter()
+                    .map(|(fid, src, dst, size, ready_off)| {
+                        let o = &obs[*fid as usize];
+                        FlowView {
+                            id: FlowId(*fid),
+                            src: *src,
+                            dst: *dst,
+                            sent: Bytes(o.sent),
+                            ready: o.ready.unwrap_or(e.arrival + *ready_off <= now),
+                            finished: o.finished,
+                            oracle_size: cfg.clairvoyant.then_some(*size),
+                        }
+                    })
+                    .collect(),
+                restarted: false,
+            });
+        }
+
+        if !views.is_empty() {
+            bank.reset_round();
+            out.clear();
+            let view =
+                ClusterView { now, num_nodes: registry.num_nodes, coflows: &views };
+            sched.compute(&view, &mut bank, &mut out);
+            epochs += 1;
+            let rates: Vec<RateAssignment> = out
+                .rates
+                .iter()
+                .map(|(f, r)| RateAssignment { flow: f.0, rate: r.as_u64() })
+                .collect();
+            let push = Message::Schedule { epoch: epochs, rates };
+            for a in agents.iter_mut() {
+                let _ = a.send(&push);
+            }
+        }
+
+        std::thread::sleep(delta_wall);
+    }
+}

@@ -1,0 +1,357 @@
+//! The coordinator ↔ agent wire protocol.
+//!
+//! Hand-rolled binary framing over `bytes`: every frame is
+//!
+//! ```text
+//! ┌─────────────┬─────────┬──────────┬───────────┐
+//! │ len: u32 BE │ version │ type: u8 │ payload … │
+//! └─────────────┴─────────┴──────────┴───────────┘
+//! ```
+//!
+//! where `len` counts everything after itself. Integers are big-endian.
+//! The protocol is deliberately tiny — the paper's agents piggyback all
+//! coordination on one periodic stats report and one schedule push, and
+//! that economy is why its local agents cost ~1.7 MB of memory (§7.3).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Protocol version byte; bumped on any incompatible change.
+pub const VERSION: u8 = 1;
+
+/// Maximum acceptable frame length (sanity bound against corrupt
+/// length prefixes).
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// Statistics for one flow, as reported by the sending agent (§5:
+/// "per-flow bytes sent so far and which flows finished in this
+/// interval", plus the §4.3 data-readiness bit).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlowStat {
+    /// Dense flow id.
+    pub flow: u32,
+    /// Bytes sent so far.
+    pub sent: u64,
+    /// Whether the flow completed.
+    pub finished: bool,
+    /// Whether the flow has data available to send.
+    pub ready: bool,
+}
+
+/// One rate assignment within a schedule push.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RateAssignment {
+    /// Dense flow id.
+    pub flow: u32,
+    /// Assigned rate, bytes/second.
+    pub rate: u64,
+}
+
+/// Every message that crosses the coordinator ↔ agent boundary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Message {
+    /// Agent announces itself (sent once per connection; repeated after
+    /// a reconnect, which is how coordinator failover resynchronizes).
+    Hello {
+        /// The agent's node index.
+        node: u32,
+    },
+    /// Periodic per-δ stats report from an agent.
+    Stats {
+        /// Reporting node.
+        node: u32,
+        /// The agent's local emulated time, nanoseconds (lets the
+        /// coordinator reason about staleness).
+        now_ns: u64,
+        /// Stats for flows whose *sender* is this node.
+        flows: Vec<FlowStat>,
+    },
+    /// Schedule push from the coordinator.
+    Schedule {
+        /// Monotone epoch counter (agents ignore stale epochs).
+        epoch: u64,
+        /// New rates; flows absent from the list pause.
+        rates: Vec<RateAssignment>,
+    },
+    /// Orderly shutdown (harness → everyone).
+    Shutdown,
+}
+
+/// An encode/decode failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// Frame shorter than its header or payload truncated.
+    Truncated,
+    /// Unknown version byte.
+    BadVersion(u8),
+    /// Unknown message type byte.
+    BadType(u8),
+    /// Length prefix exceeds [`MAX_FRAME`].
+    Oversized(usize),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Truncated => write!(f, "truncated frame"),
+            ProtoError::BadVersion(v) => write!(f, "unknown protocol version {v}"),
+            ProtoError::BadType(t) => write!(f, "unknown message type {t}"),
+            ProtoError::Oversized(n) => write!(f, "frame of {n} bytes exceeds limit"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+const T_HELLO: u8 = 1;
+const T_STATS: u8 = 2;
+const T_SCHEDULE: u8 = 3;
+const T_SHUTDOWN: u8 = 4;
+
+impl Message {
+    /// Encodes into a length-prefixed frame.
+    pub fn encode(&self) -> Bytes {
+        let mut body = BytesMut::with_capacity(64);
+        body.put_u8(VERSION);
+        match self {
+            Message::Hello { node } => {
+                body.put_u8(T_HELLO);
+                body.put_u32(*node);
+            }
+            Message::Stats { node, now_ns, flows } => {
+                body.put_u8(T_STATS);
+                body.put_u32(*node);
+                body.put_u64(*now_ns);
+                body.put_u32(flows.len() as u32);
+                for f in flows {
+                    body.put_u32(f.flow);
+                    body.put_u64(f.sent);
+                    body.put_u8(u8::from(f.finished) | (u8::from(f.ready) << 1));
+                }
+            }
+            Message::Schedule { epoch, rates } => {
+                body.put_u8(T_SCHEDULE);
+                body.put_u64(*epoch);
+                body.put_u32(rates.len() as u32);
+                for r in rates {
+                    body.put_u32(r.flow);
+                    body.put_u64(r.rate);
+                }
+            }
+            Message::Shutdown => {
+                body.put_u8(T_SHUTDOWN);
+            }
+        }
+        let mut frame = BytesMut::with_capacity(4 + body.len());
+        frame.put_u32(body.len() as u32);
+        frame.extend_from_slice(&body);
+        frame.freeze()
+    }
+
+    /// Decodes one frame *body* (everything after the length prefix).
+    pub fn decode_body(mut body: Bytes) -> Result<Message, ProtoError> {
+        if body.remaining() < 2 {
+            return Err(ProtoError::Truncated);
+        }
+        let version = body.get_u8();
+        if version != VERSION {
+            return Err(ProtoError::BadVersion(version));
+        }
+        let ty = body.get_u8();
+        let need = |b: &Bytes, n: usize| {
+            if b.remaining() < n {
+                Err(ProtoError::Truncated)
+            } else {
+                Ok(())
+            }
+        };
+        match ty {
+            T_HELLO => {
+                need(&body, 4)?;
+                Ok(Message::Hello { node: body.get_u32() })
+            }
+            T_STATS => {
+                need(&body, 16)?;
+                let node = body.get_u32();
+                let now_ns = body.get_u64();
+                let n = body.get_u32() as usize;
+                if n > MAX_FRAME / 13 {
+                    return Err(ProtoError::Oversized(n));
+                }
+                need(&body, n * 13)?;
+                let mut flows = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let flow = body.get_u32();
+                    let sent = body.get_u64();
+                    let bits = body.get_u8();
+                    flows.push(FlowStat {
+                        flow,
+                        sent,
+                        finished: bits & 1 != 0,
+                        ready: bits & 2 != 0,
+                    });
+                }
+                Ok(Message::Stats { node, now_ns, flows })
+            }
+            T_SCHEDULE => {
+                need(&body, 12)?;
+                let epoch = body.get_u64();
+                let n = body.get_u32() as usize;
+                if n > MAX_FRAME / 12 {
+                    return Err(ProtoError::Oversized(n));
+                }
+                need(&body, n * 12)?;
+                let mut rates = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let flow = body.get_u32();
+                    let rate = body.get_u64();
+                    rates.push(RateAssignment { flow, rate });
+                }
+                Ok(Message::Schedule { epoch, rates })
+            }
+            T_SHUTDOWN => Ok(Message::Shutdown),
+            other => Err(ProtoError::BadType(other)),
+        }
+    }
+
+    /// Splits one complete frame off the front of `buf`, if present.
+    /// Returns `Ok(None)` when more bytes are needed.
+    pub fn decode_stream(buf: &mut BytesMut) -> Result<Option<Message>, ProtoError> {
+        if buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+        if len > MAX_FRAME {
+            return Err(ProtoError::Oversized(len));
+        }
+        if buf.len() < 4 + len {
+            return Ok(None);
+        }
+        buf.advance(4);
+        let body = buf.split_to(len).freeze();
+        Message::decode_body(body).map(Some)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(m: Message) {
+        let frame = m.encode();
+        let mut buf = BytesMut::from(&frame[..]);
+        let got = Message::decode_stream(&mut buf).unwrap().unwrap();
+        assert_eq!(got, m);
+        assert!(buf.is_empty(), "leftover bytes after decode");
+    }
+
+    #[test]
+    fn all_messages_roundtrip() {
+        roundtrip(Message::Hello { node: 7 });
+        roundtrip(Message::Shutdown);
+        roundtrip(Message::Stats {
+            node: 3,
+            now_ns: 123_456_789,
+            flows: vec![
+                FlowStat { flow: 0, sent: 10, finished: false, ready: true },
+                FlowStat { flow: 9, sent: u64::MAX, finished: true, ready: false },
+            ],
+        });
+        roundtrip(Message::Schedule {
+            epoch: 42,
+            rates: vec![
+                RateAssignment { flow: 1, rate: 125_000_000 },
+                RateAssignment { flow: 2, rate: 0 },
+            ],
+        });
+    }
+
+    #[test]
+    fn stats_flags_pack_independently() {
+        for (finished, ready) in [(false, false), (true, false), (false, true), (true, true)] {
+            roundtrip(Message::Stats {
+                node: 0,
+                now_ns: 0,
+                flows: vec![FlowStat { flow: 1, sent: 2, finished, ready }],
+            });
+        }
+    }
+
+    #[test]
+    fn streaming_decode_handles_partial_and_multiple_frames() {
+        let a = Message::Hello { node: 1 }.encode();
+        let b = Message::Shutdown.encode();
+        let mut stream = BytesMut::new();
+        stream.extend_from_slice(&a);
+        stream.extend_from_slice(&b);
+
+        // Feed byte by byte: no frame until complete.
+        let mut buf = BytesMut::new();
+        let mut decoded = Vec::new();
+        for byte in stream.iter() {
+            buf.extend_from_slice(&[*byte]);
+            while let Some(m) = Message::decode_stream(&mut buf).unwrap() {
+                decoded.push(m);
+            }
+        }
+        assert_eq!(decoded, vec![Message::Hello { node: 1 }, Message::Shutdown]);
+    }
+
+    #[test]
+    fn rejects_bad_version_and_type() {
+        let mut frame = BytesMut::new();
+        frame.put_u32(2);
+        frame.put_u8(99); // bad version
+        frame.put_u8(T_HELLO);
+        let mut buf = frame.clone();
+        assert_eq!(Message::decode_stream(&mut buf), Err(ProtoError::BadVersion(99)));
+
+        let mut frame = BytesMut::new();
+        frame.put_u32(2);
+        frame.put_u8(VERSION);
+        frame.put_u8(200); // bad type
+        let mut buf = frame;
+        assert_eq!(Message::decode_stream(&mut buf), Err(ProtoError::BadType(200)));
+    }
+
+    #[test]
+    fn rejects_truncated_and_oversized() {
+        // Truncated payload: claims a hello but has no node.
+        let mut frame = BytesMut::new();
+        frame.put_u32(2);
+        frame.put_u8(VERSION);
+        frame.put_u8(T_HELLO);
+        let mut buf = frame;
+        assert_eq!(Message::decode_stream(&mut buf), Err(ProtoError::Truncated));
+
+        // Oversized length prefix.
+        let mut frame = BytesMut::new();
+        frame.put_u32((MAX_FRAME + 1) as u32);
+        let mut buf = frame;
+        assert!(matches!(
+            Message::decode_stream(&mut buf),
+            Err(ProtoError::Oversized(_))
+        ));
+
+        // Stats with an absurd element count.
+        let mut frame = BytesMut::new();
+        frame.put_u32(18);
+        frame.put_u8(VERSION);
+        frame.put_u8(T_STATS);
+        frame.put_u32(0);
+        frame.put_u64(0);
+        frame.put_u32(u32::MAX);
+        let mut buf = frame;
+        assert!(matches!(
+            Message::decode_stream(&mut buf),
+            Err(ProtoError::Oversized(_))
+        ));
+    }
+
+    #[test]
+    fn empty_buffer_wants_more() {
+        let mut buf = BytesMut::new();
+        assert_eq!(Message::decode_stream(&mut buf), Ok(None));
+        buf.extend_from_slice(&[0, 0]);
+        assert_eq!(Message::decode_stream(&mut buf), Ok(None));
+    }
+}

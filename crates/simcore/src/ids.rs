@@ -1,0 +1,167 @@
+//! Typed identifiers shared across the workspace.
+//!
+//! Every entity the simulator and schedulers talk about — nodes, ports,
+//! flows, CoFlows, jobs — gets its own newtype over a dense `u32` index.
+//! Dense indices let hot paths use `Vec`-backed tables instead of hash
+//! maps, and the newtypes make it a compile error to index a port table
+//! with a flow id.
+//!
+//! ## Port encoding
+//!
+//! The fabric is the usual *big switch*: every node `n` owns exactly two
+//! contended resources, its uplink (sending NIC) and its downlink
+//! (receiving NIC). With `N` nodes, [`PortId`] packs both directions
+//! into one dense space of `2N` ports: uplink of node `n` is index `n`,
+//! downlink is `N + n`. All rate-allocation code iterates over that flat
+//! space without caring about direction.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+macro_rules! dense_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The raw dense index.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an id from a dense index.
+            ///
+            /// # Panics
+            /// Panics if `idx` does not fit in `u32`.
+            pub fn from_index(idx: usize) -> Self {
+                $name(u32::try_from(idx).expect("id index overflow"))
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Debug::fmt(self, f)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                $name(v)
+            }
+        }
+    };
+}
+
+dense_id!(
+    /// A machine in the cluster (one sender/receiver endpoint).
+    NodeId,
+    "n"
+);
+dense_id!(
+    /// A CoFlow — the unit the schedulers order and gang-schedule.
+    CoflowId,
+    "c"
+);
+dense_id!(
+    /// A single flow (one sender → receiver transfer inside a CoFlow).
+    FlowId,
+    "f"
+);
+dense_id!(
+    /// An analytics job (owns one or more CoFlows; used for Fig 16's
+    /// job-completion-time analysis and DAG scheduling).
+    JobId,
+    "j"
+);
+
+/// A contended fabric resource: the uplink or downlink of a node, packed
+/// into one dense index space (see module docs).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PortId(pub u32);
+
+impl PortId {
+    /// The uplink (sending side) of `node`.
+    pub fn uplink(node: NodeId) -> PortId {
+        PortId(node.0)
+    }
+
+    /// The downlink (receiving side) of `node` in a cluster of
+    /// `num_nodes` machines.
+    pub fn downlink(node: NodeId, num_nodes: usize) -> PortId {
+        PortId(node.0 + u32::try_from(num_nodes).expect("cluster too large"))
+    }
+
+    /// The dense index into a `2 * num_nodes` port table.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Decodes this port back into (node, is_downlink) given the cluster
+    /// size it was encoded with.
+    pub fn decode(self, num_nodes: usize) -> (NodeId, bool) {
+        let n = u32::try_from(num_nodes).expect("cluster too large");
+        if self.0 < n {
+            (NodeId(self.0), false)
+        } else {
+            (NodeId(self.0 - n), true)
+        }
+    }
+}
+
+impl fmt::Debug for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_ids_roundtrip() {
+        let c = CoflowId::from_index(42);
+        assert_eq!(c.index(), 42);
+        assert_eq!(format!("{c}"), "c42");
+        assert_eq!(CoflowId::from(7u32), CoflowId(7));
+        assert_eq!(format!("{}", FlowId(3)), "f3");
+        assert_eq!(format!("{}", NodeId(9)), "n9");
+        assert_eq!(format!("{}", JobId(1)), "j1");
+    }
+
+    #[test]
+    fn port_encoding_is_a_bijection() {
+        let n = 150; // the FB trace's cluster size
+        for node in 0..n {
+            let node = NodeId(node as u32);
+            let up = PortId::uplink(node);
+            let down = PortId::downlink(node, n);
+            assert_eq!(up.decode(n), (node, false));
+            assert_eq!(down.decode(n), (node, true));
+            assert_ne!(up, down);
+            assert!(up.index() < n);
+            assert!(down.index() >= n && down.index() < 2 * n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "id index overflow")]
+    fn oversized_index_panics() {
+        let _ = FlowId::from_index(usize::MAX);
+    }
+}

@@ -1,0 +1,226 @@
+//! Named, seed-derived random streams.
+//!
+//! Workload generators need randomness; experiments need repeatability.
+//! [`DetRng`] derives an independent stream from a master seed and a
+//! string label (e.g. `"fb-like/sizes"`), so:
+//!
+//! * the same `(seed, label)` always produces the same stream;
+//! * adding a new consumer with a fresh label never perturbs existing
+//!   streams — runs stay comparable as the workspace grows.
+//!
+//! The derivation is an FNV-1a hash of the label folded into the seed,
+//! feeding `rand`'s `SmallRng`. We do not need cryptographic quality,
+//! only speed and independence-in-practice.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic random stream (see module docs).
+pub struct DetRng {
+    inner: SmallRng,
+    label_hash: u64,
+}
+
+/// FNV-1a, the classic 64-bit variant.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    h
+}
+
+impl DetRng {
+    /// Derives the stream `label` from `seed`.
+    pub fn derive(seed: u64, label: &str) -> DetRng {
+        let label_hash = fnv1a(label.as_bytes());
+        // SplitMix-style finalization to spread the combined bits.
+        let mut z = seed ^ label_hash;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        DetRng { inner: SmallRng::seed_from_u64(z), label_hash }
+    }
+
+    /// Derives a child stream (e.g. one stream per CoFlow index).
+    pub fn child(&self, index: u64) -> DetRng {
+        let mut z = self.label_hash ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z ^= z >> 31;
+        DetRng { inner: SmallRng::seed_from_u64(z), label_hash: z }
+    }
+
+    /// Uniform integer in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Uniform integer in `[lo, hi]`.
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range");
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Bernoulli draw.
+    pub fn chance(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p));
+        self.inner.gen::<f64>() < p
+    }
+
+    /// Exponential inter-arrival gap with the given mean, in integer
+    /// units (rounded, at least 0). Poisson arrivals are built from this.
+    pub fn exp_gap(&mut self, mean: f64) -> u64 {
+        debug_assert!(mean > 0.0);
+        let u: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+        let x = -mean * u.ln();
+        if x >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            x.round() as u64
+        }
+    }
+
+    /// Pareto-distributed value with scale `x_min` and shape `alpha`,
+    /// capped at `cap`. Heavy-tailed CoFlow sizes come from here.
+    pub fn pareto(&mut self, x_min: f64, alpha: f64, cap: f64) -> f64 {
+        debug_assert!(x_min > 0.0 && alpha > 0.0 && cap >= x_min);
+        let u: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+        (x_min / u.powf(1.0 / alpha)).min(cap)
+    }
+
+    /// Picks an index from a discrete distribution given as weights.
+    pub fn weighted(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "all-zero weights");
+        let mut x = self.inner.gen::<f64>() * total;
+        for (i, w) in weights.iter().enumerate() {
+            if x < *w {
+                return i;
+            }
+            x -= w;
+        }
+        weights.len() - 1
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            items.swap(i, j);
+        }
+    }
+
+    /// Samples `k` distinct values from `[0, n)` (k ≤ n), in random
+    /// order. Used to pick the mapper/reducer nodes of a CoFlow.
+    pub fn sample_distinct(&mut self, n: u64, k: usize) -> Vec<u64> {
+        assert!(k as u64 <= n, "cannot sample {k} distinct values from [0,{n})");
+        // Partial Fisher–Yates over a lazily-materialized permutation.
+        let mut swaps: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        let mut out = Vec::with_capacity(k);
+        for i in 0..k as u64 {
+            let j = self.inner.gen_range(i..n);
+            let vi = *swaps.get(&i).unwrap_or(&i);
+            let vj = *swaps.get(&j).unwrap_or(&j);
+            out.push(vj);
+            swaps.insert(j, vi);
+            swaps.insert(i, vj);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::derive(7, "sizes");
+        let mut b = DetRng::derive(7, "sizes");
+        for _ in 0..100 {
+            assert_eq!(a.below(1_000_000), b.below(1_000_000));
+        }
+    }
+
+    #[test]
+    fn different_labels_differ() {
+        let mut a = DetRng::derive(7, "sizes");
+        let mut b = DetRng::derive(7, "widths");
+        let same = (0..64).filter(|_| a.below(1 << 30) == b.below(1 << 30)).count();
+        assert!(same < 4, "streams with different labels look identical");
+    }
+
+    #[test]
+    fn children_are_independent_of_sibling_consumption() {
+        let parent = DetRng::derive(9, "coflows");
+        let mut c0a = parent.child(0);
+        // Consuming from child 1 must not change child 0's stream.
+        let mut c1 = parent.child(1);
+        let _ = c1.below(100);
+        let mut c0b = parent.child(0);
+        assert_eq!(c0a.below(u64::MAX), c0b.below(u64::MAX));
+    }
+
+    #[test]
+    fn exp_gap_mean_is_roughly_right() {
+        let mut r = DetRng::derive(3, "arrivals");
+        let n = 20_000;
+        let sum: u64 = (0..n).map(|_| r.exp_gap(1000.0)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 1000.0).abs() < 50.0, "mean {mean} too far from 1000");
+    }
+
+    #[test]
+    fn pareto_respects_bounds() {
+        let mut r = DetRng::derive(3, "sizes");
+        for _ in 0..10_000 {
+            let x = r.pareto(2.0, 1.1, 500.0);
+            assert!((2.0..=500.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn weighted_hits_every_bucket() {
+        let mut r = DetRng::derive(5, "mix");
+        let w = [0.23, 0.50, 0.27];
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[r.weighted(&w)] += 1;
+        }
+        for (i, c) in counts.iter().enumerate() {
+            let frac = *c as f64 / 30_000.0;
+            assert!((frac - w[i]).abs() < 0.02, "bucket {i}: {frac} vs {}", w[i]);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn sample_distinct_is_distinct_and_in_range(n in 1u64..500, k_frac in 0.0f64..1.0) {
+            let k = ((n as f64) * k_frac) as usize;
+            let mut r = DetRng::derive(11, "ports");
+            let s = r.sample_distinct(n, k);
+            prop_assert_eq!(s.len(), k);
+            let set: std::collections::HashSet<_> = s.iter().collect();
+            prop_assert_eq!(set.len(), k, "duplicates in sample");
+            prop_assert!(s.iter().all(|&v| v < n));
+        }
+
+        #[test]
+        fn shuffle_is_a_permutation(len in 0usize..100) {
+            let mut r = DetRng::derive(13, "shuffle");
+            let mut v: Vec<usize> = (0..len).collect();
+            r.shuffle(&mut v);
+            let mut sorted = v.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(sorted, (0..len).collect::<Vec<_>>());
+        }
+    }
+}

@@ -1,0 +1,352 @@
+//! Data sizes and rates, with exact transfer arithmetic.
+//!
+//! The whole workspace agrees on these two units:
+//!
+//! * [`Bytes`] — a data volume (flow size, bytes sent, queue threshold).
+//! * [`Rate`] — bytes per second (a port's capacity, a flow's assigned
+//!   rate). 1 Gbps, the paper's port speed, is `Rate::gbps(1)` =
+//!   125 000 000 B/s.
+//!
+//! [`transfer_time`] and [`bytes_in`] convert between the two without
+//! ever touching floating point: a flow of `n` bytes at rate `r`
+//! completes in exactly `ceil(n * 1e9 / r)` nanoseconds, and the
+//! simulator credits `floor(r * dt / 1e9)` bytes for an interval `dt`.
+//! Rounding the completion up and the credit down means a flow is never
+//! reported finished before its bytes have actually been accounted.
+
+use crate::time::Duration;
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Sub, SubAssign};
+use serde::{Deserialize, Serialize};
+
+/// A data volume in bytes.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Bytes(pub u64);
+
+/// A data rate in bytes per second.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Rate(pub u64);
+
+impl Bytes {
+    /// Zero bytes.
+    pub const ZERO: Bytes = Bytes(0);
+
+    /// Builds a volume from kilobytes (10^3).
+    pub const fn kb(n: u64) -> Bytes {
+        Bytes(n * 1_000)
+    }
+
+    /// Builds a volume from megabytes (10^6). Trace files and the paper's
+    /// queue thresholds are quoted in MB.
+    pub const fn mb(n: u64) -> Bytes {
+        Bytes(n * 1_000_000)
+    }
+
+    /// Builds a volume from gigabytes (10^9).
+    pub const fn gb(n: u64) -> Bytes {
+        Bytes(n * 1_000_000_000)
+    }
+
+    /// The raw byte count.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// This volume in megabytes as a float — reporting only.
+    pub fn as_mb_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating subtraction (draining a flow never goes negative).
+    pub fn saturating_sub(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0.saturating_sub(rhs.0))
+    }
+
+    /// `self / n`, used to split a queue threshold equally among the
+    /// flows of a CoFlow (Saath's per-flow threshold, Eq. 1 in the
+    /// paper). Integer division rounds down, which errs on the side of
+    /// moving CoFlows to lower-priority queues *sooner* — the same
+    /// direction the optimization pushes.
+    pub fn div_per_flow(self, n: usize) -> Bytes {
+        assert!(n > 0, "CoFlow with zero flows");
+        Bytes(self.0 / n as u64)
+    }
+
+    /// Saturating multiplication.
+    pub fn saturating_mul(self, k: u64) -> Bytes {
+        Bytes(self.0.saturating_mul(k))
+    }
+
+    /// Minimum of two volumes.
+    pub fn min(self, other: Bytes) -> Bytes {
+        Bytes(self.0.min(other.0))
+    }
+}
+
+impl Rate {
+    /// Zero rate (an unscheduled flow).
+    pub const ZERO: Rate = Rate(0);
+
+    /// Builds a rate from bits per second.
+    pub const fn bps(bits: u64) -> Rate {
+        Rate(bits / 8)
+    }
+
+    /// Builds a rate from megabits per second.
+    pub const fn mbps(n: u64) -> Rate {
+        Rate(n * 1_000_000 / 8)
+    }
+
+    /// Builds a rate from gigabits per second. The paper's testbed and
+    /// simulations use 1 Gbps ports.
+    pub const fn gbps(n: u64) -> Rate {
+        Rate(n * 1_000_000_000 / 8)
+    }
+
+    /// The raw rate in bytes per second.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Whether this rate is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Minimum of two rates (the bottleneck).
+    pub fn min(self, other: Rate) -> Rate {
+        Rate(self.0.min(other.0))
+    }
+
+    /// Saturating subtraction (remaining capacity after an allocation).
+    pub fn saturating_sub(self, rhs: Rate) -> Rate {
+        Rate(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Equal split of this rate among `n` flows, rounding down so the
+    /// split never oversubscribes the port.
+    pub fn div_even(self, n: usize) -> Rate {
+        assert!(n > 0, "splitting a rate among zero flows");
+        Rate(self.0 / n as u64)
+    }
+
+    /// Scales the rate by `num/den` (straggler slowdown injection).
+    pub fn mul_ratio(self, num: u64, den: u64) -> Rate {
+        assert!(den != 0, "mul_ratio with zero denominator");
+        Rate(((self.0 as u128 * num as u128) / den as u128) as u64)
+    }
+}
+
+/// Exact time to move `volume` at `rate`: `ceil(volume * 1e9 / rate)`
+/// nanoseconds. A zero rate yields [`Duration::INFINITE`]; zero volume
+/// completes instantly.
+pub fn transfer_time(volume: Bytes, rate: Rate) -> Duration {
+    if volume.0 == 0 {
+        return Duration::ZERO;
+    }
+    if rate.0 == 0 {
+        return Duration::INFINITE;
+    }
+    let num = volume.0 as u128 * 1_000_000_000u128;
+    let den = rate.0 as u128;
+    let ns = num.div_ceil(den);
+    if ns >= u64::MAX as u128 {
+        Duration::INFINITE
+    } else {
+        Duration(ns as u64)
+    }
+}
+
+/// Bytes moved in `dt` at `rate`: `floor(rate * dt / 1e9)`.
+pub fn bytes_in(rate: Rate, dt: Duration) -> Bytes {
+    if dt.is_infinite() {
+        // Callers never ask for an infinite advance with a nonzero rate;
+        // treat it as "as much as a u64 can hold" defensively.
+        return if rate.0 == 0 { Bytes::ZERO } else { Bytes(u64::MAX) };
+    }
+    let num = rate.0 as u128 * dt.as_nanos() as u128;
+    Bytes((num / 1_000_000_000u128).min(u64::MAX as u128) as u64)
+}
+
+impl Add for Bytes {
+    type Output = Bytes;
+    fn add(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Bytes {
+    fn add_assign(&mut self, rhs: Bytes) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Bytes {
+    type Output = Bytes;
+    fn sub(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Bytes {
+    fn sub_assign(&mut self, rhs: Bytes) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sum for Bytes {
+    fn sum<I: Iterator<Item = Bytes>>(iter: I) -> Bytes {
+        Bytes(iter.map(|b| b.0).sum())
+    }
+}
+
+impl Add for Rate {
+    type Output = Rate;
+    fn add(self, rhs: Rate) -> Rate {
+        Rate(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Rate {
+    fn add_assign(&mut self, rhs: Rate) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Rate {
+    type Output = Rate;
+    fn sub(self, rhs: Rate) -> Rate {
+        Rate(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Rate {
+    fn sub_assign(&mut self, rhs: Rate) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sum for Rate {
+    fn sum<I: Iterator<Item = Rate>>(iter: I) -> Rate {
+        Rate(iter.map(|r| r.0).sum())
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.2}GB", self.0 as f64 / 1e9)
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.2}MB", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.2}KB", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}B", self.0)
+        }
+    }
+}
+
+impl fmt::Display for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl fmt::Debug for Rate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let bits = self.0 as f64 * 8.0;
+        if bits >= 1e9 {
+            write!(f, "{:.2}Gbps", bits / 1e9)
+        } else if bits >= 1e6 {
+            write!(f, "{:.2}Mbps", bits / 1e6)
+        } else {
+            write!(f, "{}bps", bits)
+        }
+    }
+}
+
+impl fmt::Display for Rate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Bytes::mb(10).as_u64(), 10_000_000);
+        assert_eq!(Bytes::gb(1), Bytes::mb(1_000));
+        assert_eq!(Rate::gbps(1).as_u64(), 125_000_000);
+        assert_eq!(Rate::mbps(8).as_u64(), 1_000_000);
+        assert_eq!(Rate::bps(800), Rate(100));
+    }
+
+    #[test]
+    fn transfer_time_exact_cases() {
+        // 1 MB at 1 Gbps = 8 ms exactly (the paper's δ anchor: "the time
+        // required to send 1MB at a port, which is 8ms").
+        assert_eq!(
+            transfer_time(Bytes::mb(1), Rate::gbps(1)),
+            Duration::from_millis(8)
+        );
+        assert_eq!(transfer_time(Bytes::ZERO, Rate::gbps(1)), Duration::ZERO);
+        assert!(transfer_time(Bytes(1), Rate::ZERO).is_infinite());
+        // Ceil rounding: 1 byte at 3 B/s needs 333,333,334 ns.
+        assert_eq!(transfer_time(Bytes(1), Rate(3)), Duration(333_333_334));
+    }
+
+    #[test]
+    fn bytes_in_floor() {
+        assert_eq!(bytes_in(Rate::gbps(1), Duration::from_millis(8)), Bytes::mb(1));
+        assert_eq!(bytes_in(Rate(3), Duration(333_333_333)), Bytes(0));
+        assert_eq!(bytes_in(Rate(3), Duration(333_333_334)), Bytes(1));
+        assert_eq!(bytes_in(Rate::ZERO, Duration::INFINITE), Bytes::ZERO);
+        assert_eq!(bytes_in(Rate(1), Duration::INFINITE), Bytes(u64::MAX));
+    }
+
+    #[test]
+    fn per_flow_split() {
+        // 200 MB threshold over 100 flows = 2 MB per flow (paper §4.2-D3).
+        assert_eq!(Bytes::mb(200).div_per_flow(100), Bytes::mb(2));
+        assert_eq!(Rate::gbps(1).div_even(4), Rate(31_250_000));
+    }
+
+    proptest! {
+        /// A flow never finishes before its bytes are accounted: the
+        /// bytes credited over the (ceil-rounded) transfer time always
+        /// cover the volume.
+        #[test]
+        fn credit_covers_volume(vol in 1u64..=u64::from(u32::MAX), rate in 1u64..=Rate::gbps(100).as_u64()) {
+            let t = transfer_time(Bytes(vol), Rate(rate));
+            prop_assert!(!t.is_infinite());
+            let credited = bytes_in(Rate(rate), t);
+            prop_assert!(credited.as_u64() >= vol);
+        }
+
+        /// ...and never overshoots by more than one rate-quantum (one
+        /// byte per nanosecond of rounding, i.e. < rate/1e9 + 1 bytes).
+        #[test]
+        fn credit_overshoot_bounded(vol in 1u64..=u64::from(u32::MAX), rate in 1u64..=Rate::gbps(100).as_u64()) {
+            let t = transfer_time(Bytes(vol), Rate(rate));
+            let credited = bytes_in(Rate(rate), t);
+            let slack = rate / 1_000_000_000 + 1;
+            prop_assert!(credited.as_u64() - vol <= slack);
+        }
+
+        /// bytes_in is monotone in the duration.
+        #[test]
+        fn bytes_in_monotone(rate in 0u64..=Rate::gbps(10).as_u64(), a in 0u64..1_000_000_000_000, b in 0u64..1_000_000_000_000) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(bytes_in(Rate(rate), Duration(lo)) <= bytes_in(Rate(rate), Duration(hi)));
+        }
+    }
+}

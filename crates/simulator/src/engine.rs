@@ -1,0 +1,760 @@
+//! The replay engine: δ-quantized coordination over an event-exact
+//! fluid-flow model.
+
+use saath_core::view::{ClusterView, CoflowScheduler, CoflowView, FlowView, Schedule};
+use saath_fabric::PortBank;
+use saath_metrics::CoflowRecord;
+use saath_simcore::units::{bytes_in, transfer_time};
+use saath_simcore::{Bytes, Duration, EventQueue, FlowId, NodeId, Rate, Time};
+use saath_workload::{DynamicsEvent, DynamicsSpec, Trace};
+
+/// Simulation parameters.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Coordination interval δ. The scheduler recomputes rates at every
+    /// multiple of δ while any CoFlow is active; `Duration::ZERO` means
+    /// "recompute at every event" (an idealized, infinitely-fast
+    /// coordinator).
+    pub delta: Duration,
+    /// Expose ground-truth flow sizes to the scheduler. Required by the
+    /// offline baselines; must be off for honest online runs.
+    pub clairvoyant: bool,
+    /// Optional wall on simulated time; CoFlows unfinished at the
+    /// horizon are reported in [`SimOutput::unfinished`].
+    pub horizon: Option<Time>,
+    /// Safety valve against scheduler livelock: abort after this many
+    /// scheduling rounds.
+    pub max_rounds: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            delta: Duration::from_millis(8),
+            clairvoyant: false,
+            horizon: None,
+            max_rounds: 100_000_000,
+        }
+    }
+}
+
+/// Why a simulation could not run (distinct from running out of time,
+/// which is reported in-band via [`SimOutput::unfinished`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The trace failed validation.
+    InvalidTrace(String),
+    /// A clairvoyant scheduler was run without `clairvoyant: true`.
+    NeedsOracle(&'static str),
+    /// The round safety valve tripped (almost certainly a livelocked
+    /// scheduler handing out zero rates forever).
+    RoundLimit(u64),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::InvalidTrace(e) => write!(f, "invalid trace: {e}"),
+            SimError::NeedsOracle(n) => {
+                write!(f, "scheduler `{n}` is clairvoyant; run with clairvoyant: true")
+            }
+            SimError::RoundLimit(n) => write!(f, "round limit {n} exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// The outcome of one replay.
+#[derive(Debug, Clone)]
+pub struct SimOutput {
+    /// One record per *completed* CoFlow, sorted by id.
+    pub records: Vec<CoflowRecord>,
+    /// CoFlows that never finished (horizon reached).
+    pub unfinished: usize,
+    /// Scheduling rounds executed.
+    pub rounds: u64,
+    /// Simulated time at which the replay ended.
+    pub end: Time,
+}
+
+impl SimOutput {
+    /// Average CCT over completed CoFlows, in seconds (reporting aid).
+    pub fn avg_cct_secs(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().map(|r| r.cct().as_secs_f64()).sum::<f64>()
+            / self.records.len() as f64
+    }
+}
+
+struct SimFlow {
+    coflow: usize,
+    src: NodeId,
+    dst: NodeId,
+    size: Bytes,
+    sent: Bytes,
+    rate: Rate,
+    ready_at: Time,
+    finished_at: Option<Time>,
+}
+
+struct SimCoflow {
+    released: Option<Time>,
+    finished: Option<Time>,
+    first_flow: usize,
+    num_flows: usize,
+    deps_left: usize,
+    dependents: Vec<usize>,
+    restarted: bool,
+    view_slot: usize, // usize::MAX when inactive
+}
+
+enum DynAction {
+    StraggleStart { node: NodeId, num: u64, den: u64 },
+    StraggleEnd { node: NodeId },
+    Fail { node: NodeId, restart_delay: Duration },
+}
+
+/// Replays `trace` under `sched`, returning per-CoFlow records.
+pub fn simulate(
+    trace: &Trace,
+    sched: &mut dyn CoflowScheduler,
+    cfg: &SimConfig,
+    dynamics: &DynamicsSpec,
+) -> Result<SimOutput, SimError> {
+    trace.validate().map_err(|e| SimError::InvalidTrace(e.to_string()))?;
+    if sched.requires_clairvoyance() && !cfg.clairvoyant {
+        return Err(SimError::NeedsOracle(sched.name()));
+    }
+
+    let n_coflows = trace.coflows.len();
+    let num_nodes = trace.num_nodes;
+
+    // ---- Flatten the trace into dense flow/coflow tables ----
+    let mut flows: Vec<SimFlow> = Vec::with_capacity(trace.num_flows());
+    let mut coflows: Vec<SimCoflow> = Vec::with_capacity(n_coflows);
+    let mut id_to_idx = std::collections::HashMap::with_capacity(n_coflows);
+    for (ci, c) in trace.coflows.iter().enumerate() {
+        id_to_idx.insert(c.id, ci);
+        let first_flow = flows.len();
+        for f in &c.flows {
+            flows.push(SimFlow {
+                coflow: ci,
+                src: f.src,
+                dst: f.dst,
+                size: f.size,
+                sent: Bytes::ZERO,
+                rate: Rate::ZERO,
+                ready_at: Time::NEVER, // set at release
+                finished_at: None,
+            });
+        }
+        coflows.push(SimCoflow {
+            released: None,
+            finished: None,
+            first_flow,
+            num_flows: c.flows.len(),
+            deps_left: c.deps.len(),
+            dependents: Vec::new(),
+            restarted: false,
+            view_slot: usize::MAX,
+        });
+    }
+    // Reverse dependency edges.
+    for (ci, c) in trace.coflows.iter().enumerate() {
+        for d in &c.deps {
+            let di = id_to_idx[d];
+            coflows[di].dependents.push(ci);
+        }
+    }
+
+    // ---- Event sources ----
+    let mut arrivals: EventQueue<usize> = EventQueue::with_capacity(n_coflows);
+    for (ci, c) in trace.coflows.iter().enumerate() {
+        if c.deps.is_empty() {
+            arrivals.push(c.arrival, ci);
+        }
+    }
+    let mut dyn_events: EventQueue<DynAction> = EventQueue::new();
+    for ev in dynamics.sorted() {
+        match ev {
+            DynamicsEvent::Straggler { node, at, until, num, den } => {
+                dyn_events.push(at, DynAction::StraggleStart { node, num, den });
+                dyn_events.push(until, DynAction::StraggleEnd { node });
+            }
+            DynamicsEvent::NodeFailure { node, at, restart_delay } => {
+                dyn_events.push(at, DynAction::Fail { node, restart_delay });
+            }
+        }
+    }
+
+    // ---- Live state ----
+    let mut bank = PortBank::uniform(num_nodes, trace.port_rate);
+    let nominal = trace.port_rate;
+    let mut views: Vec<CoflowView> = Vec::new(); // active CoFlows
+    let mut view_owner: Vec<usize> = Vec::new(); // views[i] belongs to coflow view_owner[i]
+    let mut schedule = Schedule::default();
+    let mut records: Vec<CoflowRecord> = Vec::with_capacity(n_coflows);
+
+    let mut now = Time::ZERO;
+    let mut rounds: u64 = 0;
+    let mut active_flows: usize = 0;
+    // Nodes currently straggling — any CoFlow with unfinished flows on
+    // one is flagged `restarted` at view-sync time, so the §4.3
+    // heuristic sees it regardless of when the CoFlow was released or
+    // whether its flows happened to hold a rate when the event fired.
+    let mut straggled = vec![false; num_nodes];
+
+    // Releases a coflow into the active set at time `t`.
+    let release = |ci: usize,
+                   t: Time,
+                   trace: &Trace,
+                   coflows: &mut Vec<SimCoflow>,
+                   flows: &mut Vec<SimFlow>,
+                   views: &mut Vec<CoflowView>,
+                   view_owner: &mut Vec<usize>,
+                   active_flows: &mut usize,
+                   clairvoyant: bool| {
+        let sc = &mut coflows[ci];
+        debug_assert!(sc.released.is_none(), "double release of coflow {ci}");
+        sc.released = Some(t);
+        let spec = &trace.coflows[ci];
+        for (k, f) in spec.flows.iter().enumerate() {
+            flows[sc.first_flow + k].ready_at = t + f.available_after;
+        }
+        sc.view_slot = views.len();
+        views.push(CoflowView {
+            id: spec.id,
+            arrival: t,
+            flows: spec
+                .flows
+                .iter()
+                .enumerate()
+                .map(|(k, f)| FlowView {
+                    id: FlowId::from_index(sc.first_flow + k),
+                    src: f.src,
+                    dst: f.dst,
+                    sent: Bytes::ZERO,
+                    ready: false,
+                    finished: false,
+                    oracle_size: clairvoyant.then_some(f.size),
+                })
+                .collect(),
+            restarted: false,
+        });
+        view_owner.push(ci);
+        *active_flows += spec.flows.len();
+    };
+
+    loop {
+        // ---- 1. Drain everything due at `now` ----
+        while let Some((t, ci)) = arrivals.pop_due(now) {
+            release(
+                ci,
+                t.max(now),
+                trace,
+                &mut coflows,
+                &mut flows,
+                &mut views,
+                &mut view_owner,
+                &mut active_flows,
+                cfg.clairvoyant,
+            );
+        }
+        while let Some((_, action)) = dyn_events.pop_due(now) {
+            match action {
+                DynAction::StraggleStart { node, num, den } => {
+                    bank.set_node_capacity(node, nominal.mul_ratio(num, den));
+                    straggled[node.index()] = true;
+                    // Scale down in-flight rates on that node so the
+                    // port is never oversubscribed mid-interval.
+                    for f in flows.iter_mut() {
+                        if f.finished_at.is_none()
+                            && f.rate != Rate::ZERO
+                            && (f.src == node || f.dst == node)
+                        {
+                            f.rate = f.rate.mul_ratio(num, den);
+                        }
+                    }
+                }
+                DynAction::StraggleEnd { node } => {
+                    bank.set_node_capacity(node, nominal);
+                    straggled[node.index()] = false;
+                }
+                DynAction::Fail { node, restart_delay } => {
+                    for f in flows.iter_mut() {
+                        if f.finished_at.is_none()
+                            && (f.src == node || f.dst == node)
+                            && coflows[f.coflow].released.is_some()
+                        {
+                            f.sent = Bytes::ZERO;
+                            f.rate = Rate::ZERO;
+                            f.ready_at = f.ready_at.max(now.saturating_add(restart_delay));
+                            let slot = coflows[f.coflow].view_slot;
+                            if slot != usize::MAX {
+                                coflows[f.coflow].restarted = true;
+                                views[slot].restarted = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // ---- 2. Recompute the schedule on δ boundaries ----
+        let on_boundary = cfg.delta == Duration::ZERO || (now % cfg.delta) == Duration::ZERO;
+        if on_boundary && !views.is_empty() {
+            rounds += 1;
+            if rounds > cfg.max_rounds {
+                return Err(SimError::RoundLimit(cfg.max_rounds));
+            }
+            // Sync views with ground truth.
+            let any_straggler = straggled.iter().any(|&b| b);
+            for (slot, view) in views.iter_mut().enumerate() {
+                let ci = view_owner[slot];
+                let base = coflows[ci].first_flow;
+                let mut touches_straggler = false;
+                for (k, fv) in view.flows.iter_mut().enumerate() {
+                    let f = &flows[base + k];
+                    fv.sent = f.sent;
+                    fv.finished = f.finished_at.is_some();
+                    fv.ready = f.ready_at <= now;
+                    if any_straggler
+                        && f.finished_at.is_none()
+                        && (straggled[f.src.index()] || straggled[f.dst.index()])
+                    {
+                        touches_straggler = true;
+                    }
+                }
+                // Failure flags persist (the framework's `update()` told
+                // the coordinator); straggler flags follow the slowdown.
+                view.restarted = coflows[ci].restarted || touches_straggler;
+            }
+            bank.reset_round();
+            schedule.clear();
+            {
+                let view = ClusterView { now, num_nodes, coflows: &views };
+                sched.compute(&view, &mut bank, &mut schedule);
+            }
+            // Apply: zero everything, then set scheduled rates.
+            for view in &views {
+                for fv in &view.flows {
+                    flows[fv.id.index()].rate = Rate::ZERO;
+                }
+            }
+            for &(fid, rate) in &schedule.rates {
+                let f = &mut flows[fid.index()];
+                debug_assert!(f.finished_at.is_none(), "rate for finished flow {fid}");
+                debug_assert!(f.ready_at <= now, "rate for unready flow {fid}");
+                f.rate = rate;
+            }
+            #[cfg(debug_assertions)]
+            check_feasibility(&flows, &bank, num_nodes);
+        }
+
+        // ---- 3. Find the next instant anything changes ----
+        let mut t_next = Time::NEVER;
+        if let Some(t) = arrivals.peek_time() {
+            t_next = t_next.min(t);
+        }
+        if let Some(t) = dyn_events.peek_time() {
+            t_next = t_next.min(t);
+        }
+        if !views.is_empty() {
+            // Earliest completion under current rates.
+            for view in &views {
+                for fv in &view.flows {
+                    let f = &flows[fv.id.index()];
+                    if f.finished_at.is_none() && !f.rate.is_zero() {
+                        let rem = f.size.saturating_sub(f.sent);
+                        t_next = t_next.min(now.saturating_add(transfer_time(rem, f.rate)));
+                    }
+                }
+            }
+            // Next schedule boundary.
+            let next_boundary = if cfg.delta == Duration::ZERO {
+                // Event-driven mode: recompute whenever anything above
+                // fires; no synthetic boundaries needed.
+                Time::NEVER
+            } else {
+                Time((now.as_nanos() / cfg.delta.as_nanos() + 1) * cfg.delta.as_nanos())
+            };
+            t_next = t_next.min(next_boundary);
+        }
+
+        if t_next.is_never() {
+            break; // no active work, no future events
+        }
+        if let Some(h) = cfg.horizon {
+            if t_next > h {
+                now = h;
+                break;
+            }
+        }
+
+        // ---- 4. Advance flows to t_next ----
+        let dt = t_next - now;
+        let mut slot = 0;
+        while slot < views.len() {
+            let ci = view_owner[slot];
+            let base = coflows[ci].first_flow;
+            let nf = coflows[ci].num_flows;
+            let mut all_done = true;
+            for f in flows[base..base + nf].iter_mut() {
+                if f.finished_at.is_some() {
+                    continue;
+                }
+                if !f.rate.is_zero() {
+                    f.sent = (f.sent + bytes_in(f.rate, dt)).min(f.size);
+                    if f.sent == f.size {
+                        f.finished_at = Some(t_next);
+                    }
+                }
+                if f.finished_at.is_none() {
+                    all_done = false;
+                }
+            }
+            if all_done {
+                // CoFlow completes at t_next.
+                let sc = &mut coflows[ci];
+                sc.finished = Some(t_next);
+                let released = sc.released.expect("finished before release");
+                let spec = &trace.coflows[ci];
+                records.push(CoflowRecord {
+                    id: spec.id,
+                    job: spec.job,
+                    arrival: spec.arrival,
+                    released,
+                    finish: t_next,
+                    width: spec.flows.len(),
+                    total_bytes: spec.total_size(),
+                    flow_fcts: (0..nf)
+                        .map(|k| flows[base + k].finished_at.unwrap().since(released))
+                        .collect(),
+                    flow_sizes: spec.flows.iter().map(|f| f.size).collect(),
+                });
+                active_flows -= nf;
+                // Remove from the active views (swap-remove).
+                let last = views.len() - 1;
+                views.swap_remove(slot);
+                let moved = view_owner.swap_remove(slot);
+                debug_assert_eq!(moved, ci);
+                coflows[ci].view_slot = usize::MAX;
+                if slot < last {
+                    coflows[view_owner[slot]].view_slot = slot;
+                }
+                // Release dependents whose gates just opened.
+                let dependents = coflows[ci].dependents.clone();
+                for di in dependents {
+                    coflows[di].deps_left -= 1;
+                    if coflows[di].deps_left == 0 {
+                        let at = trace.coflows[di].arrival.max(t_next);
+                        arrivals.push(at, di);
+                    }
+                }
+                // Do not advance `slot`: swap_remove moved a new view in.
+            } else {
+                slot += 1;
+            }
+        }
+        now = t_next;
+    }
+
+    let unfinished = coflows.iter().filter(|c| c.finished.is_none()).count();
+    records.sort_by_key(|r| r.id);
+    let _ = active_flows;
+    Ok(SimOutput { records, unfinished, rounds, end: now })
+}
+
+/// Debug-only invariant: assigned rates never oversubscribe any port's
+/// *capacity* (remaining accounting is the scheduler's own business).
+#[cfg(debug_assertions)]
+fn check_feasibility(flows: &[SimFlow], bank: &PortBank, num_nodes: usize) {
+    use saath_simcore::PortId;
+    let mut used = vec![0u64; 2 * num_nodes];
+    for f in flows {
+        if f.finished_at.is_none() && !f.rate.is_zero() {
+            used[PortId::uplink(f.src).index()] += f.rate.as_u64();
+            used[PortId::downlink(f.dst, num_nodes).index()] += f.rate.as_u64();
+        }
+    }
+    for (p, &u) in used.iter().enumerate() {
+        let cap = bank.capacity(saath_simcore::PortId(p as u32)).as_u64();
+        assert!(u <= cap, "port {p} oversubscribed: {u} > {cap}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saath_core::{Aalo, Saath, SaathConfig};
+    use saath_simcore::CoflowId;
+    use saath_workload::paper_examples as ex;
+    use saath_workload::{CoflowSpec, FlowSpec};
+
+    fn cct_of(out: &SimOutput, id: u32) -> f64 {
+        out.records.iter().find(|r| r.id == CoflowId(id)).unwrap().cct().as_secs_f64()
+    }
+
+    fn default_run(trace: &Trace, sched: &mut dyn CoflowScheduler) -> SimOutput {
+        simulate(trace, sched, &SimConfig::default(), &DynamicsSpec::none()).unwrap()
+    }
+
+    #[test]
+    fn single_flow_single_coflow() {
+        // 125 MB at 1 Gbps = 1 s, plus up to one δ of scheduling lag.
+        let trace = Trace {
+            num_nodes: 2,
+            port_rate: Rate::gbps(1),
+            coflows: vec![CoflowSpec::new(
+                CoflowId(0),
+                Time::ZERO,
+                vec![FlowSpec::new(NodeId(0), NodeId(1), Bytes(125_000_000))],
+            )],
+        };
+        let out = default_run(&trace, &mut Saath::with_defaults());
+        assert_eq!(out.records.len(), 1);
+        assert_eq!(out.unfinished, 0);
+        let cct = cct_of(&out, 0);
+        assert!((cct - 1.0).abs() < 0.009, "cct {cct}");
+    }
+
+    /// Fig 1 end-to-end: Aalo averages 1.75 t, Saath 1.25 t.
+    #[test]
+    fn fig1_aalo_vs_saath() {
+        let trace = ex::fig1_out_of_sync();
+        let aalo = default_run(&trace, &mut Aalo::with_defaults());
+        let saath = default_run(&trace, &mut Saath::with_defaults());
+        assert_eq!(aalo.records.len(), 4);
+        assert_eq!(saath.records.len(), 4);
+
+        // t = 1 s; allow δ-quantization slack (arrivals are offset by a
+        // few ms and rates change only on 8 ms boundaries).
+        let tol = 0.05;
+        assert!((aalo.avg_cct_secs() - 1.75).abs() < tol, "aalo {}", aalo.avg_cct_secs());
+        assert!((saath.avg_cct_secs() - 1.25).abs() < tol, "saath {}", saath.avg_cct_secs());
+
+        // Per-CoFlow shapes.
+        assert!((cct_of(&aalo, 2) - 2.0).abs() < tol);
+        assert!((cct_of(&saath, 3) - 1.0).abs() < tol);
+        assert!((cct_of(&saath, 4) - 1.0).abs() < tol);
+    }
+
+    /// Fig 4 end-to-end: work conservation improves the average CCT.
+    #[test]
+    fn fig4_work_conservation_helps() {
+        let trace = ex::fig4_work_conservation();
+        let with_wc = default_run(&trace, &mut Saath::with_defaults());
+        let without = default_run(
+            &trace,
+            &mut Saath::new(SaathConfig { work_conservation: false, ..Default::default() }),
+        );
+        let tol = 0.05;
+        // Without WC: C1 = t, C2 = 3t → avg 2t. With: C2 = 2t → 1.5t.
+        assert!((without.avg_cct_secs() - 2.0).abs() < tol, "{}", without.avg_cct_secs());
+        assert!((with_wc.avg_cct_secs() - 1.5).abs() < tol, "{}", with_wc.avg_cct_secs());
+        assert!((cct_of(&without, 2) - 3.0).abs() < tol);
+        assert!((cct_of(&with_wc, 2) - 2.0).abs() < tol);
+    }
+
+    /// Fig 8 end-to-end: LCoF's known-suboptimal case.
+    #[test]
+    fn fig8_lcof_limitation_reproduced() {
+        let trace = ex::fig8_lcof_limitation();
+        let saath = default_run(&trace, &mut Saath::with_defaults());
+        let tol = 0.05;
+        // LCoF: C2 = C3 = 2.5, C1 = 3.5 ⇒ avg 2.83.
+        assert!((cct_of(&saath, 1) - 3.5).abs() < tol, "{}", cct_of(&saath, 1));
+        assert!((cct_of(&saath, 2) - 2.5).abs() < tol);
+        assert!((cct_of(&saath, 3) - 2.5).abs() < tol);
+        assert!((saath.avg_cct_secs() - 2.8333).abs() < tol);
+    }
+
+    /// Clairvoyant schedulers refuse to run blind.
+    #[test]
+    fn clairvoyant_guard() {
+        let trace = ex::fig17_sjf_suboptimal();
+        let mut varys = saath_core::OfflineScheduler::varys();
+        let err = simulate(&trace, &mut varys, &SimConfig::default(), &DynamicsSpec::none())
+            .unwrap_err();
+        assert!(matches!(err, SimError::NeedsOracle("varys-sebf")));
+    }
+
+    /// Fig 17 end-to-end with clairvoyant schedulers: SEBF ≈ SJF picks
+    /// C1 first (avg 9.3 t); LWTF picks C2/C3 first (avg 8.3 t).
+    #[test]
+    fn fig17_sjf_vs_lwtf() {
+        let trace = ex::fig17_sjf_suboptimal();
+        let cfg = SimConfig { clairvoyant: true, ..Default::default() };
+        let mut sebf = saath_core::OfflineScheduler::varys();
+        let sebf_out = simulate(&trace, &mut sebf, &cfg, &DynamicsSpec::none()).unwrap();
+        let mut lwtf =
+            saath_core::OfflineScheduler::new(saath_core::OfflinePolicy::Lwtf);
+        let lwtf_out = simulate(&trace, &mut lwtf, &cfg, &DynamicsSpec::none()).unwrap();
+        let tol = 0.05;
+        // Appendix A, in seconds (t = 1 s): SJF/SEBF averages
+        // (5+11+12)/3 = 9.33, contention-aware (12+6+7)/3 = 8.33.
+        assert!((sebf_out.avg_cct_secs() - 9.3333).abs() < tol, "{}", sebf_out.avg_cct_secs());
+        assert!((lwtf_out.avg_cct_secs() - 8.3333).abs() < tol, "{}", lwtf_out.avg_cct_secs());
+        assert!(lwtf_out.avg_cct_secs() < sebf_out.avg_cct_secs());
+    }
+
+    /// DAG stages release only after their dependencies complete.
+    #[test]
+    fn dag_release_order() {
+        let mut stage2 = CoflowSpec::new(
+            CoflowId(1),
+            Time::ZERO,
+            vec![FlowSpec::new(NodeId(0), NodeId(1), Bytes(125_000_000))],
+        );
+        stage2.deps = vec![CoflowId(0)];
+        let trace = Trace {
+            num_nodes: 2,
+            port_rate: Rate::gbps(1),
+            coflows: vec![
+                CoflowSpec::new(
+                    CoflowId(0),
+                    Time::ZERO,
+                    vec![FlowSpec::new(NodeId(0), NodeId(1), Bytes(125_000_000))],
+                ),
+                stage2,
+            ],
+        };
+        let out = default_run(&trace, &mut Saath::with_defaults());
+        assert_eq!(out.records.len(), 2);
+        let r0 = &out.records[0];
+        let r1 = &out.records[1];
+        assert!(r1.released >= r0.finish, "stage 2 released before stage 1 finished");
+        // Each stage takes ~1 s.
+        assert!((r1.finish.as_secs_f64() - 2.0).abs() < 0.05);
+    }
+
+    /// Larger δ means more idle time and worse CCT (Fig 14c mechanism).
+    #[test]
+    fn delta_staleness_hurts() {
+        let trace = ex::fig1_out_of_sync();
+        let run = |ms| {
+            let cfg = SimConfig { delta: Duration::from_millis(ms), ..Default::default() };
+            simulate(&trace, &mut Saath::with_defaults(), &cfg, &DynamicsSpec::none())
+                .unwrap()
+                .avg_cct_secs()
+        };
+        let fast = run(1);
+        let slow = run(500);
+        assert!(slow > fast, "δ=500ms ({slow}) not worse than δ=1ms ({fast})");
+    }
+
+    /// Horizon truncation reports unfinished CoFlows instead of hanging.
+    #[test]
+    fn horizon_truncates() {
+        let trace = ex::fig1_out_of_sync();
+        let cfg = SimConfig { horizon: Some(Time::from_millis(500)), ..Default::default() };
+        let out =
+            simulate(&trace, &mut Saath::with_defaults(), &cfg, &DynamicsSpec::none()).unwrap();
+        assert!(out.unfinished > 0);
+        assert!(out.end <= Time::from_millis(500));
+    }
+
+    /// A node failure restarts its flows; the CoFlow still completes,
+    /// later, and is flagged for the dynamics heuristic.
+    #[test]
+    fn node_failure_restarts_flows() {
+        // One flow, one second long; its receiver dies halfway through.
+        let trace = Trace {
+            num_nodes: 2,
+            port_rate: Rate::gbps(1),
+            coflows: vec![CoflowSpec::new(
+                CoflowId(0),
+                Time::ZERO,
+                vec![FlowSpec::new(NodeId(0), NodeId(1), Bytes(125_000_000))],
+            )],
+        };
+        let clean = default_run(&trace, &mut Saath::with_defaults());
+        let dynamics = DynamicsSpec {
+            events: vec![DynamicsEvent::NodeFailure {
+                node: NodeId(1),
+                at: Time::from_millis(500),
+                restart_delay: Duration::from_millis(100),
+            }],
+        };
+        let failed = simulate(
+            &trace,
+            &mut Saath::with_defaults(),
+            &SimConfig::default(),
+            &dynamics,
+        )
+        .unwrap();
+        assert_eq!(failed.records.len(), 1);
+        let slow = failed.records[0].cct().as_secs_f64();
+        let fast = clean.records[0].cct().as_secs_f64();
+        // All 0.5 s of progress is lost, plus the 0.1 s restart delay:
+        // ≈ 0.5 + 0.1 + 1.0 = 1.6 s vs 1.0 s clean.
+        assert!((fast - 1.0).abs() < 0.05, "clean cct {fast}");
+        assert!((slow - 1.6).abs() < 0.05, "failed cct {slow}");
+    }
+
+    /// A straggler slows its node's ports; CCT degrades accordingly and
+    /// recovers after the straggle window.
+    #[test]
+    fn straggler_slows_ports() {
+        let trace = Trace {
+            num_nodes: 2,
+            port_rate: Rate::gbps(1),
+            coflows: vec![CoflowSpec::new(
+                CoflowId(0),
+                Time::ZERO,
+                vec![FlowSpec::new(NodeId(0), NodeId(1), Bytes(250_000_000))],
+            )],
+        };
+        let clean = default_run(&trace, &mut Saath::with_defaults());
+        let dynamics = DynamicsSpec {
+            events: vec![DynamicsEvent::Straggler {
+                node: NodeId(0),
+                at: Time::ZERO,
+                until: Time::from_secs(2),
+                num: 1,
+                den: 10,
+            }],
+        };
+        let out = simulate(
+            &trace,
+            &mut Saath::with_defaults(),
+            &SimConfig::default(),
+            &dynamics,
+        )
+        .unwrap();
+        // First 2 s at 100 Mbps → 25 MB; remaining 225 MB at 1 Gbps →
+        // 1.8 s. Total ≈ 3.8 s (vs 2 s clean).
+        let cct = out.records[0].cct().as_secs_f64();
+        assert!((clean.records[0].cct().as_secs_f64() - 2.0).abs() < 0.05);
+        assert!((cct - 3.8).abs() < 0.1, "straggled cct {cct}");
+    }
+
+    /// Determinism: identical runs produce identical records.
+    #[test]
+    fn runs_are_deterministic() {
+        let trace = saath_workload::gen::generate(&saath_workload::gen::small(7, 10, 40));
+        let a = default_run(&trace, &mut Saath::with_defaults());
+        let b = default_run(&trace, &mut Saath::with_defaults());
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.rounds, b.rounds);
+    }
+
+    /// Every generated CoFlow eventually completes under every core
+    /// online scheduler.
+    #[test]
+    fn small_trace_completes_under_all_schedulers() {
+        let trace = saath_workload::gen::generate(&saath_workload::gen::small(3, 12, 60));
+        for sched in [true, false] {
+            let out = if sched {
+                default_run(&trace, &mut Saath::with_defaults())
+            } else {
+                default_run(&trace, &mut Aalo::with_defaults())
+            };
+            assert_eq!(out.records.len(), 60);
+            assert_eq!(out.unfinished, 0);
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! A uniform factory over every scheduler in the workspace.
+
+use crate::engine::{simulate, SimConfig, SimError, SimOutput};
+use saath_core::view::CoflowScheduler;
+use saath_core::{Aalo, OfflinePolicy, OfflineScheduler, QueueConfig, Saath, SaathConfig, UcTcp};
+use saath_workload::{DynamicsSpec, Trace};
+
+/// Every scheduling policy the evaluation sweeps, with its parameters.
+#[derive(Clone, Debug)]
+pub enum Policy {
+    /// Saath with a full configuration (ablations included).
+    Saath(SaathConfig),
+    /// Aalo with its queue structure.
+    Aalo(QueueConfig),
+    /// Varys: SEBF + MADD, clairvoyant.
+    Varys,
+    /// Shortest CoFlow First, clairvoyant.
+    Scf,
+    /// Shortest Remaining Time First, clairvoyant.
+    Srtf,
+    /// Least Waiting Time First (`t·k`), clairvoyant.
+    Lwtf,
+    /// Uncoordinated per-flow max-min ("TCP").
+    UcTcp,
+}
+
+impl Policy {
+    /// The default full-Saath policy.
+    pub fn saath() -> Policy {
+        Policy::Saath(SaathConfig::default())
+    }
+
+    /// The default Aalo policy.
+    pub fn aalo() -> Policy {
+        Policy::Aalo(QueueConfig::default())
+    }
+
+    /// Report name (matches the schedulers' own).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Policy::Saath(c) => {
+                // Distinguish the Fig 10 ablations in reports.
+                match (c.all_or_none, c.per_flow_threshold, c.lcof) {
+                    (true, true, true) => "saath",
+                    (true, true, false) => "saath[a/n+p/f]",
+                    (true, false, false) => "saath[a/n]",
+                    _ => "saath[custom]",
+                }
+            }
+            Policy::Aalo(_) => "aalo",
+            Policy::Varys => "varys-sebf",
+            Policy::Scf => "scf",
+            Policy::Srtf => "srtf",
+            Policy::Lwtf => "lwtf",
+            Policy::UcTcp => "uc-tcp",
+        }
+    }
+
+    /// Whether this policy needs ground-truth sizes.
+    pub fn clairvoyant(&self) -> bool {
+        matches!(self, Policy::Varys | Policy::Scf | Policy::Srtf | Policy::Lwtf)
+    }
+
+    /// Instantiates the scheduler.
+    pub fn build(&self) -> Box<dyn CoflowScheduler> {
+        match self {
+            Policy::Saath(c) => Box::new(Saath::new(c.clone())),
+            Policy::Aalo(q) => Box::new(Aalo::new(q.clone())),
+            Policy::Varys => Box::new(OfflineScheduler::varys()),
+            Policy::Scf => Box::new(OfflineScheduler::new(OfflinePolicy::Scf)),
+            Policy::Srtf => Box::new(OfflineScheduler::new(OfflinePolicy::Srtf)),
+            Policy::Lwtf => Box::new(OfflineScheduler::new(OfflinePolicy::Lwtf)),
+            Policy::UcTcp => Box::new(UcTcp::new()),
+        }
+    }
+}
+
+/// Builds the policy's scheduler and replays `trace` under it, setting
+/// the oracle exposure automatically.
+pub fn run_policy(
+    trace: &Trace,
+    policy: &Policy,
+    cfg: &SimConfig,
+    dynamics: &DynamicsSpec,
+) -> Result<SimOutput, SimError> {
+    let mut cfg = cfg.clone();
+    cfg.clairvoyant = policy.clairvoyant();
+    let mut sched = policy.build();
+    simulate(trace, sched.as_mut(), &cfg, dynamics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saath_workload::gen;
+
+    #[test]
+    fn names_and_clairvoyance() {
+        assert_eq!(Policy::saath().name(), "saath");
+        assert_eq!(Policy::Saath(SaathConfig::ablation_an()).name(), "saath[a/n]");
+        assert_eq!(Policy::Saath(SaathConfig::ablation_an_pf()).name(), "saath[a/n+p/f]");
+        assert_eq!(Policy::aalo().name(), "aalo");
+        assert!(!Policy::saath().clairvoyant());
+        assert!(Policy::Varys.clairvoyant());
+        assert!(Policy::Lwtf.clairvoyant());
+        assert!(!Policy::UcTcp.clairvoyant());
+    }
+
+    #[test]
+    fn run_policy_handles_oracle_automatically() {
+        let trace = gen::generate(&gen::small(5, 8, 20));
+        for p in [
+            Policy::saath(),
+            Policy::aalo(),
+            Policy::Varys,
+            Policy::Scf,
+            Policy::Srtf,
+            Policy::Lwtf,
+            Policy::UcTcp,
+        ] {
+            let out = run_policy(&trace, &p, &SimConfig::default(), &DynamicsSpec::none())
+                .unwrap_or_else(|e| panic!("{} failed: {e}", p.name()));
+            assert_eq!(out.records.len(), 20, "{} lost coflows", p.name());
+            assert_eq!(out.unfinished, 0, "{}", p.name());
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Cluster dynamics: stragglers, node failures, data skew.
+//!
+//! §4.3 of the paper motivates Saath's queue-reassignment heuristic with
+//! the dynamics real clusters exhibit. This module *describes* those
+//! events; `saath-simulator` applies them during replay:
+//!
+//! * a **straggler** runs its node's ports at a fraction of nominal
+//!   capacity for a while (slow disk/CPU, congested NIC);
+//! * a **node failure** kills the node's unfinished transfers; the
+//!   framework restarts the affected tasks after a delay, and the
+//!   restarted flows begin from zero bytes (the coordinator learns of it
+//!   via the `update()` CoFlow operation, §5).
+//!
+//! Data skew needs no event type: it is captured by uneven flow sizes
+//! and by `FlowSpec::available_after` (pipelined availability).
+
+use saath_simcore::{DetRng, Duration, NodeId, Time};
+use serde::{Deserialize, Serialize};
+
+/// One injected event.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DynamicsEvent {
+    /// `node`'s ports run at `num/den` of nominal capacity in
+    /// `[at, until)`.
+    Straggler {
+        /// The slow node.
+        node: NodeId,
+        /// Slowdown start.
+        at: Time,
+        /// Slowdown end (capacity restored).
+        until: Time,
+        /// Capacity numerator.
+        num: u64,
+        /// Capacity denominator.
+        den: u64,
+    },
+    /// `node` fails at `at`; its unfinished flows restart from zero
+    /// after `restart_delay` (their data must be re-sent).
+    NodeFailure {
+        /// The failed node.
+        node: NodeId,
+        /// Failure instant.
+        at: Time,
+        /// How long until the replacement tasks are up.
+        restart_delay: Duration,
+    },
+}
+
+impl DynamicsEvent {
+    /// The instant at which the simulator must act on this event.
+    pub fn at(&self) -> Time {
+        match self {
+            DynamicsEvent::Straggler { at, .. } => *at,
+            DynamicsEvent::NodeFailure { at, .. } => *at,
+        }
+    }
+}
+
+/// A set of dynamics events to inject into a replay.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DynamicsSpec {
+    /// Events, in any order ([`DynamicsSpec::sorted`] normalizes).
+    pub events: Vec<DynamicsEvent>,
+}
+
+impl DynamicsSpec {
+    /// No dynamics (the default for the headline experiments).
+    pub fn none() -> DynamicsSpec {
+        DynamicsSpec::default()
+    }
+
+    /// Events sorted by activation time (stable).
+    pub fn sorted(&self) -> Vec<DynamicsEvent> {
+        let mut ev = self.events.clone();
+        ev.sort_by_key(|e| e.at());
+        ev
+    }
+
+    /// Randomly generated dynamics: each node independently straggles
+    /// with probability `p_straggle` (at `slow_num/slow_den` capacity
+    /// for `straggle_len`) and fails with probability `p_fail`, at
+    /// uniform times within `[0, horizon)`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn random(
+        seed: u64,
+        num_nodes: usize,
+        horizon: Duration,
+        p_straggle: f64,
+        straggle_len: Duration,
+        slow_num: u64,
+        slow_den: u64,
+        p_fail: f64,
+        restart_delay: Duration,
+    ) -> DynamicsSpec {
+        let mut rng = DetRng::derive(seed, "dynamics");
+        let mut events = Vec::new();
+        for n in 0..num_nodes {
+            if rng.chance(p_straggle) {
+                let at = Time(rng.below(horizon.as_nanos().max(1)));
+                events.push(DynamicsEvent::Straggler {
+                    node: NodeId(n as u32),
+                    at,
+                    until: at + straggle_len,
+                    num: slow_num,
+                    den: slow_den,
+                });
+            }
+            if rng.chance(p_fail) {
+                events.push(DynamicsEvent::NodeFailure {
+                    node: NodeId(n as u32),
+                    at: Time(rng.below(horizon.as_nanos().max(1))),
+                    restart_delay,
+                });
+            }
+        }
+        events.sort_by_key(|e| e.at());
+        DynamicsSpec { events }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_orders_by_time() {
+        let spec = DynamicsSpec {
+            events: vec![
+                DynamicsEvent::NodeFailure {
+                    node: NodeId(1),
+                    at: Time::from_secs(5),
+                    restart_delay: Duration::from_secs(1),
+                },
+                DynamicsEvent::Straggler {
+                    node: NodeId(0),
+                    at: Time::from_secs(2),
+                    until: Time::from_secs(4),
+                    num: 1,
+                    den: 10,
+                },
+            ],
+        };
+        let sorted = spec.sorted();
+        assert_eq!(sorted[0].at(), Time::from_secs(2));
+        assert_eq!(sorted[1].at(), Time::from_secs(5));
+    }
+
+    #[test]
+    fn random_is_deterministic_and_bounded() {
+        let a = DynamicsSpec::random(
+            1,
+            50,
+            Duration::from_secs(100),
+            0.2,
+            Duration::from_secs(10),
+            1,
+            10,
+            0.05,
+            Duration::from_secs(5),
+        );
+        let b = DynamicsSpec::random(
+            1,
+            50,
+            Duration::from_secs(100),
+            0.2,
+            Duration::from_secs(10),
+            1,
+            10,
+            0.05,
+            Duration::from_secs(5),
+        );
+        assert_eq!(a, b);
+        for e in &a.events {
+            assert!(e.at() < Time::from_secs(100));
+        }
+        // Sorted on construction.
+        let mut last = Time::ZERO;
+        for e in &a.events {
+            assert!(e.at() >= last);
+            last = e.at();
+        }
+        // Roughly the configured rates.
+        let stragglers =
+            a.events.iter().filter(|e| matches!(e, DynamicsEvent::Straggler { .. })).count();
+        assert!((3..=25).contains(&stragglers), "{stragglers} stragglers");
+    }
+
+    #[test]
+    fn none_is_empty() {
+        assert!(DynamicsSpec::none().events.is_empty());
+    }
+}

@@ -1,0 +1,511 @@
+//! Synthetic trace generators calibrated to the paper's statistics.
+//!
+//! The evaluation's two inputs — the public Facebook trace and the
+//! proprietary Microsoft OSP trace — cannot ship with an offline
+//! reproduction, so this module generates traces that match every
+//! distributional property the paper's analysis leans on:
+//!
+//! * **Flow-length mix** (§2.3, Fig 2a/b): in FB, 23 % of CoFlows have a
+//!   single flow, 50 % have multiple equal-length flows, 27 % multiple
+//!   uneven-length flows.
+//! * **Size × width bins** (Table 1, Figs 11/12): CoFlows bin by total
+//!   size (≤/> 100 MB) and width (≤/> 10 flows). The FB mass is
+//!   short-and-narrow-heavy (we use the Aalo-reported ≈60/12/16/12 %).
+//! * **Heavy-tailed sizes** within each bin (Pareto).
+//! * **Poisson arrivals** over the trace span; the OSP-like preset packs
+//!   ~2× the CoFlow density onto fewer nodes with a wider mix, which is
+//!   the "busier ports" property the paper credits for OSP's much larger
+//!   P90 speedups (§6.1).
+//!
+//! CoFlows are `M × R` shuffles (mappers × reducers), like the real
+//! traces. Same seed → identical trace, and every CoFlow derives its own
+//! RNG stream, so changing one parameter does not reshuffle unrelated
+//! CoFlows.
+
+use crate::spec::{CoflowSpec, FlowSpec, Trace};
+use saath_simcore::{Bytes, CoflowId, DetRng, Duration, NodeId, Rate, Time};
+
+/// How a CoFlow's total volume is split across its flows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SplitKind {
+    /// One flow.
+    Single,
+    /// Equal-length flows.
+    Equal,
+    /// Uneven (Pareto-weighted) flow lengths.
+    Uneven,
+}
+
+/// Tunable knobs for [`generate`]. Start from [`fb_like`] or
+/// [`osp_like`] and adjust.
+#[derive(Clone, Debug)]
+pub struct GenConfig {
+    /// Number of machines.
+    pub num_nodes: usize,
+    /// Number of CoFlows to emit.
+    pub num_coflows: usize,
+    /// Uniform port speed.
+    pub port_rate: Rate,
+    /// Arrival span: arrivals are Poisson with mean gap
+    /// `span / num_coflows`.
+    pub span: Duration,
+    /// Master seed; every derived stream is labelled, so runs are
+    /// reproducible and extensible.
+    pub seed: u64,
+    /// P(single-flow), P(multi equal), P(multi uneven). Must sum to ~1.
+    pub mix: [f64; 3],
+    /// Probability mass of Table-1 bins 1–4
+    /// (short-narrow, short-wide, long-narrow, long-wide).
+    pub bin_weights: [f64; 4],
+    /// Width threshold between narrow and wide (Table 1: 10).
+    pub narrow_max_width: usize,
+    /// Size threshold between short and long (Table 1: 100 MB).
+    pub size_split: Bytes,
+    /// Smallest CoFlow total size.
+    pub min_size: Bytes,
+    /// Largest CoFlow total size.
+    pub max_size: Bytes,
+    /// Largest width to generate (clamped to `num_nodes²`).
+    pub max_width: usize,
+    /// Pareto shape for sizes within a bin (smaller = heavier tail).
+    pub size_alpha: f64,
+    /// Pareto shape for widths in the wide bins.
+    pub width_alpha: f64,
+    /// Probability that a CoFlow arrives as part of a burst (within
+    /// `burst_gap` of its predecessor) instead of after an exponential
+    /// gap. Analytics clusters submit jobs in waves; burstiness creates
+    /// the transient queueing that separates the schedulers.
+    pub burst_prob: f64,
+    /// Mean intra-burst gap.
+    pub burst_gap: Duration,
+    /// Zipf exponent for node popularity (0 = uniform placement).
+    /// Real clusters have hot nodes — popular datasets, rack-local
+    /// reducers — and the resulting hot ports are where sustained
+    /// backlog forms; without skew, load spreads so thin that every
+    /// scheduler looks alike.
+    pub placement_zipf: f64,
+    /// Fraction of the cluster each arrival wave localizes on. Jobs in
+    /// one wave (one query's stages, one pipeline's runs) read the same
+    /// data and share racks, so their CoFlows collide on the same
+    /// ports — the collisions FIFO head-of-line blocking (Aalo) and
+    /// contention-aware ordering (Saath) resolve differently. 1.0
+    /// disables localization.
+    pub wave_locality: f64,
+}
+
+/// Preset calibrated to the Facebook trace's published statistics and
+/// to its *contention regime*: 150 nodes, 526 CoFlows, 1 Gbps ports,
+/// ~1.4 TB moved, wave arrivals localized on node subsets. The arrival
+/// span is compressed (~400 s instead of the original hour) because the
+/// synthetic generator lacks the original's diurnal micro-burst
+/// structure; compressing arrivals restores the per-port queueing the
+/// paper's speedups come from (the same mechanism as its own Fig 14d
+/// contention knob).
+pub fn fb_like(seed: u64) -> GenConfig {
+    GenConfig {
+        num_nodes: 150,
+        num_coflows: 526,
+        port_rate: Rate::gbps(1),
+        span: Duration::from_secs(400),
+        seed,
+        mix: [0.23, 0.50, 0.27],
+        bin_weights: [0.60, 0.12, 0.16, 0.12],
+        narrow_max_width: 10,
+        size_split: Bytes::mb(100),
+        min_size: Bytes::mb(1),
+        max_size: Bytes::gb(100),
+        max_width: 22_500, // 150²: the widest shuffles span every port
+        size_alpha: 0.5,
+        width_alpha: 0.65,
+        burst_prob: 0.8,
+        burst_gap: Duration::from_millis(100),
+        placement_zipf: 0.5,
+        wave_locality: 0.10,
+    }
+}
+
+/// Preset emulating the proprietary OSP trace: O(100) nodes, O(1000)
+/// CoFlows, busier ports (several times FB's arrival density, burstier
+/// waves) and a wider mix.
+pub fn osp_like(seed: u64) -> GenConfig {
+    GenConfig {
+        num_nodes: 100,
+        num_coflows: 1000,
+        port_rate: Rate::gbps(1),
+        // 1000 coflows on 2/3 the nodes in 3/4 the span → ~4× the
+        // per-port arrival density of FB.
+        span: Duration::from_secs(300),
+        seed,
+        mix: [0.15, 0.50, 0.35],
+        bin_weights: [0.45, 0.20, 0.15, 0.20],
+        narrow_max_width: 10,
+        size_split: Bytes::mb(100),
+        min_size: Bytes::mb(1),
+        max_size: Bytes::gb(500),
+        max_width: 10_000, // 100²
+        size_alpha: 0.6,
+        width_alpha: 0.7,
+        burst_prob: 0.95,
+        burst_gap: Duration::from_millis(250),
+        placement_zipf: 0.6,
+        wave_locality: 0.12,
+    }
+}
+
+/// A small preset for tests and examples: fast to simulate while still
+/// exercising every bin.
+pub fn small(seed: u64, num_nodes: usize, num_coflows: usize) -> GenConfig {
+    GenConfig {
+        num_nodes,
+        num_coflows,
+        port_rate: Rate::gbps(1),
+        span: Duration::from_secs((num_coflows as u64 * 2).max(10)),
+        seed,
+        mix: [0.23, 0.50, 0.27],
+        bin_weights: [0.60, 0.12, 0.16, 0.12],
+        narrow_max_width: 10,
+        size_split: Bytes::mb(100),
+        min_size: Bytes::mb(1),
+        max_size: Bytes::gb(1),
+        max_width: 200,
+        size_alpha: 1.1,
+        width_alpha: 1.3,
+        burst_prob: 0.3,
+        burst_gap: Duration::from_millis(50),
+        placement_zipf: 0.8,
+        wave_locality: 0.4,
+    }
+}
+
+/// Generates a validated [`Trace`] from a configuration.
+///
+/// # Panics
+/// Panics if the configuration is degenerate (zero nodes/coflows,
+/// min ≥ max size, weights that sum to zero).
+pub fn generate(cfg: &GenConfig) -> Trace {
+    assert!(cfg.num_nodes >= 2, "need at least two nodes");
+    assert!(cfg.num_coflows > 0, "need at least one coflow");
+    assert!(cfg.min_size < cfg.max_size, "min_size must be < max_size");
+    assert!(cfg.min_size > Bytes::ZERO);
+
+    let mut arrivals_rng = DetRng::derive(cfg.seed, "gen/arrivals");
+    let coflow_streams = DetRng::derive(cfg.seed, "gen/coflows");
+    // Non-burst gaps carry the whole span's mass, so the expected span
+    // stays `cfg.span` regardless of burstiness.
+    let mean_gap_ns = cfg.span.as_nanos() as f64
+        / (cfg.num_coflows as f64 * (1.0 - cfg.burst_prob).max(0.05));
+
+    // Node popularity: Zipf over a per-trace random permutation of the
+    // nodes, so "which nodes are hot" varies with the seed.
+    let mut perm_rng = DetRng::derive(cfg.seed, "gen/placement");
+    let mut ranks: Vec<usize> = (0..cfg.num_nodes).collect();
+    perm_rng.shuffle(&mut ranks);
+    let popularity: Vec<f64> = (0..cfg.num_nodes)
+        .map(|n| 1.0 / ((ranks[n] + 1) as f64).powf(cfg.placement_zipf))
+        .collect();
+
+    let wave_size = ((cfg.num_nodes as f64 * cfg.wave_locality).round() as usize)
+        .clamp(4.min(cfg.num_nodes), cfg.num_nodes);
+    let mut wave_rng = DetRng::derive(cfg.seed, "gen/waves");
+    let mut wave_nodes = sample_weighted_distinct(&mut wave_rng, &popularity, wave_size);
+    let mut wave_pop: Vec<f64> = wave_nodes.iter().map(|&n| popularity[n as usize]).collect();
+
+    let mut coflows = Vec::with_capacity(cfg.num_coflows);
+    let mut arrival = Time::ZERO;
+    for i in 0..cfg.num_coflows {
+        if i > 0 {
+            let gap = if arrivals_rng.chance(cfg.burst_prob) {
+                arrivals_rng.exp_gap(cfg.burst_gap.as_nanos() as f64)
+            } else {
+                // A new wave starts: fresh node subset.
+                wave_nodes = sample_weighted_distinct(&mut wave_rng, &popularity, wave_size);
+                wave_pop = wave_nodes.iter().map(|&n| popularity[n as usize]).collect();
+                arrivals_rng.exp_gap(mean_gap_ns)
+            };
+            arrival += Duration::from_nanos(gap);
+        }
+        let mut rng = coflow_streams.child(i as u64);
+        let spec =
+            one_coflow(cfg, CoflowId(i as u32), arrival, &mut rng, &wave_nodes, &wave_pop);
+        coflows.push(spec);
+    }
+
+    let trace = Trace { num_nodes: cfg.num_nodes, port_rate: cfg.port_rate, coflows };
+    trace.validate().expect("generator produced an invalid trace");
+    trace
+}
+
+/// Samples `k` distinct nodes with probability proportional to
+/// `popularity` (rejection sampling; falls back to uniform when `k`
+/// approaches the population size, where rejection would thrash).
+fn sample_weighted_distinct(
+    rng: &mut DetRng,
+    popularity: &[f64],
+    k: usize,
+) -> Vec<u64> {
+    let n = popularity.len();
+    if k * 2 >= n {
+        return rng.sample_distinct(n as u64, k);
+    }
+    let mut picked = Vec::with_capacity(k);
+    let mut seen = vec![false; n];
+    let mut attempts = 0usize;
+    while picked.len() < k {
+        attempts += 1;
+        if attempts > 64 * k + 256 {
+            // Degenerate weights: fill the remainder uniformly.
+            for node in 0..n as u64 {
+                if picked.len() == k {
+                    break;
+                }
+                if !seen[node as usize] {
+                    seen[node as usize] = true;
+                    picked.push(node);
+                }
+            }
+            break;
+        }
+        let node = rng.weighted(popularity);
+        if !seen[node] {
+            seen[node] = true;
+            picked.push(node as u64);
+        }
+    }
+    picked
+}
+
+fn one_coflow(
+    cfg: &GenConfig,
+    id: CoflowId,
+    arrival: Time,
+    rng: &mut DetRng,
+    wave_nodes: &[u64],
+    wave_pop: &[f64],
+) -> CoflowSpec {
+    // 1. Flow-length kind.
+    let kind = match rng.weighted(&cfg.mix) {
+        0 => SplitKind::Single,
+        1 => SplitKind::Equal,
+        _ => SplitKind::Uneven,
+    };
+
+    // 2. Table-1 bin, constrained to the kind: a single-flow CoFlow is
+    // necessarily narrow, so renormalize over bins {1, 3}.
+    let bin = if kind == SplitKind::Single {
+        let w = [cfg.bin_weights[0], 0.0, cfg.bin_weights[2], 0.0];
+        rng.weighted(&w)
+    } else {
+        rng.weighted(&cfg.bin_weights)
+    };
+    let wide = bin == 1 || bin == 3;
+    let long = bin >= 2;
+
+    // 3. Width.
+    let width = match kind {
+        SplitKind::Single => 1,
+        _ if !wide => rng.range_inclusive(2, cfg.narrow_max_width as u64) as usize,
+        _ => {
+            let lo = (cfg.narrow_max_width + 1) as f64;
+            let hi = cfg.max_width.min(cfg.num_nodes * cfg.num_nodes) as f64;
+            rng.pareto(lo, cfg.width_alpha, hi).round() as usize
+        }
+    };
+
+    // 4. Shuffle shape: M × R ≈ width with M ≈ sqrt(width), capped by
+    // the wave's node subset.
+    let max_side = wave_nodes.len();
+    let m = ((width as f64).sqrt().round() as usize).clamp(1, max_side);
+    let r = width.div_ceil(m).clamp(1, max_side);
+    let actual_width = m * r;
+
+    // 5. Total size within the bin, heavy-tailed. The bin boundary is on
+    // *total* CoFlow size (Table 1).
+    let split = cfg.size_split.as_u64() as f64;
+    let total = if long {
+        rng.pareto(split, cfg.size_alpha, cfg.max_size.as_u64() as f64)
+    } else {
+        // Pareto reflected into [min, split]: sample and fold so the
+        // mass leans toward small CoFlows, as in the FB trace.
+        let x = rng.pareto(cfg.min_size.as_u64() as f64, cfg.size_alpha, split);
+        x.min(split)
+    };
+    let total = Bytes((total.round() as u64).max(actual_width as u64));
+
+    // 6. Per-flow sizes.
+    let sizes: Vec<Bytes> = match kind {
+        SplitKind::Single => vec![total],
+        SplitKind::Equal => {
+            let per = total.div_per_flow(actual_width).as_u64().max(1);
+            vec![Bytes(per); actual_width]
+        }
+        SplitKind::Uneven => {
+            let weights: Vec<f64> =
+                (0..actual_width).map(|_| rng.pareto(1.0, 1.5, 100.0)).collect();
+            let sum: f64 = weights.iter().sum();
+            weights
+                .iter()
+                .map(|w| Bytes(((total.as_u64() as f64 * w / sum) as u64).max(1)))
+                .collect()
+        }
+    };
+
+    // 7. Placement: distinct mapper and reducer machines (they may
+    // overlap each other, as in real clusters where a node both maps
+    // and reduces).
+    let mapper_idx = sample_weighted_distinct(rng, wave_pop, m);
+    let reducer_idx = sample_weighted_distinct(rng, wave_pop, r);
+    let mappers: Vec<u64> = mapper_idx.iter().map(|&i| wave_nodes[i as usize]).collect();
+    let reducers: Vec<u64> = reducer_idx.iter().map(|&i| wave_nodes[i as usize]).collect();
+
+    let mut flows = Vec::with_capacity(actual_width);
+    let mut k = 0;
+    for red in &reducers {
+        for map in &mappers {
+            flows.push(FlowSpec::new(
+                NodeId(*map as u32),
+                NodeId(*red as u32),
+                sizes[k.min(sizes.len() - 1)],
+            ));
+            k += 1;
+        }
+    }
+
+    CoflowSpec::new(id, arrival, flows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let a = generate(&small(42, 20, 60));
+        let b = generate(&small(42, 20, 60));
+        assert_eq!(a, b);
+        let c = generate(&small(43, 20, 60));
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn fb_like_matches_published_mix() {
+        let t = generate(&fb_like(7));
+        assert_eq!(t.num_nodes, 150);
+        assert_eq!(t.coflows.len(), 526);
+        assert!(t.validate().is_ok());
+
+        let single = t.coflows.iter().filter(|c| c.width() == 1).count() as f64;
+        let multi_equal = t
+            .coflows
+            .iter()
+            .filter(|c| c.width() > 1 && c.has_equal_flows())
+            .count() as f64;
+        let multi_uneven = t
+            .coflows
+            .iter()
+            .filter(|c| c.width() > 1 && !c.has_equal_flows())
+            .count() as f64;
+        let n = t.coflows.len() as f64;
+        // §2.3: 23 % single, 50 % equal, 27 % uneven (±6 % sampling).
+        assert!((single / n - 0.23).abs() < 0.06, "single: {}", single / n);
+        assert!((multi_equal / n - 0.50).abs() < 0.06, "equal: {}", multi_equal / n);
+        assert!((multi_uneven / n - 0.27).abs() < 0.06, "uneven: {}", multi_uneven / n);
+    }
+
+    #[test]
+    fn fb_like_matches_bin_masses() {
+        let t = generate(&fb_like(11));
+        let mut bins = [0usize; 4];
+        for c in &t.coflows {
+            let wide = c.width() > 10;
+            let long = c.total_size() > Bytes::mb(100);
+            bins[match (long, wide) {
+                (false, false) => 0,
+                (false, true) => 1,
+                (true, false) => 2,
+                (true, true) => 3,
+            }] += 1;
+        }
+        let n = t.coflows.len() as f64;
+        let target = [0.60, 0.12, 0.16, 0.12];
+        for (i, b) in bins.iter().enumerate() {
+            let frac = *b as f64 / n;
+            assert!(
+                (frac - target[i]).abs() < 0.08,
+                "bin {} mass {frac} vs target {}",
+                i + 1,
+                target[i]
+            );
+        }
+    }
+
+    #[test]
+    fn osp_like_is_denser_than_fb() {
+        let fb = generate(&fb_like(3));
+        let osp = generate(&osp_like(3));
+        assert!(osp.validate().is_ok());
+        // Arrival density per node-second.
+        let fb_density =
+            fb.coflows.len() as f64 / fb.arrival_span().as_secs_f64() / fb.num_nodes as f64;
+        let osp_density = osp.coflows.len() as f64
+            / osp.arrival_span().as_secs_f64()
+            / osp.num_nodes as f64;
+        assert!(
+            osp_density > 1.5 * fb_density,
+            "OSP density {osp_density} not ≫ FB {fb_density}"
+        );
+    }
+
+    #[test]
+    fn arrivals_sorted_and_span_sane() {
+        let t = generate(&fb_like(5));
+        let mut last = Time::ZERO;
+        for c in &t.coflows {
+            assert!(c.arrival >= last);
+            last = c.arrival;
+        }
+        let span = t.arrival_span().as_secs_f64();
+        assert!(span > 200.0 && span < 800.0, "span {span}s unreasonable");
+    }
+
+    #[test]
+    fn widths_form_shuffles() {
+        let t = generate(&fb_like(9));
+        for c in &t.coflows {
+            let mappers: std::collections::BTreeSet<_> =
+                c.flows.iter().map(|f| f.src).collect();
+            let reducers: std::collections::BTreeSet<_> =
+                c.flows.iter().map(|f| f.dst).collect();
+            assert_eq!(
+                c.width(),
+                mappers.len() * reducers.len(),
+                "CoFlow {} is not a full M×R shuffle",
+                c.id
+            );
+        }
+    }
+
+    #[test]
+    fn small_preset_hits_every_bin() {
+        let t = generate(&small(1, 30, 400));
+        let mut bins = [0usize; 4];
+        for c in &t.coflows {
+            let wide = c.width() > 10;
+            let long = c.total_size() > Bytes::mb(100);
+            bins[match (long, wide) {
+                (false, false) => 0,
+                (false, true) => 1,
+                (true, false) => 2,
+                (true, true) => 3,
+            }] += 1;
+        }
+        assert!(bins.iter().all(|&b| b > 0), "empty bin in {bins:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two nodes")]
+    fn degenerate_config_panics() {
+        let mut cfg = small(1, 1, 1);
+        cfg.num_nodes = 1;
+        generate(&cfg);
+    }
+}

@@ -1,0 +1,46 @@
+//! # saath-workload
+//!
+//! Everything that *feeds* the Saath reproduction: CoFlow workload
+//! descriptions, trace file I/O, synthetic trace generators calibrated
+//! to the paper's published statistics, DAG/job models, and cluster
+//! dynamics (stragglers, failures, pipelined data availability).
+//!
+//! ## Traces
+//!
+//! The paper evaluates on two traces:
+//!
+//! * the public Facebook Hive/MapReduce trace from the
+//!   `coflow-benchmark` repository (150 ports, 526 CoFlows) — [`io`]
+//!   parses and writes that exact text format, so the real file can be
+//!   used directly when available;
+//! * a proprietary Microsoft "online service provider" (OSP) trace
+//!   (O(1000) jobs on O(100) ports, busier ports than FB).
+//!
+//! Neither file can ship with an offline reproduction, so [`gen`]
+//! provides two seeded generators, [`gen::fb_like`] and
+//! [`gen::osp_like`], that reproduce every distributional property the
+//! evaluation depends on (§2.3, Table 1, Figs 2/11/12): the
+//! single/equal/uneven flow-length mix (23 % / 50 % / 27 % in FB), the
+//! size×width bin masses, heavy-tailed sizes, and — for OSP — the
+//! denser per-port CoFlow occupancy the paper credits for its much
+//! larger tail speedups.
+//!
+//! ## Worked examples
+//!
+//! [`paper_examples`] hand-builds the toy workloads of Figs 1, 4, 5, 8
+//! and 17 so tests can assert the exact schedules the paper draws.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dag;
+pub mod dynamics;
+pub mod gen;
+pub mod io;
+pub mod paper_examples;
+pub mod spec;
+pub mod transform;
+
+pub use dag::{JobSpec, ShuffleFractionModel};
+pub use dynamics::{DynamicsEvent, DynamicsSpec};
+pub use spec::{CoflowSpec, FlowSpec, Trace};

@@ -1,0 +1,261 @@
+//! Hand-built workloads reproducing the paper's worked examples.
+//!
+//! Each function returns a [`Trace`] whose *exact* optimal and
+//! policy-specific schedules the paper draws (Figs 1, 4, 5, 8, 17).
+//! Integration tests in the workspace root replay these traces through
+//! the real schedulers and assert the CCTs the figures annotate.
+//!
+//! Flow lengths are expressed in units of `t` = 1 second of port time,
+//! in tenths (`units(25)` = a flow of duration `2.5t`). The examples use
+//! deliberately *slow* 1 Mbps ports so that every flow stays far below
+//! the default 10 MB queue threshold: the figures reason about a single
+//! priority queue, and keeping the examples inside `Q_0` preserves that
+//! without touching the schedulers' default configuration. (Timing is
+//! rate-invariant: only the ratio of flow size to port speed matters.)
+
+use crate::spec::{CoflowSpec, FlowSpec, Trace};
+use saath_simcore::{Bytes, CoflowId, NodeId, Rate, Time};
+
+/// 1 Mbps — slow on purpose, see the module docs.
+pub const PORT_RATE: Rate = Rate::mbps(1);
+
+/// Bytes that take `tenths/10` seconds to send at [`PORT_RATE`].
+pub fn units(tenths: u64) -> Bytes {
+    Bytes(PORT_RATE.as_u64() / 10 * tenths)
+}
+
+fn flow(src: u32, dst: u32, tenths: u64) -> FlowSpec {
+    FlowSpec::new(NodeId(src), NodeId(dst), units(tenths))
+}
+
+/// **Fig 1 — the out-of-sync problem.**
+///
+/// Four CoFlows, arrival order `C1 < C2 < C3 < C4`, every flow of
+/// duration `t` (= 1 s here). `C2` spans all three sender ports; the
+/// others each use one.
+///
+/// * Aalo (per-port FIFO): `C2`'s flows run out of sync; CCTs are
+///   `t, 2t, 2t, 2t` — average `1.75 t`.
+/// * Optimal / Saath (LCoF + all-or-none): the three narrow CoFlows go
+///   first and `C2` runs as a gang; CCTs are `t, 2t, t, t` — average
+///   `1.25 t`.
+///
+/// Senders are nodes 0–2, receivers 3–8 (all distinct, so only uplinks
+/// contend). Contentions: `k1 = 1, k2 = 3, k3 = k4 = 1`, as the paper
+/// states.
+pub fn fig1_out_of_sync() -> Trace {
+    let t = 10; // tenths
+    let coflows = vec![
+        CoflowSpec::new(CoflowId(1), Time::ZERO, vec![flow(0, 3, t)]),
+        CoflowSpec::new(
+            CoflowId(2),
+            Time::from_millis(1),
+            vec![flow(0, 4, t), flow(1, 5, t), flow(2, 6, t)],
+        ),
+        CoflowSpec::new(CoflowId(3), Time::from_millis(2), vec![flow(1, 7, t)]),
+        CoflowSpec::new(CoflowId(4), Time::from_millis(3), vec![flow(2, 8, t)]),
+    ];
+    Trace { num_nodes: 9, port_rate: PORT_RATE, coflows }
+}
+
+/// **Fig 4 — all-or-none can idle ports; work conservation fixes it.**
+///
+/// `C1` is a single flow of duration `t` on sender 0. `C2` has a flow of
+/// duration `t` on sender 0 and a flow of duration `2t` on sender 1.
+///
+/// * All-or-none *without* work conservation: `C1` runs `[0, t)`;
+///   sender 1 sits idle; `C2` runs `[t, 3t)`. CCTs `t, 3t` — average
+///   `2 t` (the figure's (b) panel).
+/// * With work conservation: `C2`'s sender-1 flow backfills `[0, t)`,
+///   so `C2` completes at `2t`. Average `1.5 t` — strictly better, the
+///   figure's (c) effect.
+pub fn fig4_work_conservation() -> Trace {
+    let t = 10;
+    let coflows = vec![
+        CoflowSpec::new(CoflowId(1), Time::ZERO, vec![flow(0, 2, t)]),
+        CoflowSpec::new(
+            CoflowId(2),
+            Time::from_millis(1),
+            vec![flow(0, 3, t), flow(1, 4, 2 * t)],
+        ),
+    ];
+    Trace { num_nodes: 5, port_rate: PORT_RATE, coflows }
+}
+
+/// **Fig 5 — fast queue transition via per-flow thresholds.**
+///
+/// `C1` occupies senders 0 and 1 with long flows. `C2` has four flows,
+/// one per sender 0–3; under FIFO only its sender-2/3 flows can run at
+/// first. With a queue threshold of `4·B·t` bytes total:
+///
+/// * Aalo (total-bytes threshold): `C2` needs `2t` of sending on its two
+///   free ports to cross.
+/// * Saath (per-flow threshold `B·t`): the sender-2 flow crosses its
+///   share at `t`, demoting the whole CoFlow — twice as fast, freeing
+///   the high-priority queue.
+pub fn fig5_queue_transition() -> Trace {
+    let t = 10;
+    let coflows = vec![
+        CoflowSpec::new(
+            CoflowId(1),
+            Time::ZERO,
+            vec![flow(0, 4, 8 * t), flow(1, 5, 8 * t)],
+        ),
+        CoflowSpec::new(
+            CoflowId(2),
+            Time::from_millis(1),
+            vec![
+                flow(0, 6, 4 * t),
+                flow(1, 7, 4 * t),
+                flow(2, 8, 4 * t),
+                flow(3, 9, 4 * t),
+            ],
+        ),
+    ];
+    Trace { num_nodes: 10, port_rate: PORT_RATE, coflows }
+}
+
+/// **Fig 8 — LCoF's known limitation.**
+///
+/// `C1` is short (duration `t`) but wide (senders 0 and 1, so `k = 2`);
+/// `C2` and `C3` are long (duration `2.5t`) but narrow (`k = 1` each).
+///
+/// * LCoF schedules the low-contention `C2`/`C3` first: CCTs
+///   `3.5t, 2.5t, 2.5t` — average `2.83 t`.
+/// * Optimal schedules `C1` first: CCTs `t, 3.5t, 3.5t` — average
+///   `2.66 t`.
+///
+/// The paper keeps LCoF anyway: such CoFlows are a minor fraction of
+/// real traces (bin-2 in Figs 11/12).
+pub fn fig8_lcof_limitation() -> Trace {
+    let coflows = vec![
+        CoflowSpec::new(
+            CoflowId(1),
+            Time::ZERO,
+            vec![flow(0, 2, 10), flow(1, 3, 10)],
+        ),
+        CoflowSpec::new(CoflowId(2), Time::from_millis(1), vec![flow(0, 4, 25)]),
+        CoflowSpec::new(CoflowId(3), Time::from_millis(2), vec![flow(1, 5, 25)]),
+    ];
+    Trace { num_nodes: 6, port_rate: PORT_RATE, coflows }
+}
+
+/// **Fig 17 / Appendix A — SJF is sub-optimal for CoFlows.**
+///
+/// All three CoFlows arrive together, sizes known: `C1` spans both
+/// sender ports with duration `5` units; `C2` (duration 6) and `C3`
+/// (duration 7) each use one port. `k1 = 2, k2 = k3 = 1`.
+///
+/// * SJF picks shortest-first (`C1`): CCTs `5, 11, 12` — average 9.3.
+/// * Contention-aware (LWTF: `t·k` = 10, 6, 7): `C2`, `C3` first, then
+///   `C1`: CCTs `12, 6, 7` — average 8.3.
+pub fn fig17_sjf_suboptimal() -> Trace {
+    let coflows = vec![
+        CoflowSpec::new(
+            CoflowId(1),
+            Time::ZERO,
+            vec![flow(0, 2, 50), flow(1, 3, 50)],
+        ),
+        CoflowSpec::new(CoflowId(2), Time::ZERO, vec![flow(0, 4, 60)]),
+        CoflowSpec::new(CoflowId(3), Time::ZERO, vec![flow(1, 5, 70)]),
+    ];
+    Trace { num_nodes: 6, port_rate: PORT_RATE, coflows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_examples_validate() {
+        for (name, t) in [
+            ("fig1", fig1_out_of_sync()),
+            ("fig4", fig4_work_conservation()),
+            ("fig5", fig5_queue_transition()),
+            ("fig8", fig8_lcof_limitation()),
+            ("fig17", fig17_sjf_suboptimal()),
+        ] {
+            assert!(t.validate().is_ok(), "{name} invalid: {:?}", t.validate());
+        }
+    }
+
+    #[test]
+    fn units_are_port_seconds() {
+        // 10 tenths = 1 s at 1 Mbps = 125 KB.
+        assert_eq!(units(10), Bytes(125_000));
+    }
+
+    #[test]
+    fn examples_stay_in_the_first_queue() {
+        // The figures assume a single priority queue; no flow may cross
+        // the default 10 MB starting threshold even if it ran alone.
+        for t in [
+            fig1_out_of_sync(),
+            fig4_work_conservation(),
+            fig5_queue_transition(),
+            fig8_lcof_limitation(),
+            fig17_sjf_suboptimal(),
+        ] {
+            for c in &t.coflows {
+                assert!(c.total_size() < Bytes::mb(10), "{} too large", c.id);
+            }
+        }
+    }
+
+    #[test]
+    fn fig1_contentions_match_paper() {
+        let t = fig1_out_of_sync();
+        let n = t.num_nodes;
+        // k_c = number of other CoFlows sharing any port.
+        let k: Vec<usize> = t
+            .coflows
+            .iter()
+            .map(|c| {
+                let ports = c.ports(n);
+                t.coflows
+                    .iter()
+                    .filter(|o| o.id != c.id && !o.ports(n).is_disjoint(&ports))
+                    .count()
+            })
+            .collect();
+        assert_eq!(k, vec![1, 3, 1, 1]);
+    }
+
+    #[test]
+    fn fig17_contentions_match_paper() {
+        let t = fig17_sjf_suboptimal();
+        let n = t.num_nodes;
+        let k: Vec<usize> = t
+            .coflows
+            .iter()
+            .map(|c| {
+                let ports = c.ports(n);
+                t.coflows
+                    .iter()
+                    .filter(|o| o.id != c.id && !o.ports(n).is_disjoint(&ports))
+                    .count()
+            })
+            .collect();
+        assert_eq!(k, vec![2, 1, 1]);
+    }
+
+    #[test]
+    fn receivers_never_contend_in_examples() {
+        // The figures reason about sender ports only; examples are built
+        // so every receiver is unique.
+        for t in [
+            fig1_out_of_sync(),
+            fig4_work_conservation(),
+            fig5_queue_transition(),
+            fig8_lcof_limitation(),
+            fig17_sjf_suboptimal(),
+        ] {
+            let mut seen = std::collections::BTreeSet::new();
+            for c in &t.coflows {
+                for f in &c.flows {
+                    assert!(seen.insert(f.dst), "receiver {} reused", f.dst);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Trace transformations for sensitivity experiments.
+//!
+//! Fig 14(d) varies CoFlow *contention* by compressing or stretching
+//! inter-arrival times: `A = 4` means CoFlows arrive 4× faster (gaps
+//! divided by 4), `A = 0.5` means 2× slower. [`scale_arrivals`]
+//! implements exactly that, preserving the first arrival and every
+//! CoFlow's internal structure.
+
+use crate::spec::Trace;
+use saath_simcore::Time;
+
+/// Scales inter-arrival gaps by `den/num`, i.e. CoFlows arrive
+/// `num/den`× faster. `scale_arrivals(t, 4, 1)` is the paper's `A = 4`;
+/// `scale_arrivals(t, 1, 2)` is `A = 0.5`.
+pub fn scale_arrivals(trace: &Trace, num: u64, den: u64) -> Trace {
+    assert!(num > 0 && den > 0, "arrival scale must be positive");
+    let mut out = trace.clone();
+    let first = trace.coflows.first().map(|c| c.arrival).unwrap_or(Time::ZERO);
+    for c in &mut out.coflows {
+        let gap = c.arrival.saturating_since(first);
+        c.arrival = first + gap.mul_ratio(den, num);
+    }
+    out
+}
+
+/// Keeps only the first `n` CoFlows (cheap smoke-test slices of a big
+/// trace), reindexing nothing — ids are preserved.
+pub fn truncate(trace: &Trace, n: usize) -> Trace {
+    let mut out = trace.clone();
+    out.coflows.truncate(n);
+    // Drop dangling DAG deps that pointed at truncated CoFlows.
+    let ids: std::collections::BTreeSet<_> = out.coflows.iter().map(|c| c.id).collect();
+    for c in &mut out.coflows {
+        c.deps.retain(|d| ids.contains(d));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, small};
+    use saath_simcore::CoflowId;
+
+    #[test]
+    fn scaling_compresses_gaps() {
+        let t = generate(&small(4, 10, 50));
+        let fast = scale_arrivals(&t, 4, 1);
+        let slow = scale_arrivals(&t, 1, 2);
+        assert_eq!(fast.coflows[0].arrival, t.coflows[0].arrival);
+        let span = t.arrival_span().as_nanos();
+        assert_eq!(fast.arrival_span().as_nanos(), span / 4);
+        assert_eq!(slow.arrival_span().as_nanos(), span * 2);
+        assert!(fast.validate().is_ok());
+        assert!(slow.validate().is_ok());
+    }
+
+    #[test]
+    fn identity_scale_is_identity() {
+        let t = generate(&small(4, 10, 50));
+        assert_eq!(scale_arrivals(&t, 1, 1), t);
+        assert_eq!(scale_arrivals(&t, 7, 7), t);
+    }
+
+    #[test]
+    fn truncate_drops_dangling_deps() {
+        let mut t = generate(&small(4, 10, 20));
+        // Make CoFlow 3 depend on CoFlow 15, then cut at 10.
+        t.coflows[3].deps.push(CoflowId(15));
+        let cut = truncate(&t, 10);
+        assert_eq!(cut.coflows.len(), 10);
+        assert!(cut.coflows[3].deps.is_empty());
+        assert!(cut.validate().is_ok());
+    }
+}

@@ -1,0 +1,62 @@
+//! A hand-built MapReduce shuffle scenario — the paper's motivating
+//! workload (§1): several jobs' shuffles sharing a small cluster, where
+//! a wide shuffle head-of-line-blocks narrow ones under FIFO but not
+//! under LCoF.
+//!
+//! ```sh
+//! cargo run --release --example mapreduce_shuffle
+//! ```
+
+use saath::prelude::*;
+
+/// Builds an M×R shuffle CoFlow with `mb_per_reducer` MB arriving at
+/// each reducer.
+fn shuffle(
+    id: u32,
+    arrival_ms: u64,
+    mappers: &[u32],
+    reducers: &[u32],
+    mb_per_reducer: u64,
+) -> CoflowSpec {
+    let per_flow = Bytes::mb(mb_per_reducer).div_per_flow(mappers.len());
+    let mut flows = Vec::new();
+    for &r in reducers {
+        for &m in mappers {
+            flows.push(FlowSpec::new(NodeId(m), NodeId(r), per_flow));
+        }
+    }
+    CoflowSpec::new(CoflowId(id), Time::from_millis(arrival_ms), flows)
+}
+
+fn main() {
+    // 8 machines. Job 0 is a big 4×4 shuffle across the whole cluster;
+    // jobs 1-4 are small 1×1 "joins" that keep arriving under it.
+    let mut coflows = vec![shuffle(0, 0, &[0, 1, 2, 3], &[4, 5, 6, 7], 400)];
+    for i in 1..=4 {
+        coflows.push(shuffle(i, 50 * i as u64, &[(i - 1) % 4], &[4 + (i - 1) % 4], 25));
+    }
+    let trace = Trace { num_nodes: 8, port_rate: Rate::gbps(1), coflows };
+    trace.validate().unwrap();
+
+    let cfg = SimConfig::default();
+    println!("{:<12} {:>10} {:>10} {:>10}", "coflow", "aalo CCT", "saath CCT", "speedup");
+    let aalo = run_policy(&trace, &Policy::aalo(), &cfg, &DynamicsSpec::none()).unwrap();
+    let saath = run_policy(&trace, &Policy::saath(), &cfg, &DynamicsSpec::none()).unwrap();
+    for (a, s) in aalo.records.iter().zip(&saath.records) {
+        assert_eq!(a.id, s.id);
+        println!(
+            "{:<12} {:>9.3}s {:>9.3}s {:>9.2}x",
+            format!("{} (w={})", a.id, a.width),
+            a.cct().as_secs_f64(),
+            s.cct().as_secs_f64(),
+            a.cct().as_nanos() as f64 / s.cct().as_nanos() as f64,
+        );
+    }
+    println!(
+        "\naverage CCT: aalo {:.3}s, saath {:.3}s — the small joins cut ahead of the\n\
+         wide shuffle under LCoF + all-or-none, while the shuffle's own completion\n\
+         barely moves (its bottleneck ports were always the constraint).",
+        aalo.avg_cct_secs(),
+        saath.avg_cct_secs()
+    );
+}

@@ -1,0 +1,39 @@
+//! Quickstart: generate a workload, replay it under Saath and Aalo,
+//! and compare CoFlow completion times.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use saath::prelude::*;
+
+fn main() {
+    // A deterministic FB-like workload scaled down to run in ~a second:
+    // 40 machines, 120 CoFlows with the paper's width/size mix.
+    let trace = workload::gen::generate(&workload::gen::small(7, 40, 120));
+    println!(
+        "workload: {} CoFlows, {} flows, {:.1} GB over {} nodes",
+        trace.coflows.len(),
+        trace.num_flows(),
+        trace.total_bytes().as_u64() as f64 / 1e9,
+        trace.num_nodes,
+    );
+
+    // Replay with the paper's default parameters (K=10 queues, S=10 MB,
+    // E=10, δ=8 ms).
+    let cfg = SimConfig::default();
+    let aalo = run_policy(&trace, &Policy::aalo(), &cfg, &DynamicsSpec::none()).unwrap();
+    let saath = run_policy(&trace, &Policy::saath(), &cfg, &DynamicsSpec::none()).unwrap();
+
+    println!("Aalo : avg CCT {:.3}s over {} CoFlows", aalo.avg_cct_secs(), aalo.records.len());
+    println!("Saath: avg CCT {:.3}s over {} CoFlows", saath.avg_cct_secs(), saath.records.len());
+
+    let speedup = SpeedupSummary::compute(&aalo.records, &saath.records).unwrap();
+    println!("per-CoFlow speedup of Saath over Aalo: {speedup}");
+
+    // The clairvoyant upper bound: Varys (SEBF + MADD) with perfect
+    // knowledge of flow sizes.
+    let varys = run_policy(&trace, &Policy::Varys, &cfg, &DynamicsSpec::none()).unwrap();
+    let vs_varys = SpeedupSummary::compute(&varys.records, &saath.records).unwrap();
+    println!("Saath vs clairvoyant Varys (≈1x is the goal): {vs_varys}");
+}

@@ -1,0 +1,80 @@
+//! Workload tooling tour: write a trace in the public
+//! `coflow-benchmark` format, parse it back, and reproduce the paper's
+//! §2.3 out-of-sync analysis (Fig 2) on it.
+//!
+//! Pass a path to analyze a real trace file (e.g. the published
+//! Facebook trace) instead of a generated one:
+//!
+//! ```sh
+//! cargo run --release --example trace_analysis [FB2010-1Hr-150-0.txt]
+//! ```
+
+use saath::metrics::{bins, deviation, percentile};
+use saath::prelude::*;
+use saath::workload::io;
+
+fn main() {
+    let trace = match std::env::args().nth(1) {
+        Some(path) => {
+            println!("parsing {path}…");
+            io::read_coflow_benchmark(std::path::Path::new(&path), Rate::gbps(1))
+                .expect("valid coflow-benchmark file")
+        }
+        None => {
+            // Generate, serialize, and re-parse — exercising the full
+            // I/O round trip on the published format.
+            let t = workload::gen::generate(&workload::gen::small(3, 30, 150));
+            let text = io::write_coflow_benchmark(&t);
+            println!("(generated a trace and round-tripped it through the text format)");
+            io::parse_coflow_benchmark(&text, Rate::gbps(1)).expect("round trip")
+        }
+    };
+
+    println!(
+        "{} nodes, {} CoFlows, {} flows, {:.1} GB total, arrivals span {:.0}s\n",
+        trace.num_nodes,
+        trace.coflows.len(),
+        trace.num_flows(),
+        trace.total_bytes().as_u64() as f64 / 1e9,
+        trace.arrival_span().as_secs_f64(),
+    );
+
+    // Structure: the flow-length mix of §2.3 and Table 1's bins.
+    let n = trace.coflows.len() as f64;
+    let single = trace.coflows.iter().filter(|c| c.width() == 1).count() as f64 / n;
+    let equal = trace
+        .coflows
+        .iter()
+        .filter(|c| c.width() > 1 && c.has_equal_flows())
+        .count() as f64
+        / n;
+    println!("single-flow: {:.0}%   multi equal: {:.0}%   multi uneven: {:.0}%",
+        single * 100.0, equal * 100.0, (1.0 - single - equal) * 100.0);
+    let mut bin_counts = [0usize; 4];
+    for c in &trace.coflows {
+        let b = bins::classify(c.total_size(), c.width());
+        bin_counts[bins::Bin::ALL.iter().position(|x| *x == b).unwrap()] += 1;
+    }
+    for (b, count) in bins::Bin::ALL.iter().zip(bin_counts) {
+        println!("{}: {:>5.1}%", b.label(), count as f64 / n * 100.0);
+    }
+
+    // Behaviour: replay under Aalo and measure the out-of-sync spread.
+    println!("\nreplaying under Aalo to measure the out-of-sync problem (Fig 2c)…");
+    let out =
+        run_policy(&trace, &Policy::aalo(), &SimConfig::default(), &DynamicsSpec::none())
+            .unwrap();
+    let (eq_dev, uneq_dev) = deviation::fct_deviation_split(&out.records);
+    let p = |v: &[f64], q| percentile(v, q).map(|x| x * 100.0).unwrap_or(f64::NAN);
+    println!(
+        "normalized FCT deviation, equal-length CoFlows:  P50 {:.0}%  P80 {:.0}%",
+        p(&eq_dev, 50.0),
+        p(&eq_dev, 80.0)
+    );
+    println!(
+        "normalized FCT deviation, uneven-length CoFlows: P50 {:.0}%  P80 {:.0}%",
+        p(&uneq_dev, 50.0),
+        p(&uneq_dev, 80.0)
+    );
+    println!("(the paper reports >12% / >39% and >27% / >50% on the FB trace)");
+}

@@ -1,0 +1,86 @@
+//! # saath
+//!
+//! A production-quality Rust reproduction of **"Saath: Speeding up
+//! CoFlows by Exploiting the Spatial Dimension"** (Jajoo, Gandhi, Koh,
+//! Hu — CoNEXT 2017).
+//!
+//! Saath is an online (non-clairvoyant) CoFlow scheduler for datacenter
+//! clusters. A *CoFlow* is the set of semantically-synchronized flows of
+//! one job stage — the application advances only when the last of them
+//! finishes — so the right objective is CoFlow completion time (CCT),
+//! not per-flow metrics. Saath improves on Aalo by using the *spatial
+//! dimension* of CoFlows (their footprint across many ports at once):
+//!
+//! * **all-or-none** gang admission — all of a CoFlow's flows are
+//!   scheduled together or not at all, killing the *out-of-sync*
+//!   problem;
+//! * **per-flow queue thresholds** — the priority-queue demotion
+//!   threshold is split across a CoFlow's flows, so one fast flow
+//!   demotes the whole CoFlow early;
+//! * **Least-Contention-First (LCoF)** — within a queue, schedule the
+//!   CoFlow that blocks the fewest others first, with FIFO-derived
+//!   deadlines guaranteeing starvation freedom.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`simcore`] | `saath-simcore` | deterministic time/events/RNG substrate |
+//! | [`fabric`] | `saath-fabric` | big-switch fabric, rate-allocation primitives |
+//! | [`workload`] | `saath-workload` | traces, generators, DAGs, dynamics |
+//! | [`core`] | `saath-core` | Saath + every baseline scheduler |
+//! | [`simulator`] | `saath-simulator` | trace-replay simulation engine |
+//! | [`runtime`] | `saath-runtime` | distributed coordinator/agents runtime |
+//! | [`metrics`] | `saath-metrics` | CCT statistics, bins, tables |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use saath::prelude::*;
+//!
+//! // A 20-node cluster, 30 CoFlows, deterministic seed.
+//! let trace = workload::gen::generate(&workload::gen::small(7, 20, 30));
+//!
+//! // Replay under Saath and under Aalo, then compare CCTs.
+//! let cfg = SimConfig::default();
+//! let saath = run_policy(&trace, &Policy::saath(), &cfg, &DynamicsSpec::none()).unwrap();
+//! let aalo = run_policy(&trace, &Policy::aalo(), &cfg, &DynamicsSpec::none()).unwrap();
+//!
+//! let speedup = SpeedupSummary::compute(&aalo.records, &saath.records).unwrap();
+//! println!("Saath over Aalo: {speedup}");
+//! assert_eq!(saath.records.len(), trace.coflows.len());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use saath_core as core;
+pub use saath_fabric as fabric;
+pub use saath_metrics as metrics;
+pub use saath_runtime as runtime;
+pub use saath_simcore as simcore;
+pub use saath_simulator as simulator;
+pub use saath_workload as workload;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use crate::core::{
+        Aalo, CoflowScheduler, OfflinePolicy, OfflineScheduler, QueueConfig, Saath,
+        SaathConfig, UcTcp,
+    };
+    pub use crate::metrics::{CoflowRecord, SpeedupSummary};
+    pub use crate::simcore::{Bytes, CoflowId, Duration, FlowId, NodeId, Rate, Time};
+    pub use crate::simulator::{run_policy, simulate, Policy, SimConfig};
+    pub use crate::workload::{self, CoflowSpec, DynamicsSpec, FlowSpec, Trace};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_line_up() {
+        // The prelude's types are the workspace types, not copies.
+        let _: crate::prelude::Bytes = crate::simcore::Bytes::mb(1);
+        let cfg = crate::prelude::SaathConfig::default();
+        assert!(cfg.all_or_none && cfg.lcof && cfg.per_flow_threshold);
+    }
+}

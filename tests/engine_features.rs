@@ -1,0 +1,178 @@
+//! End-to-end coverage of the engine features the headline experiments
+//! don't exercise: pipelined data availability, event-driven δ=0 mode,
+//! deep DAGs, the livelock safety valve, and the two Aalo inter-queue
+//! models.
+
+use saath::prelude::*;
+use saath::workload::dag;
+
+fn one_flow_trace(size: Bytes, available_after: Duration) -> Trace {
+    let mut f = FlowSpec::new(NodeId(0), NodeId(1), size);
+    f.available_after = available_after;
+    Trace {
+        num_nodes: 2,
+        port_rate: Rate::gbps(1),
+        coflows: vec![CoflowSpec::new(CoflowId(0), Time::ZERO, vec![f])],
+    }
+}
+
+/// §4.3 pipelining: a flow whose data appears 2 s after CoFlow arrival
+/// cannot start earlier, under any scheduler.
+#[test]
+fn pipelined_data_availability_delays_start() {
+    let trace = one_flow_trace(Bytes(125_000_000), Duration::from_secs(2));
+    for p in [Policy::saath(), Policy::aalo(), Policy::UcTcp] {
+        let out =
+            run_policy(&trace, &p, &SimConfig::default(), &DynamicsSpec::none()).unwrap();
+        let cct = out.records[0].cct().as_secs_f64();
+        // 2 s unavailable + 1 s transfer (+ δ slack).
+        assert!((cct - 3.0).abs() < 0.05, "{}: cct {cct}", p.name());
+    }
+}
+
+/// δ = 0 is the idealized event-driven coordinator: strictly no worse
+/// than any finite δ, and exact on a single flow.
+#[test]
+fn event_driven_mode_is_exact() {
+    let trace = one_flow_trace(Bytes(125_000_000), Duration::ZERO);
+    let ideal = SimConfig { delta: Duration::ZERO, ..Default::default() };
+    let out =
+        run_policy(&trace, &Policy::saath(), &ideal, &DynamicsSpec::none()).unwrap();
+    assert_eq!(out.records[0].cct(), Duration::from_secs(1), "event-driven must be exact");
+
+    // And a contended workload is never worse under δ=0 than δ=8ms.
+    let trace = saath::workload::gen::generate(&saath::workload::gen::small(23, 10, 30));
+    let delta8 =
+        run_policy(&trace, &Policy::saath(), &SimConfig::default(), &DynamicsSpec::none())
+            .unwrap();
+    let delta0 = run_policy(&trace, &Policy::saath(), &ideal, &DynamicsSpec::none()).unwrap();
+    assert!(
+        delta0.avg_cct_secs() <= delta8.avg_cct_secs() * 1.01,
+        "δ=0 ({}) worse than δ=8ms ({})",
+        delta0.avg_cct_secs(),
+        delta8.avg_cct_secs()
+    );
+}
+
+/// A five-wave MapReduce job as a serialized CoFlow chain (§4.3
+/// "multiple waves"): waves run strictly one after another.
+#[test]
+fn multi_wave_chain_serializes() {
+    let wave = |id: u32| {
+        CoflowSpec::new(
+            CoflowId(id),
+            Time::ZERO,
+            vec![
+                FlowSpec::new(NodeId(0), NodeId(2), Bytes(62_500_000)),
+                FlowSpec::new(NodeId(1), NodeId(3), Bytes(62_500_000)),
+            ],
+        )
+    };
+    let coflows = dag::chain((0..5).map(wave).collect());
+    let trace = Trace { num_nodes: 4, port_rate: Rate::gbps(1), coflows };
+    let out =
+        run_policy(&trace, &Policy::saath(), &SimConfig::default(), &DynamicsSpec::none())
+            .unwrap();
+    assert_eq!(out.records.len(), 5);
+    for w in out.records.windows(2) {
+        assert!(
+            w[1].released >= w[0].finish,
+            "wave {} started before wave {} finished",
+            w[1].id,
+            w[0].id
+        );
+    }
+    // Five waves of 0.5 s each.
+    let makespan = out.records.last().unwrap().finish.as_secs_f64();
+    assert!((makespan - 2.5).abs() < 0.1, "makespan {makespan}");
+}
+
+/// The livelock safety valve: a coordinator that never grants rates
+/// trips the round limit instead of spinning forever.
+#[test]
+fn round_limit_catches_livelock() {
+    struct NullScheduler;
+    impl saath::core::CoflowScheduler for NullScheduler {
+        fn name(&self) -> &'static str {
+            "null"
+        }
+        fn compute(
+            &mut self,
+            _view: &saath::core::view::ClusterView<'_>,
+            _bank: &mut saath::fabric::PortBank,
+            _out: &mut saath::core::view::Schedule,
+        ) {
+        }
+    }
+    let trace = one_flow_trace(Bytes(1_000_000), Duration::ZERO);
+    let cfg = SimConfig { max_rounds: 1000, ..Default::default() };
+    let err = simulate(&trace, &mut NullScheduler, &cfg, &DynamicsSpec::none()).unwrap_err();
+    assert!(matches!(err, saath::simulator::SimError::RoundLimit(1000)));
+}
+
+/// The two Aalo inter-queue models differ exactly as designed: under
+/// weighted sharing a demoted CoFlow keeps trickling; under strict
+/// priority it stops while higher queues are busy.
+#[test]
+fn aalo_weighted_vs_strict_priority() {
+    use saath::simulator::simulate;
+    // One long CoFlow that demotes early, plus a stream of fresh
+    // CoFlows keeping Q0 busy on the same sender.
+    let mut coflows = vec![CoflowSpec::new(
+        CoflowId(0),
+        Time::ZERO,
+        vec![FlowSpec::new(NodeId(0), NodeId(1), Bytes::mb(100))],
+    )];
+    for i in 1..=20 {
+        coflows.push(CoflowSpec::new(
+            CoflowId(i),
+            Time::from_millis(40 * i as u64),
+            vec![FlowSpec::new(NodeId(0), NodeId(2), Bytes::mb(5))],
+        ));
+    }
+    let trace = Trace { num_nodes: 3, port_rate: Rate::gbps(1), coflows };
+
+    let cfg = SimConfig::default();
+    let mut weighted = Aalo::with_defaults();
+    let w = simulate(&trace, &mut weighted, &cfg, &DynamicsSpec::none()).unwrap();
+    let mut strict = Aalo::strict_priority(QueueConfig::default());
+    let s = simulate(&trace, &mut strict, &cfg, &DynamicsSpec::none()).unwrap();
+
+    assert_eq!(w.records.len(), 21);
+    assert_eq!(s.records.len(), 21);
+    // The fresh Q0 stream pays for the weighted trickle to the demoted
+    // CoFlow: under strict priority it owns the port outright.
+    let fresh_avg = |recs: &[CoflowRecord]| {
+        recs.iter()
+            .filter(|r| r.id != CoflowId(0))
+            .map(|r| r.cct().as_secs_f64())
+            .sum::<f64>()
+            / 20.0
+    };
+    assert!(
+        fresh_avg(&w.records) > fresh_avg(&s.records),
+        "weighted sharing must slow the fresh stream: {} vs {}",
+        fresh_avg(&w.records),
+        fresh_avg(&s.records)
+    );
+}
+
+/// Records expose flow-level FCTs consistent with the CoFlow times.
+#[test]
+fn record_internal_consistency() {
+    let trace = saath::workload::gen::generate(&saath::workload::gen::small(29, 12, 40));
+    let out =
+        run_policy(&trace, &Policy::saath(), &SimConfig::default(), &DynamicsSpec::none())
+            .unwrap();
+    for r in &out.records {
+        let max_fct = r.flow_fcts.iter().max().copied().unwrap();
+        assert_eq!(
+            r.released + max_fct,
+            r.finish,
+            "{}: last flow's FCT must define the finish time",
+            r.id
+        );
+        assert_eq!(r.flow_sizes.len(), r.width);
+        assert_eq!(r.total_bytes, r.flow_sizes.iter().copied().sum());
+    }
+}
