@@ -4,7 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use saath_fabric::{
-    gang_rate, greedy_fill, madd_rates, max_min_fair, FlowEndpoints, PortBank,
+    gang_rate, greedy_fill, greedy_fill_into, madd_rates, madd_rates_into, max_min_fair,
+    max_min_fair_into, FlowEndpoints, MaxMinScratch, PortBank,
 };
 use saath_simcore::{Bytes, DetRng, FlowId, NodeId, PortId, Rate};
 
@@ -22,11 +23,15 @@ fn synth_flows(n: usize) -> Vec<FlowEndpoints> {
 }
 
 fn bench_primitives(c: &mut Criterion) {
-    for &n in &[16usize, 128, 1024] {
+    // 8192 flows ≈ a fully-loaded 150-node fabric; the `_into` variants
+    // at that size show what the allocation-free round buys.
+    for &n in &[16usize, 128, 1024, 8192] {
         let flows = synth_flows(n);
         let remaining: Vec<Bytes> = {
             let mut rng = DetRng::derive(8, "bench/rem");
-            (0..n).map(|_| Bytes(rng.range_inclusive(1_000_000, 1_000_000_000))).collect()
+            (0..n)
+                .map(|_| Bytes(rng.range_inclusive(1_000_000, 1_000_000_000)))
+                .collect()
         };
 
         c.bench_with_input(BenchmarkId::new("gang_rate", n), &n, |b, _| {
@@ -51,6 +56,36 @@ fn bench_primitives(c: &mut Criterion) {
         c.bench_with_input(BenchmarkId::new("max_min_fair", n), &n, |b, _| {
             let bank = PortBank::uniform(NODES, Rate::gbps(1));
             b.iter(|| max_min_fair(&bank, &flows));
+        });
+
+        // Allocation-free variants, as the schedulers call them.
+        c.bench_with_input(BenchmarkId::new("greedy_fill_into", n), &n, |b, _| {
+            let mut bank = PortBank::uniform(NODES, Rate::gbps(1));
+            let mut out = Vec::new();
+            b.iter(|| {
+                bank.reset_round();
+                greedy_fill_into(&mut bank, &flows, &mut out);
+                criterion::black_box(out.len());
+            });
+        });
+
+        c.bench_with_input(BenchmarkId::new("madd_rates_into", n), &n, |b, _| {
+            let bank = PortBank::uniform(NODES, Rate::gbps(1));
+            let mut out = Vec::new();
+            b.iter(|| {
+                madd_rates_into(&bank, &flows, &remaining, &mut out);
+                criterion::black_box(out.len());
+            });
+        });
+
+        c.bench_with_input(BenchmarkId::new("max_min_fair_into", n), &n, |b, _| {
+            let bank = PortBank::uniform(NODES, Rate::gbps(1));
+            let mut scratch = MaxMinScratch::default();
+            let mut out = Vec::new();
+            b.iter(|| {
+                max_min_fair_into(&bank, &flows, &mut scratch, &mut out);
+                criterion::black_box(out.len());
+            });
         });
     }
 }

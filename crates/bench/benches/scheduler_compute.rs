@@ -52,7 +52,10 @@ fn synth_views(n: usize, clairvoyant: bool) -> Vec<CoflowView> {
 
 fn bench_round(c: &mut Criterion) {
     let mut group = c.benchmark_group("schedule_round");
-    for &n in &[10usize, 50, 200] {
+    // 1000 active CoFlows is far past the FB trace's busy periods; it
+    // exercises the allocation-free round at the scale where per-round
+    // allocation used to dominate.
+    for &n in &[10usize, 50, 200, 1000] {
         let views = synth_views(n, false);
         let views_oracle = synth_views(n, true);
 
@@ -63,7 +66,11 @@ fn bench_round(c: &mut Criterion) {
             b.iter(|| {
                 bank.reset_round();
                 out.clear();
-                let view = ClusterView { now: Time::ZERO, num_nodes: NODES, coflows: &views };
+                let view = ClusterView {
+                    now: Time::ZERO,
+                    num_nodes: NODES,
+                    coflows: &views,
+                };
                 sched.compute(&view, &mut bank, &mut out);
             });
         });
@@ -74,7 +81,11 @@ fn bench_round(c: &mut Criterion) {
             b.iter(|| {
                 bank.reset_round();
                 out.clear();
-                let view = ClusterView { now: Time::ZERO, num_nodes: NODES, coflows: &views };
+                let view = ClusterView {
+                    now: Time::ZERO,
+                    num_nodes: NODES,
+                    coflows: &views,
+                };
                 sched.compute(&view, &mut bank, &mut out);
             });
         });
@@ -85,7 +96,11 @@ fn bench_round(c: &mut Criterion) {
             b.iter(|| {
                 bank.reset_round();
                 out.clear();
-                let view = ClusterView { now: Time::ZERO, num_nodes: NODES, coflows: &views };
+                let view = ClusterView {
+                    now: Time::ZERO,
+                    num_nodes: NODES,
+                    coflows: &views,
+                };
                 sched.compute(&view, &mut bank, &mut out);
             });
         });
@@ -112,11 +127,28 @@ fn bench_round(c: &mut Criterion) {
 /// part of Table 2's ordering column.
 fn bench_contention(c: &mut Criterion) {
     let mut group = c.benchmark_group("contention");
-    for &n in &[50usize, 200] {
+    for &n in &[50usize, 200, 1000] {
         let views = synth_views(n, false);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            let view = ClusterView { now: Time::ZERO, num_nodes: NODES, coflows: &views };
+        group.bench_with_input(BenchmarkId::new("alloc", n), &n, |b, _| {
+            let view = ClusterView {
+                now: Time::ZERO,
+                num_nodes: NODES,
+                coflows: &views,
+            };
             b.iter(|| saath_core::common::contention(&view));
+        });
+        group.bench_with_input(BenchmarkId::new("arena", n), &n, |b, _| {
+            let view = ClusterView {
+                now: Time::ZERO,
+                num_nodes: NODES,
+                coflows: &views,
+            };
+            let mut arena = saath_core::common::RoundArena::new();
+            let mut k = Vec::new();
+            b.iter(|| {
+                saath_core::common::contention_into(&view, &mut arena, &mut k);
+                criterion::black_box(k.len());
+            });
         });
     }
     group.finish();

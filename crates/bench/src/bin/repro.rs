@@ -5,6 +5,7 @@
 //!
 //! experiments:
 //!   fig2 fig3 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 table2 dynamics
+//!   epoch          engine wall-clock baseline (writes BENCH_epoch_loop.json)
 //!   all            run everything
 //!
 //! options:
@@ -21,22 +22,34 @@
 use saath_bench::{figs, Lab};
 
 fn arg_value(args: &[String], key: &str) -> Option<String> {
-    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let what = args.first().cloned().unwrap_or_else(|| {
-        eprintln!("usage: repro <fig2|fig3|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|fig17|table2|dynamics|all> [--seed N] [--panel P] [--trace PATH] [--scale N] [--nodes N] [--small]");
+        eprintln!("usage: repro <fig2|fig3|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|fig17|table2|dynamics|epoch|all> [--seed N] [--panel P] [--trace PATH] [--scale N] [--nodes N] [--small]");
         std::process::exit(2);
     });
-    let seed: u64 = arg_value(&args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(1);
+    let seed: u64 = arg_value(&args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
     let panel = arg_value(&args, "--panel").unwrap_or_else(|| "all".into());
-    let scale: u64 = arg_value(&args, "--scale").and_then(|v| v.parse().ok()).unwrap_or(50);
-    let nodes: usize = arg_value(&args, "--nodes").and_then(|v| v.parse().ok()).unwrap_or(40);
+    let scale: u64 = arg_value(&args, "--scale")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50);
+    let nodes: usize = arg_value(&args, "--nodes")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40);
     let small = args.iter().any(|a| a == "--small");
 
-    let mut lab = if small { Lab::small(seed) } else { Lab::new(seed) };
+    let mut lab = if small {
+        Lab::small(seed)
+    } else {
+        Lab::new(seed)
+    };
     if let Some(path) = arg_value(&args, "--trace") {
         let trace = saath_workload::io::read_coflow_benchmark(
             std::path::Path::new(&path),
@@ -69,14 +82,15 @@ fn main() {
             "fig17" => Some(figs::fig17(lab)),
             "table2" => Some(figs::table2(lab)),
             "dynamics" => Some(figs::dynamics(lab)),
+            "epoch" => Some(figs::epoch(lab)),
             _ => None,
         }
     };
 
     if what == "all" {
         for id in [
-            "fig2", "fig3", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
-            "fig15_16", "fig17", "table2", "dynamics",
+            "fig2", "fig3", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15_16",
+            "fig17", "table2", "dynamics",
         ] {
             println!("{}", run(&mut lab, id).unwrap());
         }
@@ -89,5 +103,8 @@ fn main() {
             }
         }
     }
-    eprintln!("[repro] done in {:.1?} (seed {seed}); CSVs in results/", t0.elapsed());
+    eprintln!(
+        "[repro] done in {:.1?} (seed {seed}); CSVs in results/",
+        t0.elapsed()
+    );
 }

@@ -38,8 +38,10 @@ pub fn fig2(lab: &mut Lab) -> String {
     let uneven = 1.0 - single - equal;
 
     // (b) flow-length deviation per CoFlow (ground truth).
-    let len_dev: Vec<f64> =
-        aalo.iter().filter_map(deviation::length_deviation).collect();
+    let len_dev: Vec<f64> = aalo
+        .iter()
+        .filter_map(deviation::length_deviation)
+        .collect();
 
     // (c) FCT deviation under Aalo, split.
     let (eq_dev, uneq_dev) = deviation::fct_deviation_split(&aalo);
@@ -91,7 +93,10 @@ pub fn fig3(lab: &mut Lab) -> String {
         let ours = lab.run(Workload::Fb, &policy).to_vec();
         let per = speedups(&aalo, &ours);
         let s = SpeedupSummary::compute(&aalo, &ours).unwrap();
-        lab.write_csv(&format!("fig3_{}_speedup_cdf.csv", policy.name()), &cdf_csv(&per));
+        lab.write_csv(
+            &format!("fig3_{}_speedup_cdf.csv", policy.name()),
+            &cdf_csv(&per),
+        );
         t.row(&[
             policy.name().into(),
             fmt_x(percentile(&per, 25.0).unwrap()),
@@ -108,14 +113,31 @@ pub fn fig3(lab: &mut Lab) -> String {
 pub fn fig9(lab: &mut Lab) -> String {
     let mut t = Table::new(
         "Fig 9 — per-CoFlow CCT speedup of Saath over other schedulers",
-        &["trace", "baseline", "P10", "median", "P90", "paper median (P90)"],
+        &[
+            "trace",
+            "baseline",
+            "P10",
+            "median",
+            "P90",
+            "paper median (P90)",
+        ],
     );
     for w in [Workload::Fb, Workload::Osp] {
         let saath = lab.run(w, &Policy::saath()).to_vec();
         for (base, paper) in [
-            (Policy::aalo(), if w == Workload::Fb { "1.53x (4.5x)" } else { "1.42x (37x)" }),
+            (
+                Policy::aalo(),
+                if w == Workload::Fb {
+                    "1.53x (4.5x)"
+                } else {
+                    "1.42x (37x)"
+                },
+            ),
             (Policy::Varys, "~1x (Saath ≈ offline SEBF)"),
-            (Policy::UcTcp, if w == Workload::Fb { "154x" } else { "121x" }),
+            (
+                Policy::UcTcp,
+                if w == Workload::Fb { "154x" } else { "121x" },
+            ),
         ] {
             let baseline = lab.run(w, &base).to_vec();
             let s = SpeedupSummary::compute(&baseline, &saath).unwrap();
@@ -157,7 +179,12 @@ pub fn fig10(lab: &mut Lab) -> String {
         for (label, p) in breakdown_policies() {
             let ours = lab.run(w, &p).to_vec();
             let s = SpeedupSummary::compute(&aalo, &ours).unwrap();
-            t.row(&[w.label().into(), label.into(), fmt_x(s.median), fmt_x(s.p90)]);
+            t.row(&[
+                w.label().into(),
+                label.into(),
+                fmt_x(s.median),
+                fmt_x(s.p90),
+            ]);
         }
     }
     t.render()
@@ -165,10 +192,7 @@ pub fn fig10(lab: &mut Lab) -> String {
 
 fn fig_bins(lab: &mut Lab, w: Workload, title: &str, csv: &str) -> String {
     let aalo = lab.run(w, &Policy::aalo()).to_vec();
-    let mut t = Table::new(
-        title,
-        &["design", "bin-1", "bin-2", "bin-3", "bin-4"],
-    );
+    let mut t = Table::new(title, &["design", "bin-1", "bin-2", "bin-3", "bin-4"]);
     let mut fracs_row: Option<Vec<String>> = None;
     let mut csv_out = String::from("design,bin,fraction,median_speedup\n");
     for (label, p) in breakdown_policies() {
@@ -177,7 +201,10 @@ fn fig_bins(lab: &mut Lab, w: Workload, title: &str, csv: &str) -> String {
         let pairs: Vec<(bins::Bin, f64)> = joined
             .iter()
             .map(|(_, b, s)| {
-                (bins::bin_of(b), b.cct().as_nanos() as f64 / s.cct().as_nanos() as f64)
+                (
+                    bins::bin_of(b),
+                    b.cct().as_nanos() as f64 / s.cct().as_nanos() as f64,
+                )
             })
             .collect();
         let groups = bins::group_by_bin(&pairs);
@@ -269,7 +296,9 @@ pub fn fig14(lab: &mut Lab, panel: &str) -> String {
     // Baseline: default Aalo on the unmodified trace at default δ.
     let base = lab.run(Workload::Fb, &Policy::aalo()).to_vec();
     let med = |records: &[CoflowRecord]| {
-        SpeedupSummary::compute(&base, records).map(|s| s.median).unwrap_or(f64::NAN)
+        SpeedupSummary::compute(&base, records)
+            .map(|s| s.median)
+            .unwrap_or(f64::NAN)
     };
 
     if run_all || panel == "s" {
@@ -284,10 +313,14 @@ pub fn fig14(lab: &mut Lab, panel: &str) -> String {
             };
             let aalo = lab.run(Workload::Fb, &Policy::Aalo(q.clone())).to_vec();
             let saath = lab
-                .run_named_saath(Workload::Fb, &format!("s={mb}"), SaathConfig {
-                    queues: q,
-                    ..Default::default()
-                })
+                .run_named_saath(
+                    Workload::Fb,
+                    &format!("s={mb}"),
+                    SaathConfig {
+                        queues: q,
+                        ..Default::default()
+                    },
+                )
                 .to_vec();
             t.row(&[format!("{mb} MB"), fmt_x(med(&aalo)), fmt_x(med(&saath))]);
         }
@@ -300,13 +333,20 @@ pub fn fig14(lab: &mut Lab, panel: &str) -> String {
             &["E", "Aalo", "Saath"],
         );
         for e in [2u64, 4, 8, 16, 32] {
-            let q = saath_core::QueueConfig { growth: e, ..Default::default() };
+            let q = saath_core::QueueConfig {
+                growth: e,
+                ..Default::default()
+            };
             let aalo = lab.run(Workload::Fb, &Policy::Aalo(q.clone())).to_vec();
             let saath = lab
-                .run_named_saath(Workload::Fb, &format!("e={e}"), SaathConfig {
-                    queues: q,
-                    ..Default::default()
-                })
+                .run_named_saath(
+                    Workload::Fb,
+                    &format!("e={e}"),
+                    SaathConfig {
+                        queues: q,
+                        ..Default::default()
+                    },
+                )
                 .to_vec();
             t.row(&[format!("{e}"), fmt_x(med(&aalo)), fmt_x(med(&saath))]);
         }
@@ -320,8 +360,12 @@ pub fn fig14(lab: &mut Lab, panel: &str) -> String {
         );
         for ms in [1u64, 8, 50, 200, 1000] {
             let ns = ms * 1_000_000;
-            let aalo = lab.run_with_delta(Workload::Fb, &Policy::aalo(), ns).to_vec();
-            let saath = lab.run_with_delta(Workload::Fb, &Policy::saath(), ns).to_vec();
+            let aalo = lab
+                .run_with_delta(Workload::Fb, &Policy::aalo(), ns)
+                .to_vec();
+            let saath = lab
+                .run_with_delta(Workload::Fb, &Policy::saath(), ns)
+                .to_vec();
             t.row(&[format!("{ms} ms"), fmt_x(med(&aalo)), fmt_x(med(&saath))]);
         }
         out.push_str(&t.render());
@@ -336,7 +380,9 @@ pub fn fig14(lab: &mut Lab, panel: &str) -> String {
             let trace = scale_arrivals(lab.trace(Workload::Fb), num, den);
             let aalo = lab.run_trace(&trace, &Policy::aalo(), 8_000_000);
             let saath = lab.run_trace(&trace, &Policy::saath(), 8_000_000);
-            let rel = SpeedupSummary::compute(&aalo, &saath).map(|s| s.median).unwrap();
+            let rel = SpeedupSummary::compute(&aalo, &saath)
+                .map(|s| s.median)
+                .unwrap();
             t.row(&[
                 format!("{:.1}", num as f64 / den as f64),
                 fmt_x(med(&aalo)),
@@ -348,16 +394,17 @@ pub fn fig14(lab: &mut Lab, panel: &str) -> String {
     }
 
     if run_all || panel == "d" {
-        let mut t = Table::new(
-            "Fig 14(e) — starvation deadline factor d",
-            &["d", "Saath"],
-        );
+        let mut t = Table::new("Fig 14(e) — starvation deadline factor d", &["d", "Saath"]);
         for d in [1u64, 2, 4, 8, 16] {
             let saath = lab
-                .run_named_saath(Workload::Fb, &format!("d={d}"), SaathConfig {
-                    deadline_factor: d,
-                    ..Default::default()
-                })
+                .run_named_saath(
+                    Workload::Fb,
+                    &format!("d={d}"),
+                    SaathConfig {
+                        deadline_factor: d,
+                        ..Default::default()
+                    },
+                )
                 .to_vec();
             t.row(&[format!("{d}"), fmt_x(med(&saath))]);
         }
@@ -393,9 +440,20 @@ pub fn fig15_16(lab: &mut Lab, scale: u64, nodes_cap: usize) -> String {
         wall_deadline: horizon,
         ..Default::default()
     };
-    let aalo = emulate(&trace, &|| Box::new(saath_core::Aalo::with_defaults()), &cfg);
-    let saath = emulate(&trace, &|| Box::new(saath_core::Saath::with_defaults()), &cfg);
-    assert!(!aalo.coordinator.timed_out && !saath.coordinator.timed_out, "emulation timed out");
+    let aalo = emulate(
+        &trace,
+        &|| Box::new(saath_core::Aalo::with_defaults()),
+        &cfg,
+    );
+    let saath = emulate(
+        &trace,
+        &|| Box::new(saath_core::Saath::with_defaults()),
+        &cfg,
+    );
+    assert!(
+        !aalo.coordinator.timed_out && !saath.coordinator.timed_out,
+        "emulation timed out"
+    );
 
     let ratios = speedups(&aalo.coordinator.records, &saath.coordinator.records);
     lab.write_csv("fig15_cct_ratio_cdf.csv", &cdf_csv(&ratios));
@@ -419,7 +477,11 @@ pub fn fig15_16(lab: &mut Lab, scale: u64, nodes_cap: usize) -> String {
         "1.88x".into(),
         fmt_x(ratios.iter().sum::<f64>() / n),
     ]);
-    t.row(&["median".into(), "1.43x".into(), fmt_x(percentile(&ratios, 50.0).unwrap())]);
+    t.row(&[
+        "median".into(),
+        "1.43x".into(),
+        fmt_x(percentile(&ratios, 50.0).unwrap()),
+    ]);
     t.row(&[
         "CoFlows improved".into(),
         ">70%".into(),
@@ -485,24 +547,66 @@ pub fn table2(lab: &mut Lab) -> String {
     let trace = lab.trace(Workload::Fb).clone();
 
     let mut saath = saath_core::Saath::with_defaults();
-    simulate(&trace, &mut saath, &SimConfig::default(), &DynamicsSpec::none()).unwrap();
+    simulate(
+        &trace,
+        &mut saath,
+        &SimConfig::default(),
+        &DynamicsSpec::none(),
+    )
+    .unwrap();
     let mut aalo = saath_core::Aalo::with_defaults();
-    simulate(&trace, &mut aalo, &SimConfig::default(), &DynamicsSpec::none()).unwrap();
+    simulate(
+        &trace,
+        &mut aalo,
+        &SimConfig::default(),
+        &DynamicsSpec::none(),
+    )
+    .unwrap();
 
     let mut t = Table::new(
         "Table 2 — coordinator schedule-compute time (this implementation)",
-        &["column", "Saath avg (ms)", "Saath P90 (ms)", "Aalo avg (ms)", "Aalo P90 (ms)"],
+        &[
+            "column",
+            "Saath avg (ms)",
+            "Saath P90 (ms)",
+            "Aalo avg (ms)",
+            "Aalo P90 (ms)",
+        ],
     );
     let f = |v: (f64, f64)| (format!("{:.4}", v.0), format!("{:.4}", v.1));
     let (sa, sp) = f(saath.timings.total_avg_p90_ms());
     let (aa, ap) = f(aalo.timings.total_avg_p90_ms());
-    t.row(&["total (paper: 0.57 / 2.85 vs 0.1 / 0.2)".into(), sa, sp, aa, ap]);
+    t.row(&[
+        "total (paper: 0.57 / 2.85 vs 0.1 / 0.2)".into(),
+        sa,
+        sp,
+        aa,
+        ap,
+    ]);
     let (oa, op) = f(SchedTimings::avg_p90_ms(&saath.timings.ordering));
-    t.row(&["ordering+LCoF (paper: 0.02 / 0.03)".into(), oa, op, "-".into(), "-".into()]);
+    t.row(&[
+        "ordering+LCoF (paper: 0.02 / 0.03)".into(),
+        oa,
+        op,
+        "-".into(),
+        "-".into(),
+    ]);
     let (na, np) = f(SchedTimings::avg_p90_ms(&saath.timings.all_or_none));
-    t.row(&["all-or-none (paper: 0.24 / 0.7)".into(), na, np, "-".into(), "-".into()]);
+    t.row(&[
+        "all-or-none (paper: 0.24 / 0.7)".into(),
+        na,
+        np,
+        "-".into(),
+        "-".into(),
+    ]);
     let (wa, wp) = f(SchedTimings::avg_p90_ms(&saath.timings.work_conservation));
-    t.row(&["work conservation (rest)".into(), wa, wp, "-".into(), "-".into()]);
+    t.row(&[
+        "work conservation (rest)".into(),
+        wa,
+        wp,
+        "-".into(),
+        "-".into(),
+    ]);
     t.row(&[
         "rounds / max active CoFlows".into(),
         saath.timings.rounds().to_string(),
@@ -515,7 +619,13 @@ pub fn table2(lab: &mut Lab) -> String {
             .unwrap_or(0)
             .to_string(),
         aalo.timings.rounds().to_string(),
-        aalo.timings.active_coflows.iter().max().copied().unwrap_or(0).to_string(),
+        aalo.timings
+            .active_coflows
+            .iter()
+            .max()
+            .copied()
+            .unwrap_or(0)
+            .to_string(),
     ]);
     t.row(&[
         "starvation rounds (paper: <1%)".into(),
@@ -546,8 +656,8 @@ pub fn dynamics(lab: &mut Lab) -> String {
         0.20,                                   // 20% of nodes straggle…
         saath_simcore::Duration::from_secs(60), // …for 60 s…
         1,
-        10,                                     // …at 1/10 capacity
-        0.15,                                   // 15% of nodes fail once
+        10,   // …at 1/10 capacity
+        0.15, // 15% of nodes fail once
         saath_simcore::Duration::from_secs(2),
     );
     // CoFlows whose flows touch a failed node — the population the §4.3
@@ -565,9 +675,9 @@ pub fn dynamics(lab: &mut Lab) -> String {
         .coflows
         .iter()
         .filter(|c| {
-            c.flows.iter().any(|f| {
-                failed_nodes.contains(&f.src) || failed_nodes.contains(&f.dst)
-            })
+            c.flows
+                .iter()
+                .any(|f| failed_nodes.contains(&f.src) || failed_nodes.contains(&f.dst))
         })
         .map(|c| c.id)
         .collect();
@@ -583,11 +693,17 @@ pub fn dynamics(lab: &mut Lab) -> String {
         ("saath (full, §4.3 heuristic on)", SaathConfig::default()),
         (
             "saath without dynamics re-queue",
-            SaathConfig { dynamics_srtf: false, ..Default::default() },
+            SaathConfig {
+                dynamics_srtf: false,
+                ..Default::default()
+            },
         ),
         (
             "saath + skew-aware thresholds",
-            SaathConfig { skew_aware_thresholds: true, ..Default::default() },
+            SaathConfig {
+                skew_aware_thresholds: true,
+                ..Default::default()
+            },
         ),
     ];
     for (label, cfg) in variants {
@@ -617,19 +733,148 @@ pub fn fig17(lab: &Lab) -> String {
     let trace = saath_workload::paper_examples::fig17_sjf_suboptimal();
     let sebf = lab.run_trace(&trace, &Policy::Varys, 8_000_000);
     let lwtf = lab.run_trace(&trace, &Policy::Lwtf, 8_000_000);
-    let avg = |r: &[CoflowRecord]| {
-        r.iter().map(|x| x.cct().as_secs_f64()).sum::<f64>() / r.len() as f64
-    };
+    let avg =
+        |r: &[CoflowRecord]| r.iter().map(|x| x.cct().as_secs_f64()).sum::<f64>() / r.len() as f64;
     let mut t = Table::new(
         "Fig 17 — SJF is sub-optimal for CoFlows (t = 1 s units)",
         &["policy", "C1", "C2", "C3", "average (paper)"],
     );
     let row = |r: &[CoflowRecord], name: &str, paper: &str| {
         let c = |i: usize| format!("{:.2}", r[i].cct().as_secs_f64());
-        vec![name.to_string(), c(0), c(1), c(2), format!("{:.2} ({paper})", avg(r))]
+        vec![
+            name.to_string(),
+            c(0),
+            c(1),
+            c(2),
+            format!("{:.2} ({paper})", avg(r)),
+        ]
     };
     t.row(&row(&sebf, "SJF/SEBF", "9.3"));
     t.row(&row(&lwtf, "LWTF", "8.3"));
+    t.render()
+}
+
+/// **Epoch loop** — not a paper figure: the wall-clock baseline of the
+/// incremental simulation engine against the recompute-everything
+/// reference loop it replaced, on an FB-like workload grown to ≥ 10k
+/// flows. Also asserts the two loops emit byte-identical
+/// [`CoflowRecord`]s, so the speedup is never bought with drift.
+/// Writes `BENCH_epoch_loop.json` in the working directory.
+pub fn epoch(lab: &Lab) -> String {
+    use saath_simulator::{simulate, simulate_reference, SimConfig};
+    use saath_workload::{gen, DynamicsSpec};
+    use std::time::Instant;
+
+    // Grow the FB-like preset until the trace carries ≥10k flows, with
+    // arrivals compressed into 100 s so many CoFlows are concurrently
+    // active — that is the regime where the reference loop's
+    // O(active state) per-epoch cost shows, while the incremental loop
+    // stays O(changes).
+    let mut gcfg = gen::fb_like(lab.seed());
+    gcfg.span = saath_simcore::Duration::from_secs(100);
+    let mut trace = gen::generate(&gcfg);
+    let flow_count =
+        |t: &saath_workload::Trace| t.coflows.iter().map(|c| c.flows.len()).sum::<usize>();
+    while flow_count(&trace) < 10_000 {
+        gcfg.num_coflows += 100;
+        trace = gen::generate(&gcfg);
+    }
+    let flows = flow_count(&trace);
+
+    // Both loops call the *same* scheduler on the *same* views at the
+    // same times, so scheduler compute time is a shared constant
+    // (Amdahl). Report the end-to-end wall clock AND the loop overhead
+    // (total − in-scheduler time from `SchedTimings`): the latter is
+    // what the incremental restructure actually changed.
+    let cfg = SimConfig::default();
+    let dynamics = DynamicsSpec::none();
+    let time_runs = |reference: bool, runs: usize| {
+        let (mut best_total, mut best_loop) = (f64::INFINITY, f64::INFINITY);
+        let mut last = None;
+        for _ in 0..runs {
+            let mut sched = saath_core::Saath::with_defaults();
+            let t = Instant::now();
+            let out = if reference {
+                simulate_reference(&trace, &mut sched, &cfg, &dynamics)
+            } else {
+                simulate(&trace, &mut sched, &cfg, &dynamics)
+            }
+            .expect("epoch-loop simulation failed");
+            let total = t.elapsed().as_secs_f64() * 1e3;
+            let compute = sched
+                .timings
+                .total
+                .iter()
+                .map(|x| x.as_secs_f64() * 1e3)
+                .sum::<f64>();
+            best_total = best_total.min(total);
+            best_loop = best_loop.min(total - compute);
+            last = Some(out);
+        }
+        (best_total, best_loop, last.unwrap())
+    };
+    let (inc_total, inc_loop, inc) = time_runs(false, 3);
+    let (ref_total, ref_loop, re) = time_runs(true, 2);
+
+    let identical = inc.records == re.records && inc.end == re.end;
+    assert!(
+        identical,
+        "incremental loop diverged from the reference loop"
+    );
+    let total_speedup = ref_total / inc_total;
+    let loop_speedup = ref_loop / inc_loop;
+
+    // The vendored serde stub cannot serialize, so the baseline is
+    // formatted by hand — it is a flat object of scalars.
+    let json = format!(
+        "{{\n  \"experiment\": \"epoch_loop\",\n  \"seed\": {seed},\n  \
+         \"num_nodes\": {nodes},\n  \"num_coflows\": {coflows},\n  \
+         \"num_flows\": {flows},\n  \"delta_ms\": 8,\n  \
+         \"rounds\": {rounds},\n  \
+         \"total_reference_ms\": {ref_total:.1},\n  \
+         \"total_incremental_ms\": {inc_total:.1},\n  \
+         \"total_speedup\": {total_speedup:.2},\n  \
+         \"loop_reference_ms\": {ref_loop:.1},\n  \
+         \"loop_incremental_ms\": {inc_loop:.1},\n  \
+         \"loop_speedup\": {loop_speedup:.2},\n  \
+         \"records_identical\": true\n}}\n",
+        seed = lab.seed(),
+        nodes = trace.num_nodes,
+        coflows = trace.coflows.len(),
+        rounds = inc.rounds,
+    );
+    if let Err(e) = std::fs::write("BENCH_epoch_loop.json", &json) {
+        eprintln!("warning: could not write BENCH_epoch_loop.json: {e}");
+    }
+
+    let mut t = Table::new(
+        "Epoch loop — incremental engine vs reference loop",
+        &["metric", "reference", "incremental", "speedup"],
+    );
+    t.row(&[
+        "trace".into(),
+        format!("{} coflows", trace.coflows.len()),
+        format!("{flows} flows"),
+        format!("{} rounds", inc.rounds),
+    ]);
+    t.row(&[
+        "end-to-end (best ms)".into(),
+        format!("{ref_total:.1}"),
+        format!("{inc_total:.1}"),
+        fmt_x(total_speedup),
+    ]);
+    t.row(&[
+        "epoch loop only (best ms)".into(),
+        format!("{ref_loop:.1}"),
+        format!("{inc_loop:.1}"),
+        fmt_x(loop_speedup),
+    ]);
+    t.row(&[
+        "records identical".into(),
+        "yes".into(),
+        "yes".into(),
+        "—".into(),
+    ]);
     t.render()
 }
 
@@ -655,7 +900,10 @@ mod tests {
             ("table2", table2(&mut lab)),
             ("dynamics", dynamics(&mut lab)),
         ] {
-            assert!(text.lines().count() >= 4, "{name} produced no rows:\n{text}");
+            assert!(
+                text.lines().count() >= 4,
+                "{name} produced no rows:\n{text}"
+            );
             assert!(text.contains("=="), "{name} missing title");
         }
     }

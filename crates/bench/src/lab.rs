@@ -125,7 +125,11 @@ impl Lab {
         tag: &str,
         cfg: saath_core::SaathConfig,
     ) -> &[CoflowRecord] {
-        let key = (w, format!("saath[{tag}]"), SimConfig::default().delta.as_nanos());
+        let key = (
+            w,
+            format!("saath[{tag}]"),
+            SimConfig::default().delta.as_nanos(),
+        );
         if !self.cache.contains_key(&key) {
             let out = run_policy(
                 self.trace(w),

@@ -11,14 +11,14 @@
 //!
 //! The implementation walks every ready flow in
 //! `(queue, CoFlow arrival, CoFlow id, flow id)` order and hands each
-//! the remaining capacity of its two ports ([`greedy_fill`]). That is
+//! the remaining capacity of its two ports ([`greedy_fill_into`]). That is
 //! the fluid equivalent of independent per-port strict-priority FIFO
 //! with sender/receiver feasibility — the same model coflowsim uses.
 
 use crate::config::QueueConfig;
 use crate::timing::SchedTimings;
 use crate::view::{ClusterView, CoflowScheduler, Schedule};
-use saath_fabric::{greedy_fill, FlowEndpoints, PortBank};
+use saath_fabric::{greedy_fill_into, FlowEndpoints, PortBank};
 use std::time::Instant;
 
 /// The Aalo scheduler.
@@ -32,6 +32,12 @@ pub struct Aalo {
     weighted_queues: Option<u64>,
     /// Per-round overhead samples (Table 2 comparison column).
     pub timings: SchedTimings,
+    // Per-round buffers, recycled so the hot path never allocates.
+    order: Vec<((usize, saath_simcore::Time, u32, u32), FlowEndpoints)>,
+    eps: Vec<FlowEndpoints>,
+    rates: Vec<saath_simcore::Rate>,
+    present: Vec<[bool; 16]>,
+    budget: Vec<u64>,
 }
 
 impl Aalo {
@@ -39,13 +45,25 @@ impl Aalo {
     /// deployed system's weighted inter-queue sharing.
     pub fn new(queues: QueueConfig) -> Aalo {
         let growth = queues.growth;
-        Aalo { queues, weighted_queues: Some(growth), timings: SchedTimings::default() }
+        Aalo {
+            queues,
+            weighted_queues: Some(growth),
+            timings: SchedTimings::default(),
+            order: Vec::new(),
+            eps: Vec::new(),
+            rates: Vec::new(),
+            present: Vec::new(),
+            budget: Vec::new(),
+        }
     }
 
     /// Aalo with strict priority across queues instead of weighted
     /// sharing — the simplified model in the Saath paper's text.
     pub fn strict_priority(queues: QueueConfig) -> Aalo {
-        Aalo { queues, weighted_queues: None, timings: SchedTimings::default() }
+        Aalo {
+            weighted_queues: None,
+            ..Aalo::new(queues)
+        }
     }
 
     /// Aalo with the paper's default parameters.
@@ -64,19 +82,21 @@ impl CoflowScheduler for Aalo {
 
         // (queue, arrival, coflow id, flow id) → endpoints, for every
         // ready unfinished flow.
-        let mut order: Vec<((usize, saath_simcore::Time, u32, u32), FlowEndpoints)> =
-            Vec::new();
+        self.order.clear();
         for c in view.coflows {
             let q = self.queues.queue_for_total(c.total_sent());
-            for f in c.unfinished().filter(|f| f.ready) {
-                order.push(((q, c.arrival, c.id.0, f.id.0), f.endpoints(view.num_nodes)));
-            }
+            self.order.extend(
+                c.unfinished()
+                    .filter(|f| f.ready)
+                    .map(|f| ((q, c.arrival, c.id.0, f.id.0), f.endpoints(view.num_nodes))),
+            );
         }
-        order.sort_by_key(|(key, _)| *key);
-        let eps: Vec<FlowEndpoints> = order.iter().map(|(_, e)| *e).collect();
+        self.order.sort_by_key(|(key, _)| *key);
+        self.eps.clear();
+        self.eps.extend(self.order.iter().map(|(_, e)| *e));
 
-        let rates = match self.weighted_queues {
-            None => greedy_fill(bank, &eps),
+        match self.weighted_queues {
+            None => greedy_fill_into(bank, &self.eps, &mut self.rates),
             Some(growth) => {
                 // Per-port weighted fair queuing across backlogged
                 // queues (weight E^{-q}), FIFO within a queue, then a
@@ -84,17 +104,20 @@ impl CoflowScheduler for Aalo {
                 let np = bank.num_ports();
                 let k = self.queues.num_queues;
                 // Which queues are backlogged at each port.
-                let mut present = vec![[false; 16]; np];
-                for ((q, ..), e) in &order {
+                let present = &mut self.present;
+                present.clear();
+                present.resize(np, [false; 16]);
+                for ((q, ..), e) in &self.order {
                     present[e.src.index()][(*q).min(15)] = true;
                     present[e.dst.index()][(*q).min(15)] = true;
                 }
                 let weight = |q: usize| (growth as f64).powi(-(q as i32));
                 // Per-port per-queue budgets.
-                let mut budget = vec![0u64; np * k];
+                let budget = &mut self.budget;
+                budget.clear();
+                budget.resize(np * k, 0u64);
                 for p in 0..np {
-                    let total_w: f64 =
-                        (0..k).filter(|&q| present[p][q.min(15)]).map(weight).sum();
+                    let total_w: f64 = (0..k).filter(|&q| present[p][q.min(15)]).map(weight).sum();
                     if total_w <= 0.0 {
                         continue;
                     }
@@ -106,8 +129,10 @@ impl CoflowScheduler for Aalo {
                     }
                 }
                 // Pass 1: FIFO within each queue against the budgets.
-                let mut rates = vec![saath_simcore::Rate::ZERO; eps.len()];
-                for (i, ((q, ..), e)) in order.iter().enumerate() {
+                let rates = &mut self.rates;
+                rates.clear();
+                rates.resize(self.eps.len(), saath_simcore::Rate::ZERO);
+                for (i, ((q, ..), e)) in self.order.iter().enumerate() {
                     let (s, d) = (e.src.index(), e.dst.index());
                     let r = budget[s * k + q]
                         .min(budget[d * k + q])
@@ -122,7 +147,7 @@ impl CoflowScheduler for Aalo {
                     }
                 }
                 // Pass 2: hand out what the budgets stranded, same order.
-                for (i, e) in eps.iter().enumerate() {
+                for (i, e) in self.eps.iter().enumerate() {
                     let r = bank.remaining(e.src).min(bank.remaining(e.dst));
                     if !r.is_zero() {
                         bank.allocate(e.src, r);
@@ -130,10 +155,9 @@ impl CoflowScheduler for Aalo {
                         rates[i] += r;
                     }
                 }
-                rates
             }
         };
-        for (e, r) in eps.iter().zip(rates) {
+        for (e, &r) in self.eps.iter().zip(self.rates.iter()) {
             if !r.is_zero() {
                 out.set(e.flow, r);
             }
@@ -174,7 +198,11 @@ mod tests {
     }
 
     fn run(coflows: &[CoflowView], num_nodes: usize) -> Schedule {
-        let view = ClusterView { now: Time::ZERO, num_nodes, coflows };
+        let view = ClusterView {
+            now: Time::ZERO,
+            num_nodes,
+            coflows,
+        };
         let mut bank = PortBank::uniform(num_nodes, GBPS);
         let mut out = Schedule::default();
         Aalo::with_defaults().compute(&view, &mut bank, &mut out);
@@ -187,7 +215,11 @@ mod tests {
     fn fig1_out_of_sync_behaviour() {
         let coflows = vec![
             cv(1, 0, vec![fv(10, 0, 3, 0)]),
-            cv(2, 1, vec![fv(20, 0, 4, 0), fv(21, 1, 5, 0), fv(22, 2, 6, 0)]),
+            cv(
+                2,
+                1,
+                vec![fv(20, 0, 4, 0), fv(21, 1, 5, 0), fv(22, 2, 6, 0)],
+            ),
             cv(3, 2, vec![fv(30, 1, 7, 0)]),
             cv(4, 3, vec![fv(40, 2, 8, 0)]),
         ];
@@ -225,7 +257,11 @@ mod tests {
         assert!(hi + lo >= GBPS.as_u64() - 2, "port should be fully used");
 
         // Strict-priority variant: winner takes all.
-        let view = ClusterView { now: Time::ZERO, num_nodes: 4, coflows: &coflows };
+        let view = ClusterView {
+            now: Time::ZERO,
+            num_nodes: 4,
+            coflows: &coflows,
+        };
         let mut bank = PortBank::uniform(4, GBPS);
         let mut out = Schedule::default();
         Aalo::strict_priority(crate::config::QueueConfig::default())

@@ -1,8 +1,38 @@
-//! Shared machinery: contention computation and endpoint extraction.
+//! Shared machinery: contention computation, endpoint extraction, and
+//! the reusable scratch arena that keeps scheduling rounds
+//! allocation-free.
 
 use crate::view::{ClusterView, CoflowView};
 use saath_fabric::FlowEndpoints;
 use saath_simcore::CoflowId;
+
+/// Reusable buffers for one scheduling round.
+///
+/// Every per-round temporary the schedulers need — the port → CoFlow
+/// incidence map and stamp array behind [`contention_into`], endpoint
+/// lists, gang-rate scratch — lives here and is recycled across rounds,
+/// so the steady-state scheduling loop performs no heap allocation.
+/// One arena per scheduler instance; threading it through
+/// [`contention_into`] / [`endpoints_into`] replaces the allocating
+/// [`contention`] / [`endpoints_of`] in hot paths.
+#[derive(Default)]
+pub struct RoundArena {
+    /// port → indices (into `view.coflows`) of CoFlows touching it.
+    port_coflows: Vec<Vec<u32>>,
+    /// CoFlow-indexed stamp array for contention dedup.
+    stamp: Vec<u32>,
+    /// Per-port flow counts for `gang_rate_with`.
+    pub gang_scratch: Vec<u32>,
+    /// Touched-port list for `gang_rate_with`.
+    pub gang_touched: Vec<saath_simcore::PortId>,
+}
+
+impl RoundArena {
+    /// A fresh, empty arena (buffers grow on first use).
+    pub fn new() -> RoundArena {
+        RoundArena::default()
+    }
+}
 
 /// Per-CoFlow contention `k_c`: the number of *other* active CoFlows
 /// with at least one unfinished flow on any port where CoFlow `c` has an
@@ -13,9 +43,24 @@ use saath_simcore::CoflowId;
 /// ports is deduplicated with a stamp array, so the whole computation is
 /// `O(Σ ports + Σ incidences)` with no hashing in the inner loop.
 pub fn contention(view: &ClusterView<'_>) -> Vec<u32> {
+    let mut arena = RoundArena::new();
+    let mut k = Vec::new();
+    contention_into(view, &mut arena, &mut k);
+    k
+}
+
+/// [`contention`] writing into `k` (cleared first) with all scratch
+/// drawn from `arena` — the allocation-free form for hot loops.
+pub fn contention_into(view: &ClusterView<'_>, arena: &mut RoundArena, k: &mut Vec<u32>) {
     let num_ports = 2 * view.num_nodes;
     // port → indices (into view.coflows) of coflows touching it.
-    let mut port_coflows: Vec<Vec<u32>> = vec![Vec::new(); num_ports];
+    let port_coflows = &mut arena.port_coflows;
+    if port_coflows.len() < num_ports {
+        port_coflows.resize_with(num_ports, Vec::new);
+    }
+    for list in port_coflows.iter_mut() {
+        list.clear();
+    }
     for (ci, c) in view.coflows.iter().enumerate() {
         for f in c.unfinished() {
             let e = f.endpoints(view.num_nodes);
@@ -30,8 +75,11 @@ pub fn contention(view: &ClusterView<'_>) -> Vec<u32> {
         }
     }
 
-    let mut k = vec![0u32; view.coflows.len()];
-    let mut stamp = vec![u32::MAX; view.coflows.len()];
+    k.clear();
+    k.resize(view.coflows.len(), 0u32);
+    let stamp = &mut arena.stamp;
+    stamp.clear();
+    stamp.resize(view.coflows.len(), u32::MAX);
     for (ci, c) in view.coflows.iter().enumerate() {
         let mut count = 0u32;
         for f in c.unfinished() {
@@ -47,16 +95,30 @@ pub fn contention(view: &ClusterView<'_>) -> Vec<u32> {
         }
         k[ci] = count;
     }
-    k
 }
 
 /// Endpoints of a CoFlow's unfinished flows, optionally restricted to
 /// ready (data-available) ones.
 pub fn endpoints_of(c: &CoflowView, num_nodes: usize, ready_only: bool) -> Vec<FlowEndpoints> {
-    c.unfinished()
-        .filter(|f| !ready_only || f.ready)
-        .map(|f| f.endpoints(num_nodes))
-        .collect()
+    let mut out = Vec::new();
+    endpoints_into(c, num_nodes, ready_only, &mut out);
+    out
+}
+
+/// [`endpoints_of`] writing into a caller-provided buffer (cleared
+/// first), for allocation-free scheduling rounds.
+pub fn endpoints_into(
+    c: &CoflowView,
+    num_nodes: usize,
+    ready_only: bool,
+    out: &mut Vec<FlowEndpoints>,
+) {
+    out.clear();
+    out.extend(
+        c.unfinished()
+            .filter(|f| !ready_only || f.ready)
+            .map(|f| f.endpoints(num_nodes)),
+    );
 }
 
 /// Finds a CoFlow's index in the view by id (linear; views are small).
@@ -101,17 +163,29 @@ mod tests {
             cf(3, &[(1, 7)]),
             cf(4, &[(2, 8)]),
         ];
-        let view = ClusterView { now: Time::ZERO, num_nodes: 9, coflows: &coflows };
+        let view = ClusterView {
+            now: Time::ZERO,
+            num_nodes: 9,
+            coflows: &coflows,
+        };
         assert_eq!(contention(&view), vec![1, 3, 1, 1]);
     }
 
     #[test]
     fn finished_flows_do_not_contend() {
         let mut coflows = vec![cf(0, &[(0, 2)]), cf(1, &[(0, 3)])];
-        let view = ClusterView { now: Time::ZERO, num_nodes: 4, coflows: &coflows };
+        let view = ClusterView {
+            now: Time::ZERO,
+            num_nodes: 4,
+            coflows: &coflows,
+        };
         assert_eq!(contention(&view), vec![1, 1]);
         coflows[0].flows[0].finished = true;
-        let view = ClusterView { now: Time::ZERO, num_nodes: 4, coflows: &coflows };
+        let view = ClusterView {
+            now: Time::ZERO,
+            num_nodes: 4,
+            coflows: &coflows,
+        };
         assert_eq!(contention(&view), vec![0, 0]);
     }
 
@@ -120,7 +194,11 @@ mod tests {
         // CoFlow 1 has three flows on sender 0; CoFlow 0 shares that
         // port but must count CoFlow 1 once.
         let coflows = vec![cf(0, &[(0, 2)]), cf(1, &[(0, 3), (0, 4), (0, 5)])];
-        let view = ClusterView { now: Time::ZERO, num_nodes: 6, coflows: &coflows };
+        let view = ClusterView {
+            now: Time::ZERO,
+            num_nodes: 6,
+            coflows: &coflows,
+        };
         assert_eq!(contention(&view), vec![1, 1]);
     }
 
@@ -128,8 +206,49 @@ mod tests {
     fn receiver_side_contention_counts() {
         // Two coflows sharing only a receiver.
         let coflows = vec![cf(0, &[(0, 3)]), cf(1, &[(1, 3)])];
-        let view = ClusterView { now: Time::ZERO, num_nodes: 4, coflows: &coflows };
+        let view = ClusterView {
+            now: Time::ZERO,
+            num_nodes: 4,
+            coflows: &coflows,
+        };
         assert_eq!(contention(&view), vec![1, 1]);
+    }
+
+    #[test]
+    fn arena_reuse_is_stateless() {
+        // Same arena across views of different shapes/sizes must give
+        // the same answers as fresh allocation.
+        let mut arena = RoundArena::new();
+        let mut k = Vec::new();
+        let big = vec![
+            cf(1, &[(0, 3)]),
+            cf(2, &[(0, 4), (1, 5), (2, 6)]),
+            cf(3, &[(1, 7)]),
+            cf(4, &[(2, 8)]),
+        ];
+        let small = vec![cf(0, &[(0, 2)]), cf(1, &[(0, 3)])];
+        for _ in 0..3 {
+            let view = ClusterView {
+                now: Time::ZERO,
+                num_nodes: 9,
+                coflows: &big,
+            };
+            contention_into(&view, &mut arena, &mut k);
+            assert_eq!(k, contention(&view));
+            let view = ClusterView {
+                now: Time::ZERO,
+                num_nodes: 4,
+                coflows: &small,
+            };
+            contention_into(&view, &mut arena, &mut k);
+            assert_eq!(k, contention(&view));
+        }
+        // endpoints_into matches endpoints_of through reuse too.
+        let mut eps = Vec::new();
+        for c in &big {
+            endpoints_into(c, 9, false, &mut eps);
+            assert_eq!(eps, endpoints_of(c, 9, false));
+        }
     }
 
     #[test]

@@ -31,7 +31,11 @@ pub struct QueueConfig {
 
 impl Default for QueueConfig {
     fn default() -> Self {
-        QueueConfig { num_queues: 10, first_threshold: Bytes::mb(10), growth: 10 }
+        QueueConfig {
+            num_queues: 10,
+            first_threshold: Bytes::mb(10),
+            growth: 10,
+        }
     }
 }
 
@@ -79,7 +83,11 @@ impl QueueConfig {
         assert!(n_flows > 0, "CoFlow with zero flows");
         for q in 0..self.num_queues {
             let hi = self.hi(q);
-            let share = if hi.as_u64() == u64::MAX { hi } else { hi.div_per_flow(n_flows) };
+            let share = if hi.as_u64() == u64::MAX {
+                hi
+            } else {
+                hi.div_per_flow(n_flows)
+            };
             if m_c <= share {
                 return q;
             }
@@ -136,7 +144,11 @@ impl QueueConfig {
         let width = if q == self.num_queues - 1 {
             // Extrapolated: lo(q) * (E - 1), the width the next queue
             // would have had.
-            Bytes(self.lo(q).as_u64().saturating_mul(self.growth.saturating_sub(1).max(1)))
+            Bytes(
+                self.lo(q)
+                    .as_u64()
+                    .saturating_mul(self.growth.saturating_sub(1).max(1)),
+            )
         } else {
             self.hi(q) - self.lo(q)
         };

@@ -21,11 +21,11 @@
 //! backfill leftovers greedily in the same order (work conservation, as
 //! Varys does).
 
-use crate::common::contention;
+use crate::common::{contention_into, RoundArena};
 use crate::timing::SchedTimings;
 use crate::view::{ClusterView, CoflowScheduler, CoflowView, Schedule};
-use saath_fabric::{bottleneck_time, greedy_fill, madd_rates, FlowEndpoints, PortBank};
-use saath_simcore::{Bytes, Duration};
+use saath_fabric::{bottleneck_time, greedy_fill_into, madd_rates_into, FlowEndpoints, PortBank};
+use saath_simcore::{Bytes, Duration, Rate};
 use std::time::Instant;
 
 /// The ordering key a clairvoyant scheduler uses.
@@ -59,12 +59,36 @@ pub struct OfflineScheduler {
     policy: OfflinePolicy,
     /// Per-round overhead samples.
     pub timings: SchedTimings,
+    // Per-round buffers, recycled so the hot path never allocates.
+    arena: RoundArena,
+    k: Vec<u32>,
+    keys: Vec<u128>,
+    order: Vec<usize>,
+    missed: Vec<usize>,
+    eps: Vec<FlowEndpoints>,
+    rem: Vec<Bytes>,
+    rates: Vec<Rate>,
+    /// Scratch bank for Γ-on-nominal-capacity keys, refreshed via
+    /// [`PortBank::clone_reset_from`] instead of a per-CoFlow clone.
+    scratch_bank: Option<PortBank>,
 }
 
 impl OfflineScheduler {
     /// A scheduler with the given ordering policy.
     pub fn new(policy: OfflinePolicy) -> OfflineScheduler {
-        OfflineScheduler { policy, timings: SchedTimings::default() }
+        OfflineScheduler {
+            policy,
+            timings: SchedTimings::default(),
+            arena: RoundArena::new(),
+            k: Vec::new(),
+            keys: Vec::new(),
+            order: Vec::new(),
+            missed: Vec::new(),
+            eps: Vec::new(),
+            rem: Vec::new(),
+            rates: Vec::new(),
+            scratch_bank: None,
+        }
     }
 
     /// Varys = SEBF ordering + MADD rates.
@@ -79,15 +103,20 @@ impl OfflineScheduler {
 }
 
 /// Remaining ground-truth volumes of a CoFlow's unfinished, ready flows,
-/// paired with their endpoints.
-fn remaining_of(c: &CoflowView, num_nodes: usize) -> (Vec<FlowEndpoints>, Vec<Bytes>) {
-    let mut eps = Vec::new();
-    let mut rem = Vec::new();
+/// paired with their endpoints, written into caller-provided buffers
+/// (cleared first).
+fn remaining_into(
+    c: &CoflowView,
+    num_nodes: usize,
+    eps: &mut Vec<FlowEndpoints>,
+    rem: &mut Vec<Bytes>,
+) {
+    eps.clear();
+    rem.clear();
     for f in c.unfinished().filter(|f| f.ready) {
         eps.push(f.endpoints(num_nodes));
         rem.push(f.oracle_remaining());
     }
-    (eps, rem)
 }
 
 impl CoflowScheduler for OfflineScheduler {
@@ -105,11 +134,10 @@ impl CoflowScheduler for OfflineScheduler {
 
         // Policy keys. Durations/sizes are u64-comparable; ties break by
         // arrival then id for determinism.
-        let keys: Vec<u128> = match self.policy {
-            OfflinePolicy::Scf => view
-                .coflows
-                .iter()
-                .map(|c| {
+        self.keys.clear();
+        match self.policy {
+            OfflinePolicy::Scf => {
+                self.keys.extend(view.coflows.iter().map(|c| {
                     c.flows
                         .iter()
                         .map(|f| {
@@ -117,72 +145,74 @@ impl CoflowScheduler for OfflineScheduler {
                                 .expect("clairvoyant scheduler run without an oracle")
                                 .as_u64() as u128
                         })
-                        .sum()
-                })
-                .collect(),
-            OfflinePolicy::Srtf => view
-                .coflows
-                .iter()
-                .map(|c| {
-                    c.unfinished().map(|f| f.oracle_remaining().as_u64() as u128).sum()
-                })
-                .collect(),
-            OfflinePolicy::Sebf => view
-                .coflows
-                .iter()
-                .map(|c| {
-                    let (eps, rem) = remaining_of(c, view.num_nodes);
-                    gamma_on_fresh_bank(bank, &eps, &rem).as_nanos() as u128
-                })
-                .collect(),
+                        .sum::<u128>()
+                }));
+            }
+            OfflinePolicy::Srtf => {
+                self.keys.extend(view.coflows.iter().map(|c| {
+                    c.unfinished()
+                        .map(|f| f.oracle_remaining().as_u64() as u128)
+                        .sum::<u128>()
+                }));
+            }
+            OfflinePolicy::Sebf => {
+                for c in view.coflows {
+                    remaining_into(c, view.num_nodes, &mut self.eps, &mut self.rem);
+                    let g = gamma_on_fresh_bank(&mut self.scratch_bank, bank, &self.eps, &self.rem);
+                    self.keys.push(g.as_nanos() as u128);
+                }
+            }
             OfflinePolicy::Lwtf => {
-                let k = contention(view);
-                view.coflows
-                    .iter()
-                    .zip(&k)
-                    .map(|(c, &kc)| {
-                        let (eps, rem) = remaining_of(c, view.num_nodes);
-                        let t = gamma_on_fresh_bank(bank, &eps, &rem).as_nanos() as u128;
-                        // The waiting time a CoFlow inflicts is t·k; a
-                        // CoFlow contending with nobody (k = 0) delays
-                        // nobody and can go first.
-                        t * kc as u128
-                    })
-                    .collect()
+                contention_into(view, &mut self.arena, &mut self.k);
+                for (c, &kc) in view.coflows.iter().zip(&self.k) {
+                    remaining_into(c, view.num_nodes, &mut self.eps, &mut self.rem);
+                    let t = gamma_on_fresh_bank(&mut self.scratch_bank, bank, &self.eps, &self.rem)
+                        .as_nanos() as u128;
+                    // The waiting time a CoFlow inflicts is t·k; a
+                    // CoFlow contending with nobody (k = 0) delays
+                    // nobody and can go first.
+                    self.keys.push(t * kc as u128);
+                }
             }
         };
 
-        let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by_key(|&i| (keys[i], view.coflows[i].arrival, view.coflows[i].id));
+        self.order.clear();
+        self.order.extend(0..n);
+        let keys = &self.keys;
+        self.order
+            .sort_by_key(|&i| (keys[i], view.coflows[i].arrival, view.coflows[i].id));
 
         // MADD in policy order while capacity lasts.
-        let mut missed: Vec<usize> = Vec::new();
-        for &ci in &order {
+        self.missed.clear();
+        for oi in 0..self.order.len() {
+            let ci = self.order[oi];
             let c = &view.coflows[ci];
-            let (eps, rem) = remaining_of(c, view.num_nodes);
-            if eps.is_empty() {
+            remaining_into(c, view.num_nodes, &mut self.eps, &mut self.rem);
+            if self.eps.is_empty() {
                 continue;
             }
-            match madd_rates(bank, &eps, &rem) {
-                Some(rates) if rates.iter().any(|r| !r.is_zero()) => {
-                    for (e, r) in eps.iter().zip(rates) {
-                        if !r.is_zero() {
-                            bank.allocate(e.src, r);
-                            bank.allocate(e.dst, r);
-                            out.set(e.flow, r);
-                        }
+            if madd_rates_into(bank, &self.eps, &self.rem, &mut self.rates)
+                && self.rates.iter().any(|r| !r.is_zero())
+            {
+                for (e, &r) in self.eps.iter().zip(self.rates.iter()) {
+                    if !r.is_zero() {
+                        bank.allocate(e.src, r);
+                        bank.allocate(e.dst, r);
+                        out.set(e.flow, r);
                     }
                 }
-                _ => missed.push(ci),
+            } else {
+                self.missed.push(ci);
             }
         }
 
         // Work-conserving backfill, same order (Varys does the same).
-        for &ci in &missed {
+        for mi in 0..self.missed.len() {
+            let ci = self.missed[mi];
             let c = &view.coflows[ci];
-            let (eps, _) = remaining_of(c, view.num_nodes);
-            let rates = greedy_fill(bank, &eps);
-            for (e, r) in eps.iter().zip(rates) {
+            remaining_into(c, view.num_nodes, &mut self.eps, &mut self.rem);
+            greedy_fill_into(bank, &self.eps, &mut self.rates);
+            for (e, &r) in self.eps.iter().zip(self.rates.iter()) {
                 if !r.is_zero() {
                     out.set(e.flow, r);
                 }
@@ -196,15 +226,27 @@ impl CoflowScheduler for OfflineScheduler {
 
 /// Γ on nominal (full) capacities — the *ordering* key must not depend
 /// on what earlier CoFlows in this round already grabbed, only the
-/// *allocation* does.
+/// *allocation* does. The scratch bank is lazily cloned once, then
+/// refreshed per call with [`PortBank::clone_reset_from`] so the key
+/// computation allocates nothing in steady state.
 fn gamma_on_fresh_bank(
+    scratch: &mut Option<PortBank>,
     bank: &PortBank,
     eps: &[FlowEndpoints],
     rem: &[Bytes],
 ) -> Duration {
-    let mut fresh = bank.clone();
-    fresh.reset_round();
-    bottleneck_time(&fresh, eps, rem)
+    let fresh = match scratch {
+        Some(fresh) => {
+            fresh.clone_reset_from(bank);
+            fresh
+        }
+        slot => {
+            let mut fresh = bank.clone();
+            fresh.reset_round();
+            slot.insert(fresh)
+        }
+    };
+    bottleneck_time(fresh, eps, rem)
 }
 
 #[cfg(test)]
@@ -228,11 +270,20 @@ mod tests {
     }
 
     fn cv(id: u32, flows: Vec<FlowView>) -> CoflowView {
-        CoflowView { id: CoflowId(id), arrival: Time::ZERO, flows, restarted: false }
+        CoflowView {
+            id: CoflowId(id),
+            arrival: Time::ZERO,
+            flows,
+            restarted: false,
+        }
     }
 
     fn run(policy: OfflinePolicy, coflows: &[CoflowView], num_nodes: usize) -> Schedule {
-        let view = ClusterView { now: Time::ZERO, num_nodes, coflows };
+        let view = ClusterView {
+            now: Time::ZERO,
+            num_nodes,
+            coflows,
+        };
         let mut bank = PortBank::uniform(num_nodes, GBPS);
         let mut out = Schedule::default();
         OfflineScheduler::new(policy).compute(&view, &mut bank, &mut out);
@@ -294,7 +345,11 @@ mod tests {
         let out = run(OfflinePolicy::Srtf, &coflows, 4);
         assert_eq!(out.rate_of(FlowId(0)), GBPS, "SRTF favors the nearly-done");
         let out = run(OfflinePolicy::Scf, &coflows, 4);
-        assert_eq!(out.rate_of(FlowId(10)), GBPS, "SCF favors the smaller total");
+        assert_eq!(
+            out.rate_of(FlowId(10)),
+            GBPS,
+            "SCF favors the smaller total"
+        );
     }
 
     /// Backfill: a skipped CoFlow's flows still use leftover ports.

@@ -26,13 +26,13 @@
 //! (FIFO order + Aalo-style total-bytes thresholds), `+ per-flow
 //! thresholds`, `+ LCoF` (= full Saath).
 
-use crate::common::{contention, endpoints_of};
+use crate::common::{contention_into, endpoints_into, RoundArena};
 use crate::config::QueueConfig;
 use crate::timing::SchedTimings;
 use crate::view::{ClusterView, CoflowScheduler, CoflowView, Schedule};
-use saath_fabric::{gang_allocate, gang_rate, greedy_fill, PortBank};
-use saath_simcore::{Bytes, CoflowId, PortId, Time};
-use std::collections::HashMap;
+use saath_fabric::{gang_allocate, gang_rate_with, greedy_fill_into, FlowEndpoints, PortBank};
+use saath_simcore::{Bytes, CoflowId, Rate, Time};
+use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
 /// Saath configuration. [`SaathConfig::default`] is the full paper
@@ -85,13 +85,20 @@ impl SaathConfig {
     /// Fig 10's "A/N" ablation: all-or-none + FIFO + total-bytes
     /// thresholds.
     pub fn ablation_an() -> Self {
-        SaathConfig { per_flow_threshold: false, lcof: false, ..Default::default() }
+        SaathConfig {
+            per_flow_threshold: false,
+            lcof: false,
+            ..Default::default()
+        }
     }
 
     /// Fig 10's "A/N + P/F" ablation: adds per-flow thresholds, still
     /// FIFO.
     pub fn ablation_an_pf() -> Self {
-        SaathConfig { lcof: false, ..Default::default() }
+        SaathConfig {
+            lcof: false,
+            ..Default::default()
+        }
     }
 }
 
@@ -107,9 +114,19 @@ pub struct Saath {
     state: HashMap<CoflowId, CoflowState>,
     /// Per-round overhead samples (Table 2).
     pub timings: SchedTimings,
-    /// Scratch for [`gang_rate`] (kept across rounds; allocation-free
-    /// hot path).
-    scratch: Vec<u32>,
+    /// Shared scratch (contention incidence map, gang-rate counters),
+    /// kept across rounds so the hot path never allocates.
+    arena: RoundArena,
+    /// Per-round buffers, recycled across rounds (see `compute`).
+    queues: Vec<usize>,
+    occupancy: Vec<usize>,
+    k: Vec<u32>,
+    order: Vec<usize>,
+    expired: Vec<bool>,
+    missed: Vec<usize>,
+    eps: Vec<FlowEndpoints>,
+    wc_rates: Vec<Rate>,
+    live: HashSet<CoflowId>,
     /// Rounds in which a deadline-expired CoFlow was force-prioritized
     /// (§7.1 reports starvation avoidance kicking in <1 % of the time).
     pub starvation_kicks: u64,
@@ -122,7 +139,16 @@ impl Saath {
             cfg,
             state: HashMap::new(),
             timings: SchedTimings::default(),
-            scratch: Vec::new(),
+            arena: RoundArena::new(),
+            queues: Vec::new(),
+            occupancy: Vec::new(),
+            k: Vec::new(),
+            order: Vec::new(),
+            expired: Vec::new(),
+            missed: Vec::new(),
+            eps: Vec::new(),
+            wc_rates: Vec::new(),
+            live: HashSet::new(),
             starvation_kicks: 0,
         }
     }
@@ -138,23 +164,28 @@ impl Saath {
     }
 
     /// The queue a CoFlow would be assigned this round (D3 + §4.3).
-    fn queue_of(&self, c: &CoflowView) -> usize {
-        if self.cfg.dynamics_srtf && c.restarted {
-            if let Some(m) = dynamics_remaining_estimate(c) {
-                return self.cfg.queues.queue_for_per_flow(m, c.width());
-            }
+    pub fn queue_of(&self, c: &CoflowView) -> usize {
+        queue_for(&self.cfg, c)
+    }
+}
+
+/// D3 + §4.3 queue assignment as a free function, so `compute` can call
+/// it while holding mutable borrows of the scheduler's round buffers.
+fn queue_for(cfg: &SaathConfig, c: &CoflowView) -> usize {
+    if cfg.dynamics_srtf && c.restarted {
+        if let Some(m) = dynamics_remaining_estimate(c) {
+            return cfg.queues.queue_for_per_flow(m, c.width());
         }
-        if self.cfg.per_flow_threshold {
-            if self.cfg.skew_aware_thresholds {
-                let sents: Vec<saath_simcore::Bytes> =
-                    c.flows.iter().map(|f| f.sent).collect();
-                self.cfg.queues.queue_for_skew_aware(&sents)
-            } else {
-                self.cfg.queues.queue_for_per_flow(c.max_flow_sent(), c.width())
-            }
+    }
+    if cfg.per_flow_threshold {
+        if cfg.skew_aware_thresholds {
+            let sents: Vec<saath_simcore::Bytes> = c.flows.iter().map(|f| f.sent).collect();
+            cfg.queues.queue_for_skew_aware(&sents)
         } else {
-            self.cfg.queues.queue_for_total(c.total_sent())
+            cfg.queues.queue_for_per_flow(c.max_flow_sent(), c.width())
         }
+    } else {
+        cfg.queues.queue_for_total(c.total_sent())
     }
 }
 
@@ -164,8 +195,12 @@ impl Saath {
 /// return `m_c = max_i f_i^rem`. `None` when no flow has finished yet
 /// (no basis for an estimate).
 fn dynamics_remaining_estimate(c: &CoflowView) -> Option<Bytes> {
-    let mut finished: Vec<u64> =
-        c.flows.iter().filter(|f| f.finished).map(|f| f.sent.as_u64()).collect();
+    let mut finished: Vec<u64> = c
+        .flows
+        .iter()
+        .filter(|f| f.finished)
+        .map(|f| f.sent.as_u64())
+        .collect();
     if finished.is_empty() {
         return None;
     }
@@ -187,32 +222,38 @@ impl CoflowScheduler for Saath {
     fn compute(&mut self, view: &ClusterView<'_>, bank: &mut PortBank, out: &mut Schedule) {
         let t_total = Instant::now();
         let n = view.coflows.len();
-        self.scratch.resize(bank.num_ports(), 0);
 
         // ---- Ordering phase (queue assignment, deadlines, LCoF sort) ----
         let t_order = Instant::now();
 
-        // Drop state for departed CoFlows.
-        if self.state.len() > n {
-            let live: std::collections::HashSet<CoflowId> =
-                view.coflows.iter().map(|c| c.id).collect();
-            self.state.retain(|id, _| live.contains(id));
-        }
+        // Drop state for departed CoFlows — unconditionally, against the
+        // live-id set. (Guarding on `state.len() > n` leaks stale
+        // entries whenever departures are matched by same-round
+        // arrivals, since the map never shrinks below the view size.)
+        self.live.clear();
+        self.live.extend(view.coflows.iter().map(|c| c.id));
+        let live = &self.live;
+        self.state.retain(|id, _| live.contains(id));
 
         // New queue assignment for everyone.
-        let queues: Vec<usize> = view.coflows.iter().map(|c| self.queue_of(c)).collect();
+        self.queues.clear();
+        self.queues
+            .extend(view.coflows.iter().map(|c| queue_for(&self.cfg, c)));
 
         // Queue occupancy under the *new* assignment, for fresh deadlines.
-        let mut occupancy = vec![0usize; self.cfg.queues.num_queues];
-        for &q in &queues {
-            occupancy[q] += 1;
+        self.occupancy.clear();
+        self.occupancy.resize(self.cfg.queues.num_queues, 0);
+        for &q in &self.queues {
+            self.occupancy[q] += 1;
         }
 
         // Refresh deadlines for CoFlows that are new or changed queue
         // (D5: "whenever a CoFlow arrives in a queue, a fresh deadline
-        // is set for it").
-        let nominal_rate = bank.capacity(PortId(0));
-        for (c, &q) in view.coflows.iter().zip(&queues) {
+        // is set for it"). Horizons are normalized by the *nominal*
+        // port rate: a degraded port (straggler) must not stretch every
+        // CoFlow's starvation deadline.
+        let nominal_rate = bank.nominal_rate();
+        for (c, &q) in view.coflows.iter().zip(&self.queues) {
             let needs_fresh = match self.state.get(&c.id) {
                 Some(s) => s.queue != q,
                 None => true,
@@ -221,62 +262,80 @@ impl CoflowScheduler for Saath {
                 let t_q = self.cfg.queues.min_residence(q, nominal_rate);
                 let horizon = t_q
                     .saturating_mul(self.cfg.deadline_factor)
-                    .saturating_mul(occupancy[q].max(1) as u64);
+                    .saturating_mul(self.occupancy[q].max(1) as u64);
                 self.state.insert(
                     c.id,
-                    CoflowState { queue: q, deadline: view.now.saturating_add(horizon) },
+                    CoflowState {
+                        queue: q,
+                        deadline: view.now.saturating_add(horizon),
+                    },
                 );
             }
         }
 
         // Contention (only when LCoF orders by it).
-        let k = if self.cfg.lcof { contention(view) } else { vec![0; n] };
+        if self.cfg.lcof {
+            contention_into(view, &mut self.arena, &mut self.k);
+        } else {
+            self.k.clear();
+            self.k.resize(n, 0);
+        }
 
         // Global scan order: queue asc (strict priority), expired
         // deadlines first within the queue, then LCoF (or FIFO), then
         // arrival, then id for full determinism.
-        let mut order: Vec<usize> = (0..n).collect();
-        let expired: Vec<bool> = view
-            .coflows
-            .iter()
-            .map(|c| {
-                self.cfg.starvation_avoidance
-                    && self.state.get(&c.id).map(|s| s.deadline <= view.now).unwrap_or(false)
-            })
-            .collect();
-        order.sort_by_key(|&i| {
+        self.order.clear();
+        self.order.extend(0..n);
+        self.expired.clear();
+        self.expired.extend(view.coflows.iter().map(|c| {
+            self.cfg.starvation_avoidance
+                && self
+                    .state
+                    .get(&c.id)
+                    .map(|s| s.deadline <= view.now)
+                    .unwrap_or(false)
+        }));
+        let (queues, expired, k) = (&self.queues, &self.expired, &self.k);
+        let lcof = self.cfg.lcof;
+        self.order.sort_by_key(|&i| {
             (
                 queues[i],
                 !expired[i],
-                if self.cfg.lcof { k[i] } else { 0 },
+                if lcof { k[i] } else { 0 },
                 view.coflows[i].arrival,
                 view.coflows[i].id,
             )
         });
-        if expired.iter().any(|&e| e) {
+        if self.expired.iter().any(|&e| e) {
             self.starvation_kicks += 1;
         }
         let order_elapsed = t_order.elapsed();
 
         // ---- All-or-none admission (D1 step 4, D2) ----
         let t_an = Instant::now();
-        let mut missed: Vec<usize> = Vec::new();
-        for &ci in &order {
+        self.missed.clear();
+        for oi in 0..self.order.len() {
+            let ci = self.order[oi];
             let c = &view.coflows[ci];
-            let eps = endpoints_of(c, view.num_nodes, false);
-            if eps.is_empty() {
+            endpoints_into(c, view.num_nodes, false, &mut self.eps);
+            if self.eps.is_empty() {
                 continue; // fully finished; driver will drop it
             }
             if !self.cfg.all_or_none || !c.all_ready() {
-                missed.push(ci);
+                self.missed.push(ci);
                 continue;
             }
-            let r = gang_rate(bank, &eps, &mut self.scratch);
+            let r = gang_rate_with(
+                bank,
+                &self.eps,
+                &mut self.arena.gang_scratch,
+                &mut self.arena.gang_touched,
+            );
             if r.is_zero() {
-                missed.push(ci);
+                self.missed.push(ci);
             } else {
-                gang_allocate(bank, &eps, r);
-                for e in &eps {
+                gang_allocate(bank, &self.eps, r);
+                for e in &self.eps {
                     out.set(e.flow, r);
                 }
             }
@@ -286,14 +345,15 @@ impl CoflowScheduler for Saath {
         // ---- Work conservation (D4) ----
         let t_wc = Instant::now();
         if self.cfg.work_conservation || !self.cfg.all_or_none {
-            for &ci in &missed {
+            for mi in 0..self.missed.len() {
+                let ci = self.missed[mi];
                 let c = &view.coflows[ci];
-                let eps = endpoints_of(c, view.num_nodes, true);
-                if eps.is_empty() {
+                endpoints_into(c, view.num_nodes, true, &mut self.eps);
+                if self.eps.is_empty() {
                     continue;
                 }
-                let rates = greedy_fill(bank, &eps);
-                for (e, r) in eps.iter().zip(rates) {
+                greedy_fill_into(bank, &self.eps, &mut self.wc_rates);
+                for (e, &r) in self.eps.iter().zip(&self.wc_rates) {
                     if !r.is_zero() {
                         out.set(e.flow, r);
                     }
@@ -339,13 +399,12 @@ mod tests {
         }
     }
 
-    fn run(
-        sched: &mut Saath,
-        coflows: &[CoflowView],
-        num_nodes: usize,
-        now: Time,
-    ) -> Schedule {
-        let view = ClusterView { now, num_nodes, coflows };
+    fn run(sched: &mut Saath, coflows: &[CoflowView], num_nodes: usize, now: Time) -> Schedule {
+        let view = ClusterView {
+            now,
+            num_nodes,
+            coflows,
+        };
         let mut bank = PortBank::uniform(num_nodes, GBPS);
         let mut out = Schedule::default();
         sched.compute(&view, &mut bank, &mut out);
@@ -358,7 +417,11 @@ mod tests {
     fn fig1_round_one_defers_the_wide_coflow() {
         let coflows = vec![
             cv(1, 0, vec![fv(10, 0, 3, 0)]),
-            cv(2, 1, vec![fv(20, 0, 4, 0), fv(21, 1, 5, 0), fv(22, 2, 6, 0)]),
+            cv(
+                2,
+                1,
+                vec![fv(20, 0, 4, 0), fv(21, 1, 5, 0), fv(22, 2, 6, 0)],
+            ),
             cv(3, 2, vec![fv(30, 1, 7, 0)]),
             cv(4, 3, vec![fv(40, 2, 8, 0)]),
         ];
@@ -401,9 +464,16 @@ mod tests {
         assert_eq!(out.rate_of(FlowId(20)), Rate::ZERO, "sender 0 is taken");
         assert_eq!(out.rate_of(FlowId(21)), GBPS, "backfilled by WC");
 
-        let mut s = Saath::new(SaathConfig { work_conservation: false, ..Default::default() });
+        let mut s = Saath::new(SaathConfig {
+            work_conservation: false,
+            ..Default::default()
+        });
         let out = run(&mut s, &coflows, 5, Time::from_millis(1));
-        assert_eq!(out.rate_of(FlowId(21)), Rate::ZERO, "A/N strict: port idles");
+        assert_eq!(
+            out.rate_of(FlowId(21)),
+            Rate::ZERO,
+            "A/N strict: port idles"
+        );
     }
 
     /// LCoF orders by contention; FIFO (ablation) orders by arrival.
@@ -485,14 +555,20 @@ mod tests {
         let all = vec![wide.clone(), narrow1.clone(), narrow2.clone()];
         let out = run(&mut s, &all, 6, Time::from_secs(3600));
         assert!(s.starvation_kicks > 0);
-        assert_eq!(out.rate_of(FlowId(0)), GBPS, "expired CoFlow is prioritized");
+        assert_eq!(
+            out.rate_of(FlowId(0)),
+            GBPS,
+            "expired CoFlow is prioritized"
+        );
         assert_eq!(out.rate_of(FlowId(1)), GBPS);
         assert_eq!(out.rate_of(FlowId(10)), Rate::ZERO);
         assert_eq!(out.rate_of(FlowId(20)), Rate::ZERO);
 
         // With starvation avoidance off, LCoF keeps starving it.
-        let mut s =
-            Saath::new(SaathConfig { starvation_avoidance: false, ..Default::default() });
+        let mut s = Saath::new(SaathConfig {
+            starvation_avoidance: false,
+            ..Default::default()
+        });
         let _ = run(&mut s, std::slice::from_ref(&wide), 6, Time::from_millis(1));
         let out = run(&mut s, &all, 6, Time::from_secs(3600));
         assert_eq!(out.rate_of(FlowId(10)), GBPS);
@@ -508,7 +584,11 @@ mod tests {
         // 95 MB sent. Estimate: f_e = 100 MB, remaining = 5 MB.
         // Per-flow Q0 share = 5 MB ⇒ remaining 5 MB ≤ 5 MB ⇒ Q0,
         // even though m_c (95 MB sent) would put it in Q2.
-        let mut c = cv(0, 0, vec![fv(0, 0, 2, 100_000_000), fv(1, 1, 3, 95_000_000)]);
+        let mut c = cv(
+            0,
+            0,
+            vec![fv(0, 0, 2, 100_000_000), fv(1, 1, 3, 95_000_000)],
+        );
         c.flows[0].finished = true;
         c.restarted = true;
         let s = Saath::with_defaults();
@@ -542,13 +622,76 @@ mod tests {
     /// Departed CoFlows' state is garbage-collected.
     #[test]
     fn state_is_garbage_collected() {
-        let coflows: Vec<CoflowView> =
-            (0..5).map(|i| cv(i, 0, vec![fv(i * 10, 0, 2, 0)])).collect();
+        let coflows: Vec<CoflowView> = (0..5)
+            .map(|i| cv(i, 0, vec![fv(i * 10, 0, 2, 0)]))
+            .collect();
         let mut s = Saath::with_defaults();
         let _ = run(&mut s, &coflows, 4, Time::ZERO);
         assert_eq!(s.state.len(), 5);
         let _ = run(&mut s, &coflows[..1], 4, Time::from_millis(8));
         assert_eq!(s.state.len(), 1);
+    }
+
+    /// GC must fire even when departures are exactly matched by
+    /// same-round arrivals: the map size never exceeds the view size,
+    /// so a `state.len() > n` guard would keep every stale id alive.
+    #[test]
+    fn gc_handles_matched_arrivals_and_departures() {
+        let mut s = Saath::with_defaults();
+        // Round 1: CoFlows 0..3.
+        let first: Vec<CoflowView> = (0..3)
+            .map(|i| cv(i, 0, vec![fv(i * 10, 0, 2, 0)]))
+            .collect();
+        let _ = run(&mut s, &first, 4, Time::ZERO);
+        assert_eq!(s.state.len(), 3);
+        // Round 2: all three departed, three new arrived — same count.
+        let second: Vec<CoflowView> = (3..6)
+            .map(|i| cv(i, 8, vec![fv(i * 10, 0, 2, 0)]))
+            .collect();
+        let _ = run(&mut s, &second, 4, Time::from_millis(8));
+        assert_eq!(s.state.len(), 3, "stale entries leaked past GC");
+        for i in 3..6 {
+            assert!(
+                s.state.contains_key(&CoflowId(i)),
+                "live CoFlow {i} missing"
+            );
+        }
+        for i in 0..3 {
+            assert!(
+                !s.state.contains_key(&CoflowId(i)),
+                "departed CoFlow {i} retained"
+            );
+        }
+    }
+
+    /// D5 horizons are normalized by the *nominal* port rate: a
+    /// straggler on node 0 (whose uplink is port 0) must not stretch
+    /// deadline horizons for anybody.
+    #[test]
+    fn straggler_on_node_zero_leaves_deadlines_unchanged() {
+        let coflows = vec![cv(0, 0, vec![fv(0, 1, 2, 0)])];
+        let view = ClusterView {
+            now: Time::ZERO,
+            num_nodes: 3,
+            coflows: &coflows,
+        };
+
+        let mut clean = Saath::with_defaults();
+        let mut bank = PortBank::uniform(3, GBPS);
+        let mut out = Schedule::default();
+        clean.compute(&view, &mut bank, &mut out);
+
+        let mut degraded = Saath::with_defaults();
+        let mut bank = PortBank::uniform(3, GBPS);
+        bank.scale_node(NodeId(0), 1, 10); // port 0 now at 1/10 rate
+        let mut out = Schedule::default();
+        degraded.compute(&view, &mut bank, &mut out);
+
+        assert_eq!(
+            clean.state[&CoflowId(0)].deadline,
+            degraded.state[&CoflowId(0)].deadline,
+            "a degraded port 0 must not change deadline horizons"
+        );
     }
 
     /// D5: a CoFlow gets a *fresh* deadline whenever it changes queue,
@@ -571,9 +714,17 @@ mod tests {
         // Round 3: the CoFlow has sent past Q0's threshold → demoted to
         // a new queue with a *fresh* (later) deadline.
         let moved = cv(0, 0, vec![fv(0, 0, 2, 20_000_000)]);
-        let _ = run(&mut s, std::slice::from_ref(&moved), 3, Time::from_secs(200));
+        let _ = run(
+            &mut s,
+            std::slice::from_ref(&moved),
+            3,
+            Time::from_secs(200),
+        );
         assert_eq!(s.state[&CoflowId(0)].queue, 1);
-        assert!(s.state[&CoflowId(0)].deadline > d0, "deadline must refresh on move");
+        assert!(
+            s.state[&CoflowId(0)].deadline > d0,
+            "deadline must refresh on move"
+        );
         assert!(s.state[&CoflowId(0)].deadline > Time::from_secs(200));
     }
 
@@ -585,7 +736,11 @@ mod tests {
         let uneven = cv(
             0,
             0,
-            vec![fv(0, 0, 4, 4_000_000), fv(1, 1, 5, 10_000), fv(2, 2, 6, 10_000)],
+            vec![
+                fv(0, 0, 4, 4_000_000),
+                fv(1, 1, 5, 10_000),
+                fv(2, 2, 6, 10_000),
+            ],
         );
         let default = Saath::with_defaults();
         let skew = Saath::new(SaathConfig {

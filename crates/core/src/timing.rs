@@ -70,8 +70,7 @@ mod tests {
 
     #[test]
     fn avg_and_p90() {
-        let samples: Vec<StdDuration> =
-            (1..=10).map(StdDuration::from_millis).collect();
+        let samples: Vec<StdDuration> = (1..=10).map(StdDuration::from_millis).collect();
         let (avg, p90) = SchedTimings::avg_p90_ms(&samples);
         assert!((avg - 5.5).abs() < 1e-9);
         assert!((p90 - 9.0).abs() < 1e-9);

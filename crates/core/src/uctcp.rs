@@ -9,7 +9,8 @@
 
 use crate::timing::SchedTimings;
 use crate::view::{ClusterView, CoflowScheduler, Schedule};
-use saath_fabric::{max_min_fair, FlowEndpoints, PortBank};
+use saath_fabric::{max_min_fair_into, FlowEndpoints, MaxMinScratch, PortBank};
+use saath_simcore::Rate;
 use std::time::Instant;
 
 /// The UC-TCP scheduler.
@@ -17,6 +18,10 @@ use std::time::Instant;
 pub struct UcTcp {
     /// Per-round overhead samples.
     pub timings: SchedTimings,
+    // Per-round buffers, recycled so the hot path never allocates.
+    eps: Vec<FlowEndpoints>,
+    rates: Vec<Rate>,
+    scratch: MaxMinScratch,
 }
 
 impl UcTcp {
@@ -33,18 +38,16 @@ impl CoflowScheduler for UcTcp {
 
     fn compute(&mut self, view: &ClusterView<'_>, bank: &mut PortBank, out: &mut Schedule) {
         let t_total = Instant::now();
-        let eps: Vec<FlowEndpoints> = view
-            .coflows
-            .iter()
-            .flat_map(|c| {
+        self.eps.clear();
+        for c in view.coflows {
+            self.eps.extend(
                 c.unfinished()
                     .filter(|f| f.ready)
-                    .map(|f| f.endpoints(view.num_nodes))
-                    .collect::<Vec<_>>()
-            })
-            .collect();
-        let rates = max_min_fair(bank, &eps);
-        for (e, r) in eps.iter().zip(rates) {
+                    .map(|f| f.endpoints(view.num_nodes)),
+            );
+        }
+        max_min_fair_into(bank, &self.eps, &mut self.scratch, &mut self.rates);
+        for (e, &r) in self.eps.iter().zip(self.rates.iter()) {
             if !r.is_zero() {
                 bank.allocate(e.src, r);
                 bank.allocate(e.dst, r);
@@ -92,7 +95,11 @@ mod tests {
                 restarted: false,
             },
         ];
-        let view = ClusterView { now: Time::ZERO, num_nodes: 4, coflows: &coflows };
+        let view = ClusterView {
+            now: Time::ZERO,
+            num_nodes: 4,
+            coflows: &coflows,
+        };
         let mut bank = PortBank::uniform(4, Rate(900));
         let mut out = Schedule::default();
         UcTcp::new().compute(&view, &mut bank, &mut out);
@@ -105,15 +112,18 @@ mod tests {
     fn never_oversubscribes() {
         // A dense mesh; the debug assertion in `allocate` would fire on
         // oversubscription.
-        let flows: Vec<FlowView> =
-            (0..12).map(|i| fv(i, i % 3, 3 + (i % 2))).collect();
+        let flows: Vec<FlowView> = (0..12).map(|i| fv(i, i % 3, 3 + (i % 2))).collect();
         let coflows = vec![CoflowView {
             id: CoflowId(0),
             arrival: Time::ZERO,
             flows,
             restarted: false,
         }];
-        let view = ClusterView { now: Time::ZERO, num_nodes: 5, coflows: &coflows };
+        let view = ClusterView {
+            now: Time::ZERO,
+            num_nodes: 5,
+            coflows: &coflows,
+        };
         let mut bank = PortBank::uniform(5, Rate(1000));
         let mut out = Schedule::default();
         UcTcp::new().compute(&view, &mut bank, &mut out);

@@ -94,7 +94,11 @@ impl CoflowView {
 
     /// Max bytes sent by any single flow — the paper's `m_c` (D1/D3).
     pub fn max_flow_sent(&self) -> Bytes {
-        self.flows.iter().map(|f| f.sent).max().unwrap_or(Bytes::ZERO)
+        self.flows
+            .iter()
+            .map(|f| f.sent)
+            .max()
+            .unwrap_or(Bytes::ZERO)
     }
 
     /// Whether every unfinished flow has data ready; all-or-none only

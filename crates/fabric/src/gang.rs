@@ -39,12 +39,25 @@ pub struct FlowEndpoints {
 /// `bank.num_ports()`, zeroed on entry and exit; passing it in keeps the
 /// hot scheduling loop allocation-free.
 pub fn gang_rate(bank: &PortBank, flows: &[FlowEndpoints], scratch: &mut Vec<u32>) -> Rate {
+    let mut touched: Vec<PortId> = Vec::new();
+    gang_rate_with(bank, flows, scratch, &mut touched)
+}
+
+/// [`gang_rate`] with the touched-port list also caller-provided, so a
+/// scheduling round that tests many CoFlows allocates nothing at all.
+/// `touched` may hold garbage on entry; it is cleared here.
+pub fn gang_rate_with(
+    bank: &PortBank,
+    flows: &[FlowEndpoints],
+    scratch: &mut Vec<u32>,
+    touched: &mut Vec<PortId>,
+) -> Rate {
     debug_assert!(scratch.iter().all(|&c| c == 0), "scratch not zeroed");
     scratch.resize(bank.num_ports(), 0);
     if flows.is_empty() {
         return Rate::ZERO;
     }
-    let mut touched: Vec<PortId> = Vec::with_capacity(flows.len() * 2);
+    touched.clear();
     for f in flows {
         for p in [f.src, f.dst] {
             if scratch[p.index()] == 0 {
@@ -54,11 +67,11 @@ pub fn gang_rate(bank: &PortBank, flows: &[FlowEndpoints], scratch: &mut Vec<u32
         }
     }
     let mut rate = Rate(u64::MAX);
-    for &p in &touched {
+    for &p in touched.iter() {
         let claim = bank.remaining(p).div_even(scratch[p.index()] as usize);
         rate = rate.min(claim);
     }
-    for &p in &touched {
+    for &p in touched.iter() {
         scratch[p.index()] = 0;
     }
     rate
@@ -86,6 +99,14 @@ pub fn gang_allocate(bank: &mut PortBank, flows: &[FlowEndpoints], rate: Rate) {
 /// flow-id) order, Aalo's uncoordinated per-port FIFO allocation.
 pub fn greedy_fill(bank: &mut PortBank, flows: &[FlowEndpoints]) -> Vec<Rate> {
     let mut out = Vec::with_capacity(flows.len());
+    greedy_fill_into(bank, flows, &mut out);
+    out
+}
+
+/// [`greedy_fill`] writing into a caller-provided buffer (cleared
+/// first), for allocation-free scheduling rounds.
+pub fn greedy_fill_into(bank: &mut PortBank, flows: &[FlowEndpoints], out: &mut Vec<Rate>) {
+    out.clear();
     for f in flows {
         let r = bank.remaining(f.src).min(bank.remaining(f.dst));
         if !r.is_zero() {
@@ -94,7 +115,6 @@ pub fn greedy_fill(bank: &mut PortBank, flows: &[FlowEndpoints]) -> Vec<Rate> {
         }
         out.push(r);
     }
-    out
 }
 
 #[cfg(test)]

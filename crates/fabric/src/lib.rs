@@ -33,7 +33,9 @@ pub mod madd;
 pub mod maxmin;
 pub mod port;
 
-pub use gang::{gang_allocate, gang_rate, greedy_fill, FlowEndpoints};
-pub use madd::{bottleneck_time, madd_rates};
-pub use maxmin::max_min_fair;
+pub use gang::{
+    gang_allocate, gang_rate, gang_rate_with, greedy_fill, greedy_fill_into, FlowEndpoints,
+};
+pub use madd::{bottleneck_time, madd_rates, madd_rates_into};
+pub use maxmin::{max_min_fair, max_min_fair_into, MaxMinScratch};
 pub use port::PortBank;

@@ -19,11 +19,7 @@ use saath_simcore::{Bytes, Duration, PortId, Rate};
 /// left, and [`Duration::ZERO`] for an empty or fully-drained CoFlow.
 ///
 /// `remaining[i]` is the remaining volume of `flows[i]`.
-pub fn bottleneck_time(
-    bank: &PortBank,
-    flows: &[FlowEndpoints],
-    remaining: &[Bytes],
-) -> Duration {
+pub fn bottleneck_time(bank: &PortBank, flows: &[FlowEndpoints], remaining: &[Bytes]) -> Duration {
     debug_assert_eq!(flows.len(), remaining.len());
     // Accumulate per-port demand sparsely.
     let mut demand: Vec<(PortId, u64)> = Vec::with_capacity(flows.len() * 2);
@@ -62,15 +58,30 @@ pub fn madd_rates(
     flows: &[FlowEndpoints],
     remaining: &[Bytes],
 ) -> Option<Vec<Rate>> {
+    let mut rates = Vec::with_capacity(flows.len());
+    madd_rates_into(bank, flows, remaining, &mut rates).then_some(rates)
+}
+
+/// [`madd_rates`] writing into a caller-provided buffer (cleared first),
+/// for allocation-free scheduling rounds. Returns `false` (leaving `out`
+/// empty) when Γ is infinite — the `None` case of [`madd_rates`].
+pub fn madd_rates_into(
+    bank: &PortBank,
+    flows: &[FlowEndpoints],
+    remaining: &[Bytes],
+    out: &mut Vec<Rate>,
+) -> bool {
+    out.clear();
     let gamma = bottleneck_time(bank, flows, remaining);
     if gamma.is_infinite() {
-        return None;
+        return false;
     }
     if gamma == Duration::ZERO {
-        return Some(vec![Rate::ZERO; flows.len()]);
+        out.resize(flows.len(), Rate::ZERO);
+        return true;
     }
     let gamma_ns = gamma.as_nanos() as u128;
-    let mut rates = Vec::with_capacity(flows.len());
+    let rates = out;
     for rem in remaining {
         let num = rem.as_u64() as u128 * 1_000_000_000u128;
         let r = num.div_ceil(gamma_ns);
@@ -81,7 +92,7 @@ pub fn madd_rates(
     // violated port's ratio if needed (keeps rates proportional, which
     // is the MADD invariant).
     let mut used: Vec<(PortId, u64)> = Vec::new();
-    for (f, r) in flows.iter().zip(&rates) {
+    for (f, r) in flows.iter().zip(rates.iter()) {
         for p in [f.src, f.dst] {
             match used.iter_mut().find(|(q, _)| *q == p) {
                 Some((_, u)) => *u += r.as_u64(),
@@ -103,11 +114,11 @@ pub fn madd_rates(
         }
     }
     if let Some((num, den)) = scale {
-        for r in &mut rates {
+        for r in rates.iter_mut() {
             *r = r.mul_ratio(num, den);
         }
     }
-    Some(rates)
+    true
 }
 
 #[cfg(test)]

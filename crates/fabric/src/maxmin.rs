@@ -18,22 +18,52 @@ use crate::gang::FlowEndpoints;
 use crate::port::PortBank;
 use saath_simcore::Rate;
 
+/// Reusable per-port/per-flow bookkeeping for [`max_min_fair_into`], so
+/// repeated rounds allocate nothing.
+#[derive(Default)]
+pub struct MaxMinScratch {
+    cap: Vec<u64>,
+    count: Vec<u64>,
+    fixed: Vec<bool>,
+}
+
 /// Computes the max-min fair rate for every flow subject to the
 /// *remaining* capacities in `bank`. Does not draw down the bank; the
 /// caller applies the result if desired.
 ///
 /// Flows whose src or dst port has zero capacity get `Rate::ZERO`.
 pub fn max_min_fair(bank: &PortBank, flows: &[FlowEndpoints]) -> Vec<Rate> {
+    let mut rates = Vec::new();
+    max_min_fair_into(bank, flows, &mut MaxMinScratch::default(), &mut rates);
+    rates
+}
+
+/// [`max_min_fair`] writing into a caller-provided buffer (cleared
+/// first) with all bookkeeping drawn from `scratch` — the
+/// allocation-free form for hot scheduling loops.
+pub fn max_min_fair_into(
+    bank: &PortBank,
+    flows: &[FlowEndpoints],
+    scratch: &mut MaxMinScratch,
+    rates: &mut Vec<Rate>,
+) {
     let np = bank.num_ports();
-    let mut rates = vec![Rate::ZERO; flows.len()];
+    rates.clear();
+    rates.resize(flows.len(), Rate::ZERO);
     if flows.is_empty() {
-        return rates;
+        return;
     }
 
     // Per-port bookkeeping.
-    let mut cap: Vec<u64> = (0..np).map(|i| bank.remaining(saath_simcore::PortId(i as u32)).as_u64()).collect();
-    let mut count: Vec<u64> = vec![0; np];
-    let mut fixed: Vec<bool> = vec![false; flows.len()];
+    let cap = &mut scratch.cap;
+    cap.clear();
+    cap.extend((0..np).map(|i| bank.remaining(saath_simcore::PortId(i as u32)).as_u64()));
+    let count = &mut scratch.count;
+    count.clear();
+    count.resize(np, 0);
+    let fixed = &mut scratch.fixed;
+    fixed.clear();
+    fixed.resize(flows.len(), false);
     for f in flows {
         count[f.src.index()] += 1;
         count[f.dst.index()] += 1;
@@ -52,7 +82,9 @@ pub fn max_min_fair(bank: &PortBank, flows: &[FlowEndpoints]) -> Vec<Rate> {
                 _ => best = Some((p, share)),
             }
         }
-        let Some((bottleneck, level)) = best else { break };
+        let Some((bottleneck, level)) = best else {
+            break;
+        };
 
         // Fix every unfixed flow crossing the bottleneck at `level` and
         // charge its other port.
@@ -72,7 +104,6 @@ pub fn max_min_fair(bank: &PortBank, flows: &[FlowEndpoints]) -> Vec<Rate> {
         // The bottleneck may retain a sub-`count` remainder from integer
         // division; it has no unfixed flows left, so it is inert now.
     }
-    rates
 }
 
 #[cfg(test)]

@@ -13,6 +13,7 @@ use serde::{Deserialize, Serialize};
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct PortBank {
     num_nodes: usize,
+    nominal: Rate,
     capacity: Vec<Rate>,
     remaining: Vec<Rate>,
 }
@@ -22,9 +23,19 @@ impl PortBank {
     pub fn uniform(num_nodes: usize, uniform: Rate) -> PortBank {
         PortBank {
             num_nodes,
+            nominal: uniform,
             capacity: vec![uniform; 2 * num_nodes],
             remaining: vec![uniform; 2 * num_nodes],
         }
+    }
+
+    /// The configured un-degraded per-port rate the bank was built
+    /// with. Unlike [`PortBank::capacity`], this never changes when a
+    /// port is degraded (stragglers, failures), so it is the right
+    /// normalizer for queue-residence horizons and other quantities
+    /// that must not wobble with transient slowdowns.
+    pub fn nominal_rate(&self) -> Rate {
+        self.nominal
     }
 
     /// Number of nodes (half the number of ports).
@@ -99,6 +110,17 @@ impl PortBank {
         self.remaining.copy_from_slice(&self.capacity);
     }
 
+    /// Makes `self` a fresh-round copy of `other` (capacities copied,
+    /// remaining reset to capacity) while reusing `self`'s buffers —
+    /// the allocation-free equivalent of `other.clone()` +
+    /// `reset_round()` for schedulers that probe hypothetical rounds.
+    pub fn clone_reset_from(&mut self, other: &PortBank) {
+        self.num_nodes = other.num_nodes;
+        self.nominal = other.nominal;
+        self.capacity.clone_from(&other.capacity);
+        self.remaining.clone_from(&other.capacity);
+    }
+
     /// Sum of allocated rate across all ports (diagnostics).
     pub fn total_allocated(&self) -> Rate {
         let cap: u64 = self.capacity.iter().map(|r| r.as_u64()).sum();
@@ -153,13 +175,46 @@ mod tests {
     }
 
     #[test]
+    fn nominal_rate_survives_degradation() {
+        let mut bank = PortBank::uniform(2, Rate(1000));
+        assert_eq!(bank.nominal_rate(), Rate(1000));
+        bank.scale_node(NodeId(0), 1, 10);
+        assert_eq!(bank.capacity(PortId(0)), Rate(100));
+        assert_eq!(
+            bank.nominal_rate(),
+            Rate(1000),
+            "nominal must not follow degradation"
+        );
+    }
+
+    #[test]
+    fn clone_reset_reuses_buffers() {
+        let mut src = PortBank::uniform(3, Rate(500));
+        src.allocate(PortId(0), Rate(200));
+        src.scale_node(NodeId(1), 1, 5);
+        let mut dst = PortBank::uniform(1, Rate(1));
+        dst.clone_reset_from(&src);
+        assert_eq!(dst.num_nodes(), 3);
+        assert_eq!(dst.nominal_rate(), Rate(500));
+        // Capacities copied, remaining reset to capacity (not to src's
+        // partially-drawn remaining).
+        assert_eq!(dst.capacity(PortId(1)), Rate(100));
+        assert_eq!(dst.remaining(PortId(0)), Rate(500));
+        assert_eq!(dst.remaining(PortId(1)), Rate(100));
+    }
+
+    #[test]
     fn straggler_scaling_clamps_remaining() {
         let mut bank = PortBank::uniform(2, Rate(1000));
         let up = bank.uplink(NodeId(1));
         bank.allocate(up, Rate(100)); // 900 remaining
         bank.scale_node(NodeId(1), 1, 10); // capacity now 100
         assert_eq!(bank.capacity(up), Rate(100));
-        assert_eq!(bank.remaining(up), Rate(100), "remaining clamped to new cap");
+        assert_eq!(
+            bank.remaining(up),
+            Rate(100),
+            "remaining clamped to new cap"
+        );
         // Downlink scaled too.
         assert_eq!(bank.capacity(bank.downlink(NodeId(1))), Rate(100));
         // Other node untouched.

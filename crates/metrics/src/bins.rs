@@ -33,7 +33,12 @@ pub enum Bin {
 
 impl Bin {
     /// All bins in Table-1 order (bin-1 … bin-4).
-    pub const ALL: [Bin; 4] = [Bin::ShortNarrow, Bin::ShortWide, Bin::LongNarrow, Bin::LongWide];
+    pub const ALL: [Bin; 4] = [
+        Bin::ShortNarrow,
+        Bin::ShortWide,
+        Bin::LongNarrow,
+        Bin::LongWide,
+    ];
 
     /// The paper's label ("bin-1" … "bin-4").
     pub fn label(self) -> &'static str {

@@ -97,9 +97,9 @@ mod tests {
     #[test]
     fn split_separates_equal_and_unequal() {
         let records = vec![
-            rec(&[100, 100], &[1, 1]),   // equal lengths, synced
-            rec(&[100, 300], &[1, 5]),   // unequal lengths
-            rec(&[100], &[1]),           // single flow: dropped
+            rec(&[100, 100], &[1, 1]), // equal lengths, synced
+            rec(&[100, 300], &[1, 5]), // unequal lengths
+            rec(&[100], &[1]),         // single flow: dropped
         ];
         let (eq, uneq) = fct_deviation_split(&records);
         assert_eq!(eq.len(), 1);

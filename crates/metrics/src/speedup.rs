@@ -53,10 +53,14 @@ impl SpeedupSummary {
             return None;
         }
         let per: Vec<f64> = speedups(baseline, ours);
-        let base_ccts: Vec<f64> =
-            joined.iter().map(|(_, b, _)| b.cct().as_nanos() as f64).collect();
-        let our_ccts: Vec<f64> =
-            joined.iter().map(|(_, _, o)| o.cct().as_nanos() as f64).collect();
+        let base_ccts: Vec<f64> = joined
+            .iter()
+            .map(|(_, b, _)| b.cct().as_nanos() as f64)
+            .collect();
+        let our_ccts: Vec<f64> = joined
+            .iter()
+            .map(|(_, _, o)| o.cct().as_nanos() as f64)
+            .collect();
         Some(SpeedupSummary {
             n: per.len(),
             median: percentile(&per, 50.0)?,

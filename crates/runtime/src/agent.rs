@@ -50,7 +50,11 @@ pub fn run_agent(
 
     let mut live: Vec<LiveFlow> = flows
         .into_iter()
-        .map(|spec| LiveFlow { spec, sent: Bytes::ZERO, rate: Rate::ZERO })
+        .map(|spec| LiveFlow {
+            spec,
+            sent: Bytes::ZERO,
+            rate: Rate::ZERO,
+        })
         .collect();
     live.sort_by_key(|f| f.spec.flow);
 
@@ -102,8 +106,11 @@ pub fn run_agent(
                     ready: f.spec.ready_at <= now,
                 })
                 .collect();
-            match transport.send(&Message::Stats { node, now_ns: now.as_nanos(), flows: stats })
-            {
+            match transport.send(&Message::Stats {
+                node,
+                now_ns: now.as_nanos(),
+                flows: stats,
+            }) {
                 Ok(()) => {}
                 Err(TransportError::Disconnected) => return Ok(epochs_applied),
                 Err(e) => return Err(e),
@@ -171,14 +178,20 @@ mod tests {
 
         let mut coord: Box<dyn Transport> = Box::new(coord_side);
         // Hello first.
-        let hello = coord.recv_timeout(std::time::Duration::from_secs(2)).unwrap().unwrap();
+        let hello = coord
+            .recv_timeout(std::time::Duration::from_secs(2))
+            .unwrap()
+            .unwrap();
         assert_eq!(hello, Message::Hello { node: 3 });
 
         // Give the flow 1 Gbps (sim): 50 MB takes 0.4 sim-s = 4 wall-ms.
         coord
             .send(&Message::Schedule {
                 epoch: 1,
-                rates: vec![RateAssignment { flow: 7, rate: 125_000_000 }],
+                rates: vec![RateAssignment {
+                    flow: 7,
+                    rate: 125_000_000,
+                }],
             })
             .unwrap();
 
@@ -187,8 +200,9 @@ mod tests {
         let mut finished = false;
         let mut last_sent = 0;
         while std::time::Instant::now() < deadline && !finished {
-            if let Some(Message::Stats { node, flows, .. }) =
-                coord.recv_timeout(std::time::Duration::from_millis(200)).unwrap()
+            if let Some(Message::Stats { node, flows, .. }) = coord
+                .recv_timeout(std::time::Duration::from_millis(200))
+                .unwrap()
             {
                 assert_eq!(node, 3);
                 if let Some(st) = flows.iter().find(|f| f.flow == 7) {
@@ -230,7 +244,9 @@ mod tests {
             )
         });
         let mut coord: Box<dyn Transport> = Box::new(coord_side);
-        let _hello = coord.recv_timeout(std::time::Duration::from_secs(2)).unwrap();
+        let _hello = coord
+            .recv_timeout(std::time::Duration::from_secs(2))
+            .unwrap();
 
         // Assign a rate with epoch 5, then a *stale* epoch-3 push that
         // would zero it; the agent must keep epoch 5's view... and in
@@ -238,10 +254,18 @@ mod tests {
         coord
             .send(&Message::Schedule {
                 epoch: 5,
-                rates: vec![RateAssignment { flow: 1, rate: 125_000_000 }],
+                rates: vec![RateAssignment {
+                    flow: 1,
+                    rate: 125_000_000,
+                }],
             })
             .unwrap();
-        coord.send(&Message::Schedule { epoch: 3, rates: vec![] }).unwrap();
+        coord
+            .send(&Message::Schedule {
+                epoch: 3,
+                rates: vec![],
+            })
+            .unwrap();
 
         std::thread::sleep(std::time::Duration::from_millis(50));
         // Observe stats for a bounded window (the agent reports every
@@ -249,7 +273,10 @@ mod tests {
         let mut sent = None;
         let until = std::time::Instant::now() + std::time::Duration::from_millis(200);
         while std::time::Instant::now() < until {
-            if let Some(Message::Stats { flows, .. }) = coord.recv_timeout(std::time::Duration::from_millis(20)).unwrap() {
+            if let Some(Message::Stats { flows, .. }) = coord
+                .recv_timeout(std::time::Duration::from_millis(20))
+                .unwrap()
+            {
                 if let Some(st) = flows.iter().find(|f| f.flow == 1) {
                     assert!(!st.ready, "flow reported ready far too early");
                     sent = Some(st.sent);

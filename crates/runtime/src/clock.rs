@@ -23,7 +23,10 @@ impl EmuClock {
     /// second (≥ 1).
     pub fn start(scale: u64) -> EmuClock {
         assert!(scale >= 1, "scale must be at least 1");
-        EmuClock { start: Instant::now(), scale }
+        EmuClock {
+            start: Instant::now(),
+            scale,
+        }
     }
 
     /// The scale factor.

@@ -62,7 +62,12 @@ impl CoflowRegistry {
                     (id, f.src, f.dst, f.size, f.available_after)
                 })
                 .collect();
-            entries.push(RegEntry { id: c.id, arrival: c.arrival, job: c.job, flows });
+            entries.push(RegEntry {
+                id: c.id,
+                arrival: c.arrival,
+                job: c.job,
+                flows,
+            });
         }
         CoflowRegistry {
             entries,
@@ -131,8 +136,15 @@ pub fn run_coordinator(
         finished_at: Time,
         ready: Option<bool>,
     }
-    let mut obs =
-        vec![FlowObs { sent: 0, finished: false, finished_at: Time::ZERO, ready: None }; registry.total_flows];
+    let mut obs = vec![
+        FlowObs {
+            sent: 0,
+            finished: false,
+            finished_at: Time::ZERO,
+            ready: None
+        };
+        registry.total_flows
+    ];
 
     let mut done: Vec<Option<Time>> = vec![None; registry.entries.len()];
     let mut records = Vec::with_capacity(registry.entries.len());
@@ -148,7 +160,12 @@ pub fn run_coordinator(
                 let _ = a.send(&Message::Shutdown);
             }
             records.sort_by_key(|r: &CoflowRecord| r.id);
-            return CoordinatorReport { records, epochs, timed_out: true, restarted };
+            return CoordinatorReport {
+                records,
+                epochs,
+                timed_out: true,
+                restarted,
+            };
         }
 
         // Failover injection.
@@ -165,7 +182,13 @@ pub fn run_coordinator(
             loop {
                 match a.recv_timeout(std::time::Duration::ZERO) {
                     Ok(Some(Message::Stats { flows, .. })) => {
-                        for FlowStat { flow, sent, finished, ready } in flows {
+                        for FlowStat {
+                            flow,
+                            sent,
+                            finished,
+                            ready,
+                        } in flows
+                        {
                             let o = &mut obs[flow as usize];
                             o.sent = o.sent.max(sent);
                             o.ready = Some(ready);
@@ -206,9 +229,7 @@ pub fn run_coordinator(
                     flow_fcts: e
                         .flows
                         .iter()
-                        .map(|(fid, ..)| {
-                            obs[*fid as usize].finished_at.saturating_since(e.arrival)
-                        })
+                        .map(|(fid, ..)| obs[*fid as usize].finished_at.saturating_since(e.arrival))
                         .collect(),
                     flow_sizes: e.flows.iter().map(|(_, _, _, s, _)| *s).collect(),
                 });
@@ -219,7 +240,12 @@ pub fn run_coordinator(
                 let _ = a.send(&Message::Shutdown);
             }
             records.sort_by_key(|r: &CoflowRecord| r.id);
-            return CoordinatorReport { records, epochs, timed_out: false, restarted };
+            return CoordinatorReport {
+                records,
+                epochs,
+                timed_out: false,
+                restarted,
+            };
         }
 
         // Build the view of active CoFlows and compute a schedule.
@@ -254,16 +280,25 @@ pub fn run_coordinator(
         if !views.is_empty() {
             bank.reset_round();
             out.clear();
-            let view =
-                ClusterView { now, num_nodes: registry.num_nodes, coflows: &views };
+            let view = ClusterView {
+                now,
+                num_nodes: registry.num_nodes,
+                coflows: &views,
+            };
             sched.compute(&view, &mut bank, &mut out);
             epochs += 1;
             let rates: Vec<RateAssignment> = out
                 .rates
                 .iter()
-                .map(|(f, r)| RateAssignment { flow: f.0, rate: r.as_u64() })
+                .map(|(f, r)| RateAssignment {
+                    flow: f.0,
+                    rate: r.as_u64(),
+                })
                 .collect();
-            let push = Message::Schedule { epoch: epochs, rates };
+            let push = Message::Schedule {
+                epoch: epochs,
+                rates,
+            };
             for a in agents.iter_mut() {
                 let _ = a.send(&push);
             }

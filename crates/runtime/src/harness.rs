@@ -3,9 +3,7 @@
 
 use crate::agent::{run_agent, AgentFlow};
 use crate::clock::EmuClock;
-use crate::coordinator::{
-    run_coordinator, CoflowRegistry, CoordinatorConfig, CoordinatorReport,
-};
+use crate::coordinator::{run_coordinator, CoflowRegistry, CoordinatorConfig, CoordinatorReport};
 use crate::transport::{inproc_pair, TcpTransport, Transport};
 use saath_core::view::CoflowScheduler;
 use saath_simcore::{Duration, Time};
@@ -128,9 +126,7 @@ pub fn emulate(
 
     // Launch agents.
     let mut handles = Vec::with_capacity(trace.num_nodes);
-    for (node, (flows, transport)) in
-        per_node.into_iter().zip(agent_sides).enumerate()
-    {
+    for (node, (flows, transport)) in per_node.into_iter().zip(agent_sides).enumerate() {
         let clock = clock.clone();
         let delta = cfg.delta;
         let tick = cfg.tick;
@@ -146,15 +142,19 @@ pub fn emulate(
         restart_at: cfg.restart_coordinator_at,
         wall_deadline: cfg.wall_deadline,
     };
-    let coordinator =
-        run_coordinator(&registry, make_sched, &mut coord_sides, &clock, &coord_cfg);
+    let coordinator = run_coordinator(&registry, make_sched, &mut coord_sides, &clock, &coord_cfg);
 
     // Agents exit on Shutdown (sent by the coordinator) or disconnect.
     drop(coord_sides);
-    let agent_epochs: Vec<u64> =
-        handles.into_iter().map(|h| h.join().expect("agent panicked").unwrap_or(0)).collect();
+    let agent_epochs: Vec<u64> = handles
+        .into_iter()
+        .map(|h| h.join().expect("agent panicked").unwrap_or(0))
+        .collect();
 
-    EmulationReport { coordinator, agent_epochs }
+    EmulationReport {
+        coordinator,
+        agent_epochs,
+    }
 }
 
 #[cfg(test)]
@@ -181,7 +181,11 @@ mod tests {
                 ],
             ));
         }
-        Trace { num_nodes: 6, port_rate: Rate::gbps(1), coflows }
+        Trace {
+            num_nodes: 6,
+            port_rate: Rate::gbps(1),
+            coflows,
+        }
     }
 
     #[test]

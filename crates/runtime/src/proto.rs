@@ -117,7 +117,11 @@ impl Message {
                 body.put_u8(T_HELLO);
                 body.put_u32(*node);
             }
-            Message::Stats { node, now_ns, flows } => {
+            Message::Stats {
+                node,
+                now_ns,
+                flows,
+            } => {
                 body.put_u8(T_STATS);
                 body.put_u32(*node);
                 body.put_u64(*now_ns);
@@ -167,7 +171,9 @@ impl Message {
         match ty {
             T_HELLO => {
                 need(&body, 4)?;
-                Ok(Message::Hello { node: body.get_u32() })
+                Ok(Message::Hello {
+                    node: body.get_u32(),
+                })
             }
             T_STATS => {
                 need(&body, 16)?;
@@ -190,7 +196,11 @@ impl Message {
                         ready: bits & 2 != 0,
                     });
                 }
-                Ok(Message::Stats { node, now_ns, flows })
+                Ok(Message::Stats {
+                    node,
+                    now_ns,
+                    flows,
+                })
             }
             T_SCHEDULE => {
                 need(&body, 12)?;
@@ -252,14 +262,27 @@ mod tests {
             node: 3,
             now_ns: 123_456_789,
             flows: vec![
-                FlowStat { flow: 0, sent: 10, finished: false, ready: true },
-                FlowStat { flow: 9, sent: u64::MAX, finished: true, ready: false },
+                FlowStat {
+                    flow: 0,
+                    sent: 10,
+                    finished: false,
+                    ready: true,
+                },
+                FlowStat {
+                    flow: 9,
+                    sent: u64::MAX,
+                    finished: true,
+                    ready: false,
+                },
             ],
         });
         roundtrip(Message::Schedule {
             epoch: 42,
             rates: vec![
-                RateAssignment { flow: 1, rate: 125_000_000 },
+                RateAssignment {
+                    flow: 1,
+                    rate: 125_000_000,
+                },
                 RateAssignment { flow: 2, rate: 0 },
             ],
         });
@@ -271,7 +294,12 @@ mod tests {
             roundtrip(Message::Stats {
                 node: 0,
                 now_ns: 0,
-                flows: vec![FlowStat { flow: 1, sent: 2, finished, ready }],
+                flows: vec![FlowStat {
+                    flow: 1,
+                    sent: 2,
+                    finished,
+                    ready,
+                }],
             });
         }
     }
@@ -303,14 +331,20 @@ mod tests {
         frame.put_u8(99); // bad version
         frame.put_u8(T_HELLO);
         let mut buf = frame.clone();
-        assert_eq!(Message::decode_stream(&mut buf), Err(ProtoError::BadVersion(99)));
+        assert_eq!(
+            Message::decode_stream(&mut buf),
+            Err(ProtoError::BadVersion(99))
+        );
 
         let mut frame = BytesMut::new();
         frame.put_u32(2);
         frame.put_u8(VERSION);
         frame.put_u8(200); // bad type
         let mut buf = frame;
-        assert_eq!(Message::decode_stream(&mut buf), Err(ProtoError::BadType(200)));
+        assert_eq!(
+            Message::decode_stream(&mut buf),
+            Err(ProtoError::BadType(200))
+        );
     }
 
     #[test]

@@ -50,10 +50,7 @@ pub trait Transport: Send {
 
     /// Receives the next message, waiting at most `timeout`.
     /// `Ok(None)` = nothing arrived in time.
-    fn recv_timeout(
-        &mut self,
-        timeout: WallDuration,
-    ) -> Result<Option<Message>, TransportError>;
+    fn recv_timeout(&mut self, timeout: WallDuration) -> Result<Option<Message>, TransportError>;
 }
 
 /// One end of an in-process transport.
@@ -66,18 +63,20 @@ pub struct InProcTransport {
 pub fn inproc_pair(capacity: usize) -> (InProcTransport, InProcTransport) {
     let (atx, brx) = bounded(capacity);
     let (btx, arx) = bounded(capacity);
-    (InProcTransport { tx: atx, rx: arx }, InProcTransport { tx: btx, rx: brx })
+    (
+        InProcTransport { tx: atx, rx: arx },
+        InProcTransport { tx: btx, rx: brx },
+    )
 }
 
 impl Transport for InProcTransport {
     fn send(&mut self, m: &Message) -> Result<(), TransportError> {
-        self.tx.send(m.clone()).map_err(|_| TransportError::Disconnected)
+        self.tx
+            .send(m.clone())
+            .map_err(|_| TransportError::Disconnected)
     }
 
-    fn recv_timeout(
-        &mut self,
-        timeout: WallDuration,
-    ) -> Result<Option<Message>, TransportError> {
+    fn recv_timeout(&mut self, timeout: WallDuration) -> Result<Option<Message>, TransportError> {
         match self.rx.recv_timeout(timeout) {
             Ok(m) => Ok(Some(m)),
             Err(RecvTimeoutError::Timeout) => Ok(None),
@@ -97,7 +96,10 @@ impl TcpTransport {
     /// latency-critical and tiny.
     pub fn new(stream: TcpStream) -> std::io::Result<TcpTransport> {
         stream.set_nodelay(true)?;
-        Ok(TcpTransport { stream, buf: BytesMut::with_capacity(8192) })
+        Ok(TcpTransport {
+            stream,
+            buf: BytesMut::with_capacity(8192),
+        })
     }
 
     /// Connects to a coordinator address.
@@ -118,10 +120,7 @@ impl Transport for TcpTransport {
         })
     }
 
-    fn recv_timeout(
-        &mut self,
-        timeout: WallDuration,
-    ) -> Result<Option<Message>, TransportError> {
+    fn recv_timeout(&mut self, timeout: WallDuration) -> Result<Option<Message>, TransportError> {
         // Drain any frame already buffered.
         if let Some(m) = Message::decode_stream(&mut self.buf)? {
             return Ok(Some(m));
@@ -165,11 +164,19 @@ mod tests {
             Message::Stats {
                 node: 3,
                 now_ns: 99,
-                flows: vec![FlowStat { flow: 1, sent: 5, finished: false, ready: true }],
+                flows: vec![FlowStat {
+                    flow: 1,
+                    sent: 5,
+                    finished: false,
+                    ready: true,
+                }],
             },
             Message::Schedule {
                 epoch: 7,
-                rates: vec![RateAssignment { flow: 1, rate: 1000 }],
+                rates: vec![RateAssignment {
+                    flow: 1,
+                    rate: 1000,
+                }],
             },
             Message::Shutdown,
         ]
@@ -180,11 +187,17 @@ mod tests {
         let (mut a, mut b) = inproc_pair(16);
         for m in sample_messages() {
             a.send(&m).unwrap();
-            let got = b.recv_timeout(WallDuration::from_millis(100)).unwrap().unwrap();
+            let got = b
+                .recv_timeout(WallDuration::from_millis(100))
+                .unwrap()
+                .unwrap();
             assert_eq!(got, m);
         }
         // Nothing pending → timeout returns None.
-        assert!(b.recv_timeout(WallDuration::from_millis(5)).unwrap().is_none());
+        assert!(b
+            .recv_timeout(WallDuration::from_millis(5))
+            .unwrap()
+            .is_none());
         // Reverse direction works too.
         b.send(&Message::Hello { node: 9 }).unwrap();
         assert_eq!(
@@ -226,7 +239,10 @@ mod tests {
         let mut client = TcpTransport::connect(&addr.to_string()).unwrap();
         for m in sample_messages() {
             client.send(&m).unwrap();
-            let got = client.recv_timeout(WallDuration::from_secs(5)).unwrap().unwrap();
+            let got = client
+                .recv_timeout(WallDuration::from_secs(5))
+                .unwrap()
+                .unwrap();
             assert_eq!(got, m);
         }
         server.join().unwrap();

@@ -40,7 +40,10 @@ impl DetRng {
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
         z ^= z >> 31;
-        DetRng { inner: SmallRng::seed_from_u64(z), label_hash }
+        DetRng {
+            inner: SmallRng::seed_from_u64(z),
+            label_hash,
+        }
     }
 
     /// Derives a child stream (e.g. one stream per CoFlow index).
@@ -48,7 +51,10 @@ impl DetRng {
         let mut z = self.label_hash ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
         z ^= z >> 31;
-        DetRng { inner: SmallRng::seed_from_u64(z), label_hash: z }
+        DetRng {
+            inner: SmallRng::seed_from_u64(z),
+            label_hash: z,
+        }
     }
 
     /// Uniform integer in `[0, n)`.
@@ -120,7 +126,10 @@ impl DetRng {
     /// Samples `k` distinct values from `[0, n)` (k ≤ n), in random
     /// order. Used to pick the mapper/reducer nodes of a CoFlow.
     pub fn sample_distinct(&mut self, n: u64, k: usize) -> Vec<u64> {
-        assert!(k as u64 <= n, "cannot sample {k} distinct values from [0,{n})");
+        assert!(
+            k as u64 <= n,
+            "cannot sample {k} distinct values from [0,{n})"
+        );
         // Partial Fisher–Yates over a lazily-materialized permutation.
         let mut swaps: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
         let mut out = Vec::with_capacity(k);
@@ -154,7 +163,9 @@ mod tests {
     fn different_labels_differ() {
         let mut a = DetRng::derive(7, "sizes");
         let mut b = DetRng::derive(7, "widths");
-        let same = (0..64).filter(|_| a.below(1 << 30) == b.below(1 << 30)).count();
+        let same = (0..64)
+            .filter(|_| a.below(1 << 30) == b.below(1 << 30))
+            .count();
         assert!(same < 4, "streams with different labels look identical");
     }
 
@@ -175,7 +186,10 @@ mod tests {
         let n = 20_000;
         let sum: u64 = (0..n).map(|_| r.exp_gap(1000.0)).sum();
         let mean = sum as f64 / n as f64;
-        assert!((mean - 1000.0).abs() < 50.0, "mean {mean} too far from 1000");
+        assert!(
+            (mean - 1000.0).abs() < 50.0,
+            "mean {mean} too far from 1000"
+        );
     }
 
     #[test]

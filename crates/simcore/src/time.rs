@@ -12,15 +12,11 @@ use core::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
 use serde::{Deserialize, Serialize};
 
 /// An absolute instant in simulated time (nanoseconds since t = 0).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct Time(pub u64);
 
 /// A span of simulated time (nanoseconds).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct Duration(pub u64);
 
 impl Time {
@@ -302,10 +298,19 @@ mod tests {
     fn grid_rounding_matches_coordinator_semantics() {
         let delta = Duration::from_millis(8);
         // Exactly on the boundary stays put.
-        assert_eq!(Time::from_millis(16).round_up_to(delta), Time::from_millis(16));
+        assert_eq!(
+            Time::from_millis(16).round_up_to(delta),
+            Time::from_millis(16)
+        );
         // Mid-interval rounds to the next boundary.
-        assert_eq!(Time::from_millis(17).round_up_to(delta), Time::from_millis(24));
-        assert_eq!(Time::from_millis(17).round_down_to(delta), Time::from_millis(16));
+        assert_eq!(
+            Time::from_millis(17).round_up_to(delta),
+            Time::from_millis(24)
+        );
+        assert_eq!(
+            Time::from_millis(17).round_down_to(delta),
+            Time::from_millis(16)
+        );
         // Zero grid disables quantization.
         assert_eq!(Time(123).round_up_to(Duration::ZERO), Time(123));
     }
@@ -314,8 +319,13 @@ mod tests {
     fn never_is_after_everything_and_absorbs() {
         assert!(Time::NEVER > Time::from_secs(1_000_000));
         assert!(Time::NEVER.is_never());
-        assert!(Time::NEVER.saturating_add(Duration::from_secs(1)).is_never());
-        assert_eq!(Time::NEVER.round_up_to(Duration::from_millis(8)), Time::NEVER);
+        assert!(Time::NEVER
+            .saturating_add(Duration::from_secs(1))
+            .is_never());
+        assert_eq!(
+            Time::NEVER.round_up_to(Duration::from_millis(8)),
+            Time::NEVER
+        );
     }
 
     #[test]

@@ -21,15 +21,11 @@ use core::ops::{Add, AddAssign, Sub, SubAssign};
 use serde::{Deserialize, Serialize};
 
 /// A data volume in bytes.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct Bytes(pub u64);
 
 /// A data rate in bytes per second.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct Rate(pub u64);
 
 impl Bytes {
@@ -167,7 +163,11 @@ pub fn bytes_in(rate: Rate, dt: Duration) -> Bytes {
     if dt.is_infinite() {
         // Callers never ask for an infinite advance with a nonzero rate;
         // treat it as "as much as a u64 can hold" defensively.
-        return if rate.0 == 0 { Bytes::ZERO } else { Bytes(u64::MAX) };
+        return if rate.0 == 0 {
+            Bytes::ZERO
+        } else {
+            Bytes(u64::MAX)
+        };
     }
     let num = rate.0 as u128 * dt.as_nanos() as u128;
     Bytes((num / 1_000_000_000u128).min(u64::MAX as u128) as u64)
@@ -306,7 +306,10 @@ mod tests {
 
     #[test]
     fn bytes_in_floor() {
-        assert_eq!(bytes_in(Rate::gbps(1), Duration::from_millis(8)), Bytes::mb(1));
+        assert_eq!(
+            bytes_in(Rate::gbps(1), Duration::from_millis(8)),
+            Bytes::mb(1)
+        );
         assert_eq!(bytes_in(Rate(3), Duration(333_333_333)), Bytes(0));
         assert_eq!(bytes_in(Rate(3), Duration(333_333_334)), Bytes(1));
         assert_eq!(bytes_in(Rate::ZERO, Duration::INFINITE), Bytes::ZERO);

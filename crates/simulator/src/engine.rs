@@ -1,5 +1,33 @@
 //! The replay engine: δ-quantized coordination over an event-exact
 //! fluid-flow model.
+//!
+//! Two implementations of the same semantics live here:
+//!
+//! * [`simulate`] — the production epoch loop. Advancing simulated time
+//!   is O(changes), not O(state): the next flow completion comes from a
+//!   lazily-invalidated min-heap of predicted completion times instead
+//!   of a scan over every active flow; schedules are applied as a diff
+//!   against the previous round (only flows whose rate actually changed
+//!   are touched); and views are re-synced only for CoFlows whose flows
+//!   progressed since the last round (a dirty set).
+//! * [`simulate_reference`] — the original O(state)-per-step loop, kept
+//!   verbatim as the executable specification. The equivalence test
+//!   below and `tests/engine_equivalence.rs` assert the two produce
+//!   byte-identical [`CoflowRecord`]s; the `repro` binary's
+//!   `epoch-loop` experiment measures the speedup between them.
+//!
+//! Why byte-identical equivalence is non-trivial: rates and volumes use
+//! exact integer arithmetic (`transfer_time` rounds up, `bytes_in`
+//! rounds down), so a flow's predicted completion drifts monotonically
+//! *later* as an interval is subdivided — `Σ floor(r·dtᵢ) ≤
+//! floor(r·Σdtᵢ)`. The incremental loop therefore never introduces or
+//! removes time steps relative to the reference: heap entries are
+//! pushed only on rate changes, and a stale entry surfacing at the top
+//! is re-pushed at the flow's *current* prediction, so the popped
+//! minimum equals the reference's fresh scan exactly.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use saath_core::view::{ClusterView, CoflowScheduler, CoflowView, FlowView, Schedule};
 use saath_fabric::PortBank;
@@ -56,7 +84,10 @@ impl std::fmt::Display for SimError {
         match self {
             SimError::InvalidTrace(e) => write!(f, "invalid trace: {e}"),
             SimError::NeedsOracle(n) => {
-                write!(f, "scheduler `{n}` is clairvoyant; run with clairvoyant: true")
+                write!(
+                    f,
+                    "scheduler `{n}` is clairvoyant; run with clairvoyant: true"
+                )
             }
             SimError::RoundLimit(n) => write!(f, "round limit {n} exceeded"),
         }
@@ -84,7 +115,10 @@ impl SimOutput {
         if self.records.is_empty() {
             return 0.0;
         }
-        self.records.iter().map(|r| r.cct().as_secs_f64()).sum::<f64>()
+        self.records
+            .iter()
+            .map(|r| r.cct().as_secs_f64())
+            .sum::<f64>()
             / self.records.len() as f64
     }
 }
@@ -98,6 +132,10 @@ struct SimFlow {
     rate: Rate,
     ready_at: Time,
     finished_at: Option<Time>,
+    /// Predicted absolute completion under the current rate;
+    /// `Time::NEVER` while paused or finished. Maintained only by the
+    /// incremental loop (the reference loop recomputes it by scanning).
+    pred: Time,
 }
 
 struct SimCoflow {
@@ -105,6 +143,9 @@ struct SimCoflow {
     finished: Option<Time>,
     first_flow: usize,
     num_flows: usize,
+    /// Flows not yet finished; the incremental loop's O(1) stand-in for
+    /// the reference loop's all-flows-done scan.
+    unfinished: usize,
     deps_left: usize,
     dependents: Vec<usize>,
     restarted: bool,
@@ -112,27 +153,24 @@ struct SimCoflow {
 }
 
 enum DynAction {
-    StraggleStart { node: NodeId, num: u64, den: u64 },
-    StraggleEnd { node: NodeId },
-    Fail { node: NodeId, restart_delay: Duration },
+    StraggleStart {
+        node: NodeId,
+        num: u64,
+        den: u64,
+    },
+    StraggleEnd {
+        node: NodeId,
+    },
+    Fail {
+        node: NodeId,
+        restart_delay: Duration,
+    },
 }
 
-/// Replays `trace` under `sched`, returning per-CoFlow records.
-pub fn simulate(
-    trace: &Trace,
-    sched: &mut dyn CoflowScheduler,
-    cfg: &SimConfig,
-    dynamics: &DynamicsSpec,
-) -> Result<SimOutput, SimError> {
-    trace.validate().map_err(|e| SimError::InvalidTrace(e.to_string()))?;
-    if sched.requires_clairvoyance() && !cfg.clairvoyant {
-        return Err(SimError::NeedsOracle(sched.name()));
-    }
-
+/// Flattens the trace into dense flow/coflow tables with reversed
+/// dependency edges (shared by both engine loops).
+fn flatten(trace: &Trace) -> (Vec<SimFlow>, Vec<SimCoflow>) {
     let n_coflows = trace.coflows.len();
-    let num_nodes = trace.num_nodes;
-
-    // ---- Flatten the trace into dense flow/coflow tables ----
     let mut flows: Vec<SimFlow> = Vec::with_capacity(trace.num_flows());
     let mut coflows: Vec<SimCoflow> = Vec::with_capacity(n_coflows);
     let mut id_to_idx = std::collections::HashMap::with_capacity(n_coflows);
@@ -149,6 +187,7 @@ pub fn simulate(
                 rate: Rate::ZERO,
                 ready_at: Time::NEVER, // set at release
                 finished_at: None,
+                pred: Time::NEVER,
             });
         }
         coflows.push(SimCoflow {
@@ -156,6 +195,7 @@ pub fn simulate(
             finished: None,
             first_flow,
             num_flows: c.flows.len(),
+            unfinished: c.flows.len(),
             deps_left: c.deps.len(),
             dependents: Vec::new(),
             restarted: false,
@@ -169,9 +209,17 @@ pub fn simulate(
             coflows[di].dependents.push(ci);
         }
     }
+    (flows, coflows)
+}
 
-    // ---- Event sources ----
-    let mut arrivals: EventQueue<usize> = EventQueue::with_capacity(n_coflows);
+/// Builds the arrival and dynamics event queues (shared by both loops;
+/// push order fixes `EventQueue` tie-break sequence numbers, so it must
+/// be identical between them).
+fn event_sources(
+    trace: &Trace,
+    dynamics: &DynamicsSpec,
+) -> (EventQueue<usize>, EventQueue<DynAction>) {
+    let mut arrivals: EventQueue<usize> = EventQueue::with_capacity(trace.coflows.len());
     for (ci, c) in trace.coflows.iter().enumerate() {
         if c.deps.is_empty() {
             arrivals.push(c.arrival, ci);
@@ -180,15 +228,97 @@ pub fn simulate(
     let mut dyn_events: EventQueue<DynAction> = EventQueue::new();
     for ev in dynamics.sorted() {
         match ev {
-            DynamicsEvent::Straggler { node, at, until, num, den } => {
+            DynamicsEvent::Straggler {
+                node,
+                at,
+                until,
+                num,
+                den,
+            } => {
                 dyn_events.push(at, DynAction::StraggleStart { node, num, den });
                 dyn_events.push(until, DynAction::StraggleEnd { node });
             }
-            DynamicsEvent::NodeFailure { node, at, restart_delay } => {
-                dyn_events.push(at, DynAction::Fail { node, restart_delay });
+            DynamicsEvent::NodeFailure {
+                node,
+                at,
+                restart_delay,
+            } => {
+                dyn_events.push(
+                    at,
+                    DynAction::Fail {
+                        node,
+                        restart_delay,
+                    },
+                );
             }
         }
     }
+    (arrivals, dyn_events)
+}
+
+/// Builds the [`CoflowView`] pushed into the active set when a CoFlow
+/// is released at time `t` (shared by both loops).
+fn make_view(
+    trace: &Trace,
+    ci: usize,
+    first_flow: usize,
+    t: Time,
+    clairvoyant: bool,
+) -> CoflowView {
+    let spec = &trace.coflows[ci];
+    CoflowView {
+        id: spec.id,
+        arrival: t,
+        flows: spec
+            .flows
+            .iter()
+            .enumerate()
+            .map(|(k, f)| FlowView {
+                id: FlowId::from_index(first_flow + k),
+                src: f.src,
+                dst: f.dst,
+                sent: Bytes::ZERO,
+                ready: false,
+                finished: false,
+                oracle_size: clairvoyant.then_some(f.size),
+            })
+            .collect(),
+        restarted: false,
+    }
+}
+
+#[inline]
+fn mark_dirty(dirty: &mut [bool], dirty_list: &mut Vec<usize>, ci: usize) {
+    if !dirty[ci] {
+        dirty[ci] = true;
+        dirty_list.push(ci);
+    }
+}
+
+/// Replays `trace` under `sched`, returning per-CoFlow records.
+///
+/// This is the incremental epoch loop; it produces byte-identical
+/// records to [`simulate_reference`] while doing per-step work
+/// proportional to what changed rather than to the number of active
+/// flows.
+pub fn simulate(
+    trace: &Trace,
+    sched: &mut dyn CoflowScheduler,
+    cfg: &SimConfig,
+    dynamics: &DynamicsSpec,
+) -> Result<SimOutput, SimError> {
+    trace
+        .validate()
+        .map_err(|e| SimError::InvalidTrace(e.to_string()))?;
+    if sched.requires_clairvoyance() && !cfg.clairvoyant {
+        return Err(SimError::NeedsOracle(sched.name()));
+    }
+
+    let n_coflows = trace.coflows.len();
+    let num_nodes = trace.num_nodes;
+
+    let (mut flows, mut coflows) = flatten(trace);
+    let (mut arrivals, mut dyn_events) = event_sources(trace, dynamics);
 
     // ---- Live state ----
     let mut bank = PortBank::uniform(num_nodes, trace.port_rate);
@@ -200,23 +330,404 @@ pub fn simulate(
 
     let mut now = Time::ZERO;
     let mut rounds: u64 = 0;
-    let mut active_flows: usize = 0;
     // Nodes currently straggling — any CoFlow with unfinished flows on
     // one is flagged `restarted` at view-sync time, so the §4.3
     // heuristic sees it regardless of when the CoFlow was released or
     // whether its flows happened to hold a rate when the event fired.
     let mut straggled = vec![false; num_nodes];
 
+    // ---- Incremental machinery ----
+    // Flows holding a nonzero rate (superset: zeroed entries are
+    // compacted away at the next advancement pass). Order follows the
+    // schedule's rate list, so iteration stays deterministic.
+    let mut flowing: Vec<usize> = Vec::new();
+    // Min-heap of (predicted completion, flow). Entries are pushed only
+    // when a flow's rate changes; predictions drift monotonically later
+    // between rate changes (integer floor/ceil), so every flowing flow
+    // always has an entry at or before its current prediction. Stale
+    // entries are re-pushed at the current prediction when they surface.
+    let mut completions: BinaryHeap<Reverse<(Time, u32)>> = BinaryHeap::new();
+    // CoFlows whose view lags ground truth (flows progressed, readiness
+    // or restart flags changed) — the only ones re-synced per round.
+    let mut dirty = vec![false; n_coflows];
+    let mut dirty_list: Vec<usize> = Vec::new();
+    // Wakes the sync for CoFlows whose flows become ready mid-run
+    // (`available_after` delays, failure restarts). Readiness is not a
+    // `t_next` candidate — exactly as in the reference loop, a flow
+    // becoming ready between steps is seen at the next step.
+    let mut ready_events: EventQueue<usize> = EventQueue::new();
+    // Round stamps for the schedule diff: flows stamped this round keep
+    // a rate; previously-flowing flows that lost theirs are zeroed.
+    let mut sched_stamp: Vec<u64> = vec![0; flows.len()];
+    let mut round_stamp: u64 = 0;
+
+    loop {
+        // ---- 1. Drain everything due at `now` ----
+        while let Some((t, ci)) = arrivals.pop_due(now) {
+            let t = t.max(now);
+            let sc = &mut coflows[ci];
+            debug_assert!(sc.released.is_none(), "double release of coflow {ci}");
+            debug_assert!(sc.num_flows > 0, "validate() admitted an empty coflow");
+            sc.released = Some(t);
+            sc.view_slot = views.len();
+            let first_flow = sc.first_flow;
+            for (k, f) in trace.coflows[ci].flows.iter().enumerate() {
+                let ready_at = t + f.available_after;
+                flows[first_flow + k].ready_at = ready_at;
+                if ready_at > t && !ready_at.is_never() {
+                    ready_events.push(ready_at, ci);
+                }
+            }
+            views.push(make_view(trace, ci, first_flow, t, cfg.clairvoyant));
+            view_owner.push(ci);
+            mark_dirty(&mut dirty, &mut dirty_list, ci);
+        }
+        while let Some((_, ci)) = ready_events.pop_due(now) {
+            if coflows[ci].view_slot != usize::MAX {
+                mark_dirty(&mut dirty, &mut dirty_list, ci);
+            }
+        }
+        while let Some((_, action)) = dyn_events.pop_due(now) {
+            match action {
+                DynAction::StraggleStart { node, num, den } => {
+                    bank.set_node_capacity(node, nominal.mul_ratio(num, den));
+                    straggled[node.index()] = true;
+                    // Scale down in-flight rates on that node so the
+                    // port is never oversubscribed mid-interval. Every
+                    // nonzero-rate flow is in `flowing`.
+                    for &fi in &flowing {
+                        let f = &mut flows[fi];
+                        if f.finished_at.is_none()
+                            && f.rate != Rate::ZERO
+                            && (f.src == node || f.dst == node)
+                        {
+                            f.rate = f.rate.mul_ratio(num, den);
+                            f.pred = if f.rate.is_zero() {
+                                Time::NEVER
+                            } else {
+                                let rem = f.size.saturating_sub(f.sent);
+                                now.saturating_add(transfer_time(rem, f.rate))
+                            };
+                            if !f.pred.is_never() {
+                                completions.push(Reverse((f.pred, fi as u32)));
+                            }
+                        }
+                    }
+                    // Straggler flags can flip for any active CoFlow.
+                    for &ci in &view_owner {
+                        mark_dirty(&mut dirty, &mut dirty_list, ci);
+                    }
+                }
+                DynAction::StraggleEnd { node } => {
+                    bank.set_node_capacity(node, nominal);
+                    straggled[node.index()] = false;
+                    for &ci in &view_owner {
+                        mark_dirty(&mut dirty, &mut dirty_list, ci);
+                    }
+                }
+                DynAction::Fail {
+                    node,
+                    restart_delay,
+                } => {
+                    for f in flows.iter_mut() {
+                        if f.finished_at.is_none()
+                            && (f.src == node || f.dst == node)
+                            && coflows[f.coflow].released.is_some()
+                        {
+                            f.sent = Bytes::ZERO;
+                            f.rate = Rate::ZERO;
+                            f.pred = Time::NEVER;
+                            f.ready_at = f.ready_at.max(now.saturating_add(restart_delay));
+                            let slot = coflows[f.coflow].view_slot;
+                            if slot != usize::MAX {
+                                coflows[f.coflow].restarted = true;
+                                views[slot].restarted = true;
+                                mark_dirty(&mut dirty, &mut dirty_list, f.coflow);
+                                if f.ready_at > now && !f.ready_at.is_never() {
+                                    ready_events.push(f.ready_at, f.coflow);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // ---- 2. Recompute the schedule on δ boundaries ----
+        let on_boundary = cfg.delta == Duration::ZERO || (now % cfg.delta) == Duration::ZERO;
+        if on_boundary && !views.is_empty() {
+            rounds += 1;
+            if rounds > cfg.max_rounds {
+                return Err(SimError::RoundLimit(cfg.max_rounds));
+            }
+            // Sync views with ground truth — only where it moved.
+            let any_straggler = straggled.iter().any(|&b| b);
+            for ci in dirty_list.drain(..) {
+                dirty[ci] = false;
+                let slot = coflows[ci].view_slot;
+                if slot == usize::MAX {
+                    continue; // completed since it was marked
+                }
+                let view = &mut views[slot];
+                let base = coflows[ci].first_flow;
+                let mut touches_straggler = false;
+                for (k, fv) in view.flows.iter_mut().enumerate() {
+                    let f = &flows[base + k];
+                    fv.sent = f.sent;
+                    fv.finished = f.finished_at.is_some();
+                    fv.ready = f.ready_at <= now;
+                    if any_straggler
+                        && f.finished_at.is_none()
+                        && (straggled[f.src.index()] || straggled[f.dst.index()])
+                    {
+                        touches_straggler = true;
+                    }
+                }
+                // Failure flags persist (the framework's `update()` told
+                // the coordinator); straggler flags follow the slowdown.
+                view.restarted = coflows[ci].restarted || touches_straggler;
+            }
+            bank.reset_round();
+            schedule.clear();
+            {
+                let view = ClusterView {
+                    now,
+                    num_nodes,
+                    coflows: &views,
+                };
+                sched.compute(&view, &mut bank, &mut schedule);
+            }
+            // Apply as a diff: zero only flows that lost their rate,
+            // set only flows whose rate actually changed.
+            round_stamp += 1;
+            for &(fid, _) in &schedule.rates {
+                sched_stamp[fid.index()] = round_stamp;
+            }
+            for &fi in &flowing {
+                if sched_stamp[fi] != round_stamp {
+                    let f = &mut flows[fi];
+                    f.rate = Rate::ZERO;
+                    f.pred = Time::NEVER;
+                }
+            }
+            flowing.clear();
+            for &(fid, rate) in &schedule.rates {
+                let fi = fid.index();
+                let f = &mut flows[fi];
+                debug_assert!(f.finished_at.is_none(), "rate for finished flow {fid}");
+                debug_assert!(f.ready_at <= now, "rate for unready flow {fid}");
+                if f.rate != rate {
+                    f.rate = rate;
+                    let rem = f.size.saturating_sub(f.sent);
+                    f.pred = now.saturating_add(transfer_time(rem, rate));
+                    if !f.pred.is_never() {
+                        completions.push(Reverse((f.pred, fi as u32)));
+                    }
+                }
+                // Unchanged rate ⇒ `pred` was refreshed at `now` by the
+                // advancement pass that ended here; nothing to do.
+                flowing.push(fi);
+            }
+            #[cfg(debug_assertions)]
+            check_feasibility(&flows, &bank, num_nodes);
+        }
+
+        // ---- 3. Find the next instant anything changes ----
+        let mut t_next = Time::NEVER;
+        if let Some(t) = arrivals.peek_time() {
+            t_next = t_next.min(t);
+        }
+        if let Some(t) = dyn_events.peek_time() {
+            t_next = t_next.min(t);
+        }
+        if !views.is_empty() {
+            // Earliest completion under current rates, from the heap.
+            let t_complete = loop {
+                let Some(&Reverse((t, fi))) = completions.peek() else {
+                    break Time::NEVER;
+                };
+                let f = &flows[fi as usize];
+                if f.finished_at.is_some() || f.rate.is_zero() || f.pred.is_never() {
+                    completions.pop(); // flow no longer completing
+                } else if t == f.pred {
+                    break t; // entry is current: true minimum
+                } else if t < f.pred {
+                    // Stale (prediction drifted later): re-key at the
+                    // current prediction and keep looking.
+                    completions.pop();
+                    completions.push(Reverse((f.pred, fi)));
+                } else {
+                    // Superseded: a rate change already pushed a fresher
+                    // entry at or before the current prediction.
+                    completions.pop();
+                }
+            };
+            t_next = t_next.min(t_complete);
+            // Next schedule boundary.
+            let next_boundary = if cfg.delta == Duration::ZERO {
+                // Event-driven mode: recompute whenever anything above
+                // fires; no synthetic boundaries needed.
+                Time::NEVER
+            } else {
+                Time((now.as_nanos() / cfg.delta.as_nanos() + 1) * cfg.delta.as_nanos())
+            };
+            t_next = t_next.min(next_boundary);
+        }
+
+        if t_next.is_never() {
+            break; // no active work, no future events
+        }
+        if let Some(h) = cfg.horizon {
+            if t_next > h {
+                now = h;
+                break;
+            }
+        }
+
+        // ---- 4. Advance the flowing flows to t_next ----
+        let dt = t_next - now;
+        let mut completed = 0usize;
+        flowing.retain(|&fi| {
+            let f = &mut flows[fi];
+            if f.finished_at.is_some() || f.rate.is_zero() {
+                return false; // zeroed mid-interval (failure)
+            }
+            f.sent = (f.sent + bytes_in(f.rate, dt)).min(f.size);
+            let ci = f.coflow;
+            mark_dirty(&mut dirty, &mut dirty_list, ci);
+            if f.sent == f.size {
+                f.finished_at = Some(t_next);
+                f.pred = Time::NEVER;
+                coflows[ci].unfinished -= 1;
+                if coflows[ci].unfinished == 0 {
+                    completed += 1;
+                }
+                false
+            } else {
+                let was_never = f.pred.is_never();
+                let rem = f.size.saturating_sub(f.sent);
+                f.pred = t_next.saturating_add(transfer_time(rem, f.rate));
+                // Saturation is the one exception to monotone drift: a
+                // prediction clamped at NEVER can come back into range.
+                if was_never && !f.pred.is_never() {
+                    completions.push(Reverse((f.pred, fi as u32)));
+                }
+                true
+            }
+        });
+
+        // ---- 5. Retire completed CoFlows ----
+        // Replays the reference loop's slot scan (its swap-remove order
+        // decides dependent-release sequence numbers and the next
+        // round's view order), but with an O(1) done-check per slot and
+        // an early exit once every completion is accounted for.
+        if completed > 0 {
+            let mut slot = 0;
+            while completed > 0 {
+                let ci = view_owner[slot];
+                if coflows[ci].unfinished > 0 {
+                    slot += 1;
+                    continue;
+                }
+                completed -= 1;
+                let sc = &mut coflows[ci];
+                sc.finished = Some(t_next);
+                let released = sc.released.expect("finished before release");
+                let base = sc.first_flow;
+                let nf = sc.num_flows;
+                let spec = &trace.coflows[ci];
+                records.push(CoflowRecord {
+                    id: spec.id,
+                    job: spec.job,
+                    arrival: spec.arrival,
+                    released,
+                    finish: t_next,
+                    width: spec.flows.len(),
+                    total_bytes: spec.total_size(),
+                    flow_fcts: (0..nf)
+                        .map(|k| flows[base + k].finished_at.unwrap().since(released))
+                        .collect(),
+                    flow_sizes: spec.flows.iter().map(|f| f.size).collect(),
+                });
+                // Remove from the active views (swap-remove).
+                let last = views.len() - 1;
+                views.swap_remove(slot);
+                let moved = view_owner.swap_remove(slot);
+                debug_assert_eq!(moved, ci);
+                coflows[ci].view_slot = usize::MAX;
+                if slot < last {
+                    coflows[view_owner[slot]].view_slot = slot;
+                }
+                // Release dependents whose gates just opened.
+                let dependents = coflows[ci].dependents.clone();
+                for di in dependents {
+                    coflows[di].deps_left -= 1;
+                    if coflows[di].deps_left == 0 {
+                        let at = trace.coflows[di].arrival.max(t_next);
+                        arrivals.push(at, di);
+                    }
+                }
+                // Do not advance `slot`: swap_remove moved a new view in.
+            }
+        }
+        now = t_next;
+    }
+
+    let unfinished = coflows.iter().filter(|c| c.finished.is_none()).count();
+    records.sort_by_key(|r| r.id);
+    Ok(SimOutput {
+        records,
+        unfinished,
+        rounds,
+        end: now,
+    })
+}
+
+/// The pre-refactor epoch loop, kept as the executable specification
+/// for [`simulate`]: every step re-scans all active flows for the next
+/// completion, zeroes every rate before applying a schedule, and
+/// re-syncs every view each round.
+///
+/// Use it to cross-check the incremental loop (the records must be
+/// byte-identical) and as the baseline in the `epoch-loop` benchmark.
+pub fn simulate_reference(
+    trace: &Trace,
+    sched: &mut dyn CoflowScheduler,
+    cfg: &SimConfig,
+    dynamics: &DynamicsSpec,
+) -> Result<SimOutput, SimError> {
+    trace
+        .validate()
+        .map_err(|e| SimError::InvalidTrace(e.to_string()))?;
+    if sched.requires_clairvoyance() && !cfg.clairvoyant {
+        return Err(SimError::NeedsOracle(sched.name()));
+    }
+
+    let n_coflows = trace.coflows.len();
+    let num_nodes = trace.num_nodes;
+
+    let (mut flows, mut coflows) = flatten(trace);
+    let (mut arrivals, mut dyn_events) = event_sources(trace, dynamics);
+
+    // ---- Live state ----
+    let mut bank = PortBank::uniform(num_nodes, trace.port_rate);
+    let nominal = trace.port_rate;
+    let mut views: Vec<CoflowView> = Vec::new(); // active CoFlows
+    let mut view_owner: Vec<usize> = Vec::new(); // views[i] belongs to coflow view_owner[i]
+    let mut schedule = Schedule::default();
+    let mut records: Vec<CoflowRecord> = Vec::with_capacity(n_coflows);
+
+    let mut now = Time::ZERO;
+    let mut rounds: u64 = 0;
+    let mut straggled = vec![false; num_nodes];
+
     // Releases a coflow into the active set at time `t`.
     let release = |ci: usize,
                    t: Time,
-                   trace: &Trace,
                    coflows: &mut Vec<SimCoflow>,
                    flows: &mut Vec<SimFlow>,
                    views: &mut Vec<CoflowView>,
-                   view_owner: &mut Vec<usize>,
-                   active_flows: &mut usize,
-                   clairvoyant: bool| {
+                   view_owner: &mut Vec<usize>| {
         let sc = &mut coflows[ci];
         debug_assert!(sc.released.is_none(), "double release of coflow {ci}");
         sc.released = Some(t);
@@ -225,27 +736,8 @@ pub fn simulate(
             flows[sc.first_flow + k].ready_at = t + f.available_after;
         }
         sc.view_slot = views.len();
-        views.push(CoflowView {
-            id: spec.id,
-            arrival: t,
-            flows: spec
-                .flows
-                .iter()
-                .enumerate()
-                .map(|(k, f)| FlowView {
-                    id: FlowId::from_index(sc.first_flow + k),
-                    src: f.src,
-                    dst: f.dst,
-                    sent: Bytes::ZERO,
-                    ready: false,
-                    finished: false,
-                    oracle_size: clairvoyant.then_some(f.size),
-                })
-                .collect(),
-            restarted: false,
-        });
+        views.push(make_view(trace, ci, sc.first_flow, t, cfg.clairvoyant));
         view_owner.push(ci);
-        *active_flows += spec.flows.len();
     };
 
     loop {
@@ -254,13 +746,10 @@ pub fn simulate(
             release(
                 ci,
                 t.max(now),
-                trace,
                 &mut coflows,
                 &mut flows,
                 &mut views,
                 &mut view_owner,
-                &mut active_flows,
-                cfg.clairvoyant,
             );
         }
         while let Some((_, action)) = dyn_events.pop_due(now) {
@@ -283,7 +772,10 @@ pub fn simulate(
                     bank.set_node_capacity(node, nominal);
                     straggled[node.index()] = false;
                 }
-                DynAction::Fail { node, restart_delay } => {
+                DynAction::Fail {
+                    node,
+                    restart_delay,
+                } => {
                     for f in flows.iter_mut() {
                         if f.finished_at.is_none()
                             && (f.src == node || f.dst == node)
@@ -335,7 +827,11 @@ pub fn simulate(
             bank.reset_round();
             schedule.clear();
             {
-                let view = ClusterView { now, num_nodes, coflows: &views };
+                let view = ClusterView {
+                    now,
+                    num_nodes,
+                    coflows: &views,
+                };
                 sched.compute(&view, &mut bank, &mut schedule);
             }
             // Apply: zero everything, then set scheduled rates.
@@ -435,7 +931,6 @@ pub fn simulate(
                         .collect(),
                     flow_sizes: spec.flows.iter().map(|f| f.size).collect(),
                 });
-                active_flows -= nf;
                 // Remove from the active views (swap-remove).
                 let last = views.len() - 1;
                 views.swap_remove(slot);
@@ -464,8 +959,12 @@ pub fn simulate(
 
     let unfinished = coflows.iter().filter(|c| c.finished.is_none()).count();
     records.sort_by_key(|r| r.id);
-    let _ = active_flows;
-    Ok(SimOutput { records, unfinished, rounds, end: now })
+    Ok(SimOutput {
+        records,
+        unfinished,
+        rounds,
+        end: now,
+    })
 }
 
 /// Debug-only invariant: assigned rates never oversubscribe any port's
@@ -495,7 +994,12 @@ mod tests {
     use saath_workload::{CoflowSpec, FlowSpec};
 
     fn cct_of(out: &SimOutput, id: u32) -> f64 {
-        out.records.iter().find(|r| r.id == CoflowId(id)).unwrap().cct().as_secs_f64()
+        out.records
+            .iter()
+            .find(|r| r.id == CoflowId(id))
+            .unwrap()
+            .cct()
+            .as_secs_f64()
     }
 
     fn default_run(trace: &Trace, sched: &mut dyn CoflowScheduler) -> SimOutput {
@@ -533,8 +1037,16 @@ mod tests {
         // t = 1 s; allow δ-quantization slack (arrivals are offset by a
         // few ms and rates change only on 8 ms boundaries).
         let tol = 0.05;
-        assert!((aalo.avg_cct_secs() - 1.75).abs() < tol, "aalo {}", aalo.avg_cct_secs());
-        assert!((saath.avg_cct_secs() - 1.25).abs() < tol, "saath {}", saath.avg_cct_secs());
+        assert!(
+            (aalo.avg_cct_secs() - 1.75).abs() < tol,
+            "aalo {}",
+            aalo.avg_cct_secs()
+        );
+        assert!(
+            (saath.avg_cct_secs() - 1.25).abs() < tol,
+            "saath {}",
+            saath.avg_cct_secs()
+        );
 
         // Per-CoFlow shapes.
         assert!((cct_of(&aalo, 2) - 2.0).abs() < tol);
@@ -549,12 +1061,23 @@ mod tests {
         let with_wc = default_run(&trace, &mut Saath::with_defaults());
         let without = default_run(
             &trace,
-            &mut Saath::new(SaathConfig { work_conservation: false, ..Default::default() }),
+            &mut Saath::new(SaathConfig {
+                work_conservation: false,
+                ..Default::default()
+            }),
         );
         let tol = 0.05;
         // Without WC: C1 = t, C2 = 3t → avg 2t. With: C2 = 2t → 1.5t.
-        assert!((without.avg_cct_secs() - 2.0).abs() < tol, "{}", without.avg_cct_secs());
-        assert!((with_wc.avg_cct_secs() - 1.5).abs() < tol, "{}", with_wc.avg_cct_secs());
+        assert!(
+            (without.avg_cct_secs() - 2.0).abs() < tol,
+            "{}",
+            without.avg_cct_secs()
+        );
+        assert!(
+            (with_wc.avg_cct_secs() - 1.5).abs() < tol,
+            "{}",
+            with_wc.avg_cct_secs()
+        );
         assert!((cct_of(&without, 2) - 3.0).abs() < tol);
         assert!((cct_of(&with_wc, 2) - 2.0).abs() < tol);
     }
@@ -566,7 +1089,11 @@ mod tests {
         let saath = default_run(&trace, &mut Saath::with_defaults());
         let tol = 0.05;
         // LCoF: C2 = C3 = 2.5, C1 = 3.5 ⇒ avg 2.83.
-        assert!((cct_of(&saath, 1) - 3.5).abs() < tol, "{}", cct_of(&saath, 1));
+        assert!(
+            (cct_of(&saath, 1) - 3.5).abs() < tol,
+            "{}",
+            cct_of(&saath, 1)
+        );
         assert!((cct_of(&saath, 2) - 2.5).abs() < tol);
         assert!((cct_of(&saath, 3) - 2.5).abs() < tol);
         assert!((saath.avg_cct_secs() - 2.8333).abs() < tol);
@@ -577,8 +1104,13 @@ mod tests {
     fn clairvoyant_guard() {
         let trace = ex::fig17_sjf_suboptimal();
         let mut varys = saath_core::OfflineScheduler::varys();
-        let err = simulate(&trace, &mut varys, &SimConfig::default(), &DynamicsSpec::none())
-            .unwrap_err();
+        let err = simulate(
+            &trace,
+            &mut varys,
+            &SimConfig::default(),
+            &DynamicsSpec::none(),
+        )
+        .unwrap_err();
         assert!(matches!(err, SimError::NeedsOracle("varys-sebf")));
     }
 
@@ -587,17 +1119,27 @@ mod tests {
     #[test]
     fn fig17_sjf_vs_lwtf() {
         let trace = ex::fig17_sjf_suboptimal();
-        let cfg = SimConfig { clairvoyant: true, ..Default::default() };
+        let cfg = SimConfig {
+            clairvoyant: true,
+            ..Default::default()
+        };
         let mut sebf = saath_core::OfflineScheduler::varys();
         let sebf_out = simulate(&trace, &mut sebf, &cfg, &DynamicsSpec::none()).unwrap();
-        let mut lwtf =
-            saath_core::OfflineScheduler::new(saath_core::OfflinePolicy::Lwtf);
+        let mut lwtf = saath_core::OfflineScheduler::new(saath_core::OfflinePolicy::Lwtf);
         let lwtf_out = simulate(&trace, &mut lwtf, &cfg, &DynamicsSpec::none()).unwrap();
         let tol = 0.05;
         // Appendix A, in seconds (t = 1 s): SJF/SEBF averages
         // (5+11+12)/3 = 9.33, contention-aware (12+6+7)/3 = 8.33.
-        assert!((sebf_out.avg_cct_secs() - 9.3333).abs() < tol, "{}", sebf_out.avg_cct_secs());
-        assert!((lwtf_out.avg_cct_secs() - 8.3333).abs() < tol, "{}", lwtf_out.avg_cct_secs());
+        assert!(
+            (sebf_out.avg_cct_secs() - 9.3333).abs() < tol,
+            "{}",
+            sebf_out.avg_cct_secs()
+        );
+        assert!(
+            (lwtf_out.avg_cct_secs() - 8.3333).abs() < tol,
+            "{}",
+            lwtf_out.avg_cct_secs()
+        );
         assert!(lwtf_out.avg_cct_secs() < sebf_out.avg_cct_secs());
     }
 
@@ -626,7 +1168,10 @@ mod tests {
         assert_eq!(out.records.len(), 2);
         let r0 = &out.records[0];
         let r1 = &out.records[1];
-        assert!(r1.released >= r0.finish, "stage 2 released before stage 1 finished");
+        assert!(
+            r1.released >= r0.finish,
+            "stage 2 released before stage 1 finished"
+        );
         // Each stage takes ~1 s.
         assert!((r1.finish.as_secs_f64() - 2.0).abs() < 0.05);
     }
@@ -636,23 +1181,42 @@ mod tests {
     fn delta_staleness_hurts() {
         let trace = ex::fig1_out_of_sync();
         let run = |ms| {
-            let cfg = SimConfig { delta: Duration::from_millis(ms), ..Default::default() };
-            simulate(&trace, &mut Saath::with_defaults(), &cfg, &DynamicsSpec::none())
-                .unwrap()
-                .avg_cct_secs()
+            let cfg = SimConfig {
+                delta: Duration::from_millis(ms),
+                ..Default::default()
+            };
+            simulate(
+                &trace,
+                &mut Saath::with_defaults(),
+                &cfg,
+                &DynamicsSpec::none(),
+            )
+            .unwrap()
+            .avg_cct_secs()
         };
         let fast = run(1);
         let slow = run(500);
-        assert!(slow > fast, "δ=500ms ({slow}) not worse than δ=1ms ({fast})");
+        assert!(
+            slow > fast,
+            "δ=500ms ({slow}) not worse than δ=1ms ({fast})"
+        );
     }
 
     /// Horizon truncation reports unfinished CoFlows instead of hanging.
     #[test]
     fn horizon_truncates() {
         let trace = ex::fig1_out_of_sync();
-        let cfg = SimConfig { horizon: Some(Time::from_millis(500)), ..Default::default() };
-        let out =
-            simulate(&trace, &mut Saath::with_defaults(), &cfg, &DynamicsSpec::none()).unwrap();
+        let cfg = SimConfig {
+            horizon: Some(Time::from_millis(500)),
+            ..Default::default()
+        };
+        let out = simulate(
+            &trace,
+            &mut Saath::with_defaults(),
+            &cfg,
+            &DynamicsSpec::none(),
+        )
+        .unwrap();
         assert!(out.unfinished > 0);
         assert!(out.end <= Time::from_millis(500));
     }
@@ -756,5 +1320,101 @@ mod tests {
             assert_eq!(out.records.len(), 60);
             assert_eq!(out.unfinished, 0);
         }
+    }
+
+    /// The incremental loop is byte-identical to the reference loop —
+    /// records, rounds, end time — on paper examples and a generated
+    /// workload, under several δ settings including event-driven mode.
+    #[test]
+    fn incremental_matches_reference() {
+        let traces = vec![
+            ex::fig1_out_of_sync(),
+            ex::fig4_work_conservation(),
+            ex::fig8_lcof_limitation(),
+            saath_workload::gen::generate(&saath_workload::gen::small(11, 12, 40)),
+        ];
+        for trace in &traces {
+            for delta_ms in [0u64, 1, 8, 100] {
+                let cfg = SimConfig {
+                    delta: Duration::from_millis(delta_ms),
+                    ..Default::default()
+                };
+                let inc = simulate(
+                    trace,
+                    &mut Saath::with_defaults(),
+                    &cfg,
+                    &DynamicsSpec::none(),
+                )
+                .unwrap();
+                let re = simulate_reference(
+                    trace,
+                    &mut Saath::with_defaults(),
+                    &cfg,
+                    &DynamicsSpec::none(),
+                )
+                .unwrap();
+                assert_eq!(inc.records, re.records, "δ={delta_ms}ms");
+                assert_eq!(inc.rounds, re.rounds, "δ={delta_ms}ms");
+                assert_eq!(inc.end, re.end, "δ={delta_ms}ms");
+                assert_eq!(inc.unfinished, re.unfinished, "δ={delta_ms}ms");
+            }
+        }
+    }
+
+    /// Equivalence holds through cluster dynamics: stragglers scale
+    /// in-flight rates and failures reset progress identically in both
+    /// loops.
+    #[test]
+    fn incremental_matches_reference_under_dynamics() {
+        let trace = saath_workload::gen::generate(&saath_workload::gen::small(13, 10, 30));
+        let dynamics = DynamicsSpec {
+            events: vec![
+                DynamicsEvent::Straggler {
+                    node: NodeId(2),
+                    at: Time::from_millis(700),
+                    until: Time::from_secs(3),
+                    num: 1,
+                    den: 4,
+                },
+                DynamicsEvent::NodeFailure {
+                    node: NodeId(5),
+                    at: Time::from_secs(2),
+                    restart_delay: Duration::from_millis(250),
+                },
+            ],
+        };
+        let cfg = SimConfig::default();
+        let inc = simulate(&trace, &mut Saath::with_defaults(), &cfg, &dynamics).unwrap();
+        let re = simulate_reference(&trace, &mut Saath::with_defaults(), &cfg, &dynamics).unwrap();
+        assert_eq!(inc.records, re.records);
+        assert_eq!(inc.rounds, re.rounds);
+        assert_eq!(inc.end, re.end);
+    }
+
+    /// Horizon truncation agrees between the two loops.
+    #[test]
+    fn incremental_matches_reference_with_horizon() {
+        let trace = ex::fig1_out_of_sync();
+        let cfg = SimConfig {
+            horizon: Some(Time::from_millis(500)),
+            ..Default::default()
+        };
+        let inc = simulate(
+            &trace,
+            &mut Saath::with_defaults(),
+            &cfg,
+            &DynamicsSpec::none(),
+        )
+        .unwrap();
+        let re = simulate_reference(
+            &trace,
+            &mut Saath::with_defaults(),
+            &cfg,
+            &DynamicsSpec::none(),
+        )
+        .unwrap();
+        assert_eq!(inc.records, re.records);
+        assert_eq!(inc.unfinished, re.unfinished);
+        assert_eq!(inc.end, re.end);
     }
 }

@@ -33,5 +33,5 @@
 pub mod engine;
 pub mod policy;
 
-pub use engine::{simulate, SimConfig, SimError, SimOutput};
+pub use engine::{simulate, simulate_reference, SimConfig, SimError, SimOutput};
 pub use policy::{run_policy, Policy};

@@ -58,7 +58,10 @@ impl Policy {
 
     /// Whether this policy needs ground-truth sizes.
     pub fn clairvoyant(&self) -> bool {
-        matches!(self, Policy::Varys | Policy::Scf | Policy::Srtf | Policy::Lwtf)
+        matches!(
+            self,
+            Policy::Varys | Policy::Scf | Policy::Srtf | Policy::Lwtf
+        )
     }
 
     /// Instantiates the scheduler.
@@ -97,8 +100,14 @@ mod tests {
     #[test]
     fn names_and_clairvoyance() {
         assert_eq!(Policy::saath().name(), "saath");
-        assert_eq!(Policy::Saath(SaathConfig::ablation_an()).name(), "saath[a/n]");
-        assert_eq!(Policy::Saath(SaathConfig::ablation_an_pf()).name(), "saath[a/n+p/f]");
+        assert_eq!(
+            Policy::Saath(SaathConfig::ablation_an()).name(),
+            "saath[a/n]"
+        );
+        assert_eq!(
+            Policy::Saath(SaathConfig::ablation_an_pf()).name(),
+            "saath[a/n+p/f]"
+        );
         assert_eq!(Policy::aalo().name(), "aalo");
         assert!(!Policy::saath().clairvoyant());
         assert!(Policy::Varys.clairvoyant());

@@ -22,7 +22,9 @@ fn fail(msg: &str) -> ! {
 }
 
 fn arg_value(args: &[String], key: &str) -> Option<String> {
-    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn print_stats(trace: &Trace) {
@@ -36,8 +38,11 @@ fn print_stats(trace: &Trace) {
     );
     let n = trace.coflows.len() as f64;
     let single = trace.coflows.iter().filter(|c| c.width() == 1).count() as f64;
-    let equal =
-        trace.coflows.iter().filter(|c| c.width() > 1 && c.has_equal_flows()).count() as f64;
+    let equal = trace
+        .coflows
+        .iter()
+        .filter(|c| c.width() > 1 && c.has_equal_flows())
+        .count() as f64;
     println!(
         "flow-length mix: {:.0}% single, {:.0}% multi-equal, {:.0}% multi-uneven",
         single / n * 100.0,
@@ -72,8 +77,9 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("gen") => {
-            let seed =
-                arg_value(&args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(1u64);
+            let seed = arg_value(&args, "--seed")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(1u64);
             let cfg = match arg_value(&args, "--preset").as_deref() {
                 Some("fb") | None => gen::fb_like(seed),
                 Some("osp") => gen::osp_like(seed),
@@ -93,9 +99,8 @@ fn main() {
         }
         Some("stats") => {
             let path = args.get(1).unwrap_or_else(|| fail("stats needs a file"));
-            let trace =
-                io::read_coflow_benchmark(std::path::Path::new(path), Rate::gbps(1))
-                    .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+            let trace = io::read_coflow_benchmark(std::path::Path::new(path), Rate::gbps(1))
+                .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
             print_stats(&trace);
         }
         _ => fail("missing subcommand"),

@@ -180,8 +180,11 @@ mod tests {
             last = e.at();
         }
         // Roughly the configured rates.
-        let stragglers =
-            a.events.iter().filter(|e| matches!(e, DynamicsEvent::Straggler { .. })).count();
+        let stragglers = a
+            .events
+            .iter()
+            .filter(|e| matches!(e, DynamicsEvent::Straggler { .. }))
+            .count();
         assert!((3..=25).contains(&stragglers), "{stragglers} stragglers");
     }
 

@@ -192,8 +192,8 @@ pub fn generate(cfg: &GenConfig) -> Trace {
     let coflow_streams = DetRng::derive(cfg.seed, "gen/coflows");
     // Non-burst gaps carry the whole span's mass, so the expected span
     // stays `cfg.span` regardless of burstiness.
-    let mean_gap_ns = cfg.span.as_nanos() as f64
-        / (cfg.num_coflows as f64 * (1.0 - cfg.burst_prob).max(0.05));
+    let mean_gap_ns =
+        cfg.span.as_nanos() as f64 / (cfg.num_coflows as f64 * (1.0 - cfg.burst_prob).max(0.05));
 
     // Node popularity: Zipf over a per-trace random permutation of the
     // nodes, so "which nodes are hot" varies with the seed.
@@ -225,24 +225,32 @@ pub fn generate(cfg: &GenConfig) -> Trace {
             arrival += Duration::from_nanos(gap);
         }
         let mut rng = coflow_streams.child(i as u64);
-        let spec =
-            one_coflow(cfg, CoflowId(i as u32), arrival, &mut rng, &wave_nodes, &wave_pop);
+        let spec = one_coflow(
+            cfg,
+            CoflowId(i as u32),
+            arrival,
+            &mut rng,
+            &wave_nodes,
+            &wave_pop,
+        );
         coflows.push(spec);
     }
 
-    let trace = Trace { num_nodes: cfg.num_nodes, port_rate: cfg.port_rate, coflows };
-    trace.validate().expect("generator produced an invalid trace");
+    let trace = Trace {
+        num_nodes: cfg.num_nodes,
+        port_rate: cfg.port_rate,
+        coflows,
+    };
+    trace
+        .validate()
+        .expect("generator produced an invalid trace");
     trace
 }
 
 /// Samples `k` distinct nodes with probability proportional to
 /// `popularity` (rejection sampling; falls back to uniform when `k`
 /// approaches the population size, where rejection would thrash).
-fn sample_weighted_distinct(
-    rng: &mut DetRng,
-    popularity: &[f64],
-    k: usize,
-) -> Vec<u64> {
+fn sample_weighted_distinct(rng: &mut DetRng, popularity: &[f64], k: usize) -> Vec<u64> {
     let n = popularity.len();
     if k * 2 >= n {
         return rng.sample_distinct(n as u64, k);
@@ -339,8 +347,9 @@ fn one_coflow(
             vec![Bytes(per); actual_width]
         }
         SplitKind::Uneven => {
-            let weights: Vec<f64> =
-                (0..actual_width).map(|_| rng.pareto(1.0, 1.5, 100.0)).collect();
+            let weights: Vec<f64> = (0..actual_width)
+                .map(|_| rng.pareto(1.0, 1.5, 100.0))
+                .collect();
             let sum: f64 = weights.iter().sum();
             weights
                 .iter()
@@ -355,7 +364,10 @@ fn one_coflow(
     let mapper_idx = sample_weighted_distinct(rng, wave_pop, m);
     let reducer_idx = sample_weighted_distinct(rng, wave_pop, r);
     let mappers: Vec<u64> = mapper_idx.iter().map(|&i| wave_nodes[i as usize]).collect();
-    let reducers: Vec<u64> = reducer_idx.iter().map(|&i| wave_nodes[i as usize]).collect();
+    let reducers: Vec<u64> = reducer_idx
+        .iter()
+        .map(|&i| wave_nodes[i as usize])
+        .collect();
 
     let mut flows = Vec::with_capacity(actual_width);
     let mut k = 0;
@@ -407,8 +419,16 @@ mod tests {
         let n = t.coflows.len() as f64;
         // §2.3: 23 % single, 50 % equal, 27 % uneven (±6 % sampling).
         assert!((single / n - 0.23).abs() < 0.06, "single: {}", single / n);
-        assert!((multi_equal / n - 0.50).abs() < 0.06, "equal: {}", multi_equal / n);
-        assert!((multi_uneven / n - 0.27).abs() < 0.06, "uneven: {}", multi_uneven / n);
+        assert!(
+            (multi_equal / n - 0.50).abs() < 0.06,
+            "equal: {}",
+            multi_equal / n
+        );
+        assert!(
+            (multi_uneven / n - 0.27).abs() < 0.06,
+            "uneven: {}",
+            multi_uneven / n
+        );
     }
 
     #[test]
@@ -446,9 +466,8 @@ mod tests {
         // Arrival density per node-second.
         let fb_density =
             fb.coflows.len() as f64 / fb.arrival_span().as_secs_f64() / fb.num_nodes as f64;
-        let osp_density = osp.coflows.len() as f64
-            / osp.arrival_span().as_secs_f64()
-            / osp.num_nodes as f64;
+        let osp_density =
+            osp.coflows.len() as f64 / osp.arrival_span().as_secs_f64() / osp.num_nodes as f64;
         assert!(
             osp_density > 1.5 * fb_density,
             "OSP density {osp_density} not ≫ FB {fb_density}"
@@ -471,10 +490,8 @@ mod tests {
     fn widths_form_shuffles() {
         let t = generate(&fb_like(9));
         for c in &t.coflows {
-            let mappers: std::collections::BTreeSet<_> =
-                c.flows.iter().map(|f| f.src).collect();
-            let reducers: std::collections::BTreeSet<_> =
-                c.flows.iter().map(|f| f.dst).collect();
+            let mappers: std::collections::BTreeSet<_> = c.flows.iter().map(|f| f.src).collect();
+            let reducers: std::collections::BTreeSet<_> = c.flows.iter().map(|f| f.dst).collect();
             assert_eq!(
                 c.width(),
                 mappers.len() * reducers.len(),

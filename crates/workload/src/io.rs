@@ -34,21 +34,31 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
 impl std::error::Error for ParseError {}
 
 fn err(line: usize, message: impl Into<String>) -> ParseError {
-    ParseError { line, message: message.into() }
+    ParseError {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Parses a `coflow-benchmark` trace from a string. `port_rate` is the
 /// uniform port speed to attach (the file does not carry one; the paper
 /// uses 1 Gbps).
 pub fn parse_coflow_benchmark(text: &str, port_rate: Rate) -> Result<Trace, ParseError> {
-    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
 
     let (hline, header) = lines.next().ok_or_else(|| err(1, "empty file"))?;
     let mut head = header.split_whitespace();
@@ -118,12 +128,15 @@ pub fn parse_coflow_benchmark(text: &str, port_rate: Rate) -> Result<Trace, Pars
         }
         let mut reducers = Vec::with_capacity(r);
         for _ in 0..r {
-            let entry = tok.next().ok_or_else(|| err(ln, "truncated reducer list"))?;
+            let entry = tok
+                .next()
+                .ok_or_else(|| err(ln, "truncated reducer list"))?;
             let (machine, mb) = entry
                 .split_once(':')
                 .ok_or_else(|| err(ln, format!("reducer entry `{entry}` missing `:`")))?;
-            let machine: u64 =
-                machine.parse().map_err(|_| err(ln, "bad reducer machine"))?;
+            let machine: u64 = machine
+                .parse()
+                .map_err(|_| err(ln, "bad reducer machine"))?;
             let mb: f64 = mb.parse().map_err(|_| err(ln, "bad reducer size"))?;
             if mb <= 0.0 {
                 return Err(err(ln, "non-positive reducer size"));
@@ -134,13 +147,22 @@ pub fn parse_coflow_benchmark(text: &str, port_rate: Rate) -> Result<Trace, Pars
         if tok.next().is_some() {
             return Err(err(ln, "trailing tokens"));
         }
-        raws.push(Raw { line: ln, id, arrival_ms, mappers, reducers });
+        raws.push(Raw {
+            line: ln,
+            id,
+            arrival_ms,
+            mappers,
+            reducers,
+        });
     }
 
     if raws.len() != num_coflows {
         return Err(err(
             1,
-            format!("header promises {num_coflows} coflows, file has {}", raws.len()),
+            format!(
+                "header promises {num_coflows} coflows, file has {}",
+                raws.len()
+            ),
         ));
     }
 
@@ -155,15 +177,14 @@ pub fn parse_coflow_benchmark(text: &str, port_rate: Rate) -> Result<Trace, Pars
                 .ok_or_else(|| err(raw.line, format!("reducer machine {red} out of range")))?;
             // Total reducer volume split equally across mappers, as in
             // coflowsim. Round up per-flow so no flow is zero-sized.
-            let per_flow_bytes =
-                ((mb * 1e6).ceil() as u64).div_ceil(raw.mappers.len() as u64).max(1);
+            let per_flow_bytes = ((mb * 1e6).ceil() as u64)
+                .div_ceil(raw.mappers.len() as u64)
+                .max(1);
             for &map in &raw.mappers {
                 let map = map
                     .checked_sub(base)
                     .filter(|&v| (v as usize) < num_nodes)
-                    .ok_or_else(|| {
-                        err(raw.line, format!("mapper machine {map} out of range"))
-                    })?;
+                    .ok_or_else(|| err(raw.line, format!("mapper machine {map} out of range")))?;
                 flows.push(FlowSpec::new(
                     NodeId(map as u32),
                     NodeId(red as u32),
@@ -179,8 +200,14 @@ pub fn parse_coflow_benchmark(text: &str, port_rate: Rate) -> Result<Trace, Pars
     }
     coflows.sort_by_key(|c| (c.arrival, c.id));
 
-    let trace = Trace { num_nodes, port_rate, coflows };
-    trace.validate().map_err(|e| err(1, format!("structurally invalid trace: {e}")))?;
+    let trace = Trace {
+        num_nodes,
+        port_rate,
+        coflows,
+    };
+    trace
+        .validate()
+        .map_err(|e| err(1, format!("structurally invalid trace: {e}")))?;
     Ok(trace)
 }
 
@@ -215,7 +242,12 @@ pub fn write_coflow_benchmark(trace: &Trace) -> String {
         for f in &c.flows {
             *per_reducer.entry(f.dst.0 as u64 + 1).or_insert(0) += f.size.as_u64();
         }
-        out.push_str(&format!("{} {} {}", c.id.0, c.arrival.as_millis(), mappers.len()));
+        out.push_str(&format!(
+            "{} {} {}",
+            c.id.0,
+            c.arrival.as_millis(),
+            mappers.len()
+        ));
         for m in &mappers {
             out.push_str(&format!(" {m}"));
         }

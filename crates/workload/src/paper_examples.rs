@@ -55,7 +55,11 @@ pub fn fig1_out_of_sync() -> Trace {
         CoflowSpec::new(CoflowId(3), Time::from_millis(2), vec![flow(1, 7, t)]),
         CoflowSpec::new(CoflowId(4), Time::from_millis(3), vec![flow(2, 8, t)]),
     ];
-    Trace { num_nodes: 9, port_rate: PORT_RATE, coflows }
+    Trace {
+        num_nodes: 9,
+        port_rate: PORT_RATE,
+        coflows,
+    }
 }
 
 /// **Fig 4 — all-or-none can idle ports; work conservation fixes it.**
@@ -79,7 +83,11 @@ pub fn fig4_work_conservation() -> Trace {
             vec![flow(0, 3, t), flow(1, 4, 2 * t)],
         ),
     ];
-    Trace { num_nodes: 5, port_rate: PORT_RATE, coflows }
+    Trace {
+        num_nodes: 5,
+        port_rate: PORT_RATE,
+        coflows,
+    }
 }
 
 /// **Fig 5 — fast queue transition via per-flow thresholds.**
@@ -112,7 +120,11 @@ pub fn fig5_queue_transition() -> Trace {
             ],
         ),
     ];
-    Trace { num_nodes: 10, port_rate: PORT_RATE, coflows }
+    Trace {
+        num_nodes: 10,
+        port_rate: PORT_RATE,
+        coflows,
+    }
 }
 
 /// **Fig 8 — LCoF's known limitation.**
@@ -137,7 +149,11 @@ pub fn fig8_lcof_limitation() -> Trace {
         CoflowSpec::new(CoflowId(2), Time::from_millis(1), vec![flow(0, 4, 25)]),
         CoflowSpec::new(CoflowId(3), Time::from_millis(2), vec![flow(1, 5, 25)]),
     ];
-    Trace { num_nodes: 6, port_rate: PORT_RATE, coflows }
+    Trace {
+        num_nodes: 6,
+        port_rate: PORT_RATE,
+        coflows,
+    }
 }
 
 /// **Fig 17 / Appendix A — SJF is sub-optimal for CoFlows.**
@@ -159,7 +175,11 @@ pub fn fig17_sjf_suboptimal() -> Trace {
         CoflowSpec::new(CoflowId(2), Time::ZERO, vec![flow(0, 4, 60)]),
         CoflowSpec::new(CoflowId(3), Time::ZERO, vec![flow(1, 5, 70)]),
     ];
-    Trace { num_nodes: 6, port_rate: PORT_RATE, coflows }
+    Trace {
+        num_nodes: 6,
+        port_rate: PORT_RATE,
+        coflows,
+    }
 }
 
 #[cfg(test)]

@@ -29,7 +29,12 @@ pub struct FlowSpec {
 impl FlowSpec {
     /// A flow whose data is available immediately on CoFlow arrival.
     pub fn new(src: NodeId, dst: NodeId, size: Bytes) -> FlowSpec {
-        FlowSpec { src, dst, size, available_after: Duration::ZERO }
+        FlowSpec {
+            src,
+            dst,
+            size,
+            available_after: Duration::ZERO,
+        }
     }
 }
 
@@ -55,7 +60,13 @@ pub struct CoflowSpec {
 impl CoflowSpec {
     /// A plain CoFlow with no job or DAG structure.
     pub fn new(id: CoflowId, arrival: Time, flows: Vec<FlowSpec>) -> CoflowSpec {
-        CoflowSpec { id, arrival, flows, job: None, deps: Vec::new() }
+        CoflowSpec {
+            id,
+            arrival,
+            flows,
+            job: None,
+            deps: Vec::new(),
+        }
     }
 
     /// Number of flows — the paper's *width* (Table 1 bins on it).
@@ -70,7 +81,11 @@ impl CoflowSpec {
 
     /// The largest single flow.
     pub fn max_flow_size(&self) -> Bytes {
-        self.flows.iter().map(|f| f.size).max().unwrap_or(Bytes::ZERO)
+        self.flows
+            .iter()
+            .map(|f| f.size)
+            .max()
+            .unwrap_or(Bytes::ZERO)
     }
 
     /// The distinct fabric ports this CoFlow touches, given the cluster
@@ -189,7 +204,10 @@ impl Trace {
         for c in &self.coflows {
             for d in &c.deps {
                 if !seen.contains(d) {
-                    return Err(TraceError::UnknownDep { coflow: c.id, dep: *d });
+                    return Err(TraceError::UnknownDep {
+                        coflow: c.id,
+                        dep: *d,
+                    });
                 }
             }
         }
@@ -199,8 +217,12 @@ impl Trace {
 
     fn check_acyclic(&self) -> Result<(), TraceError> {
         use std::collections::HashMap;
-        let index: HashMap<CoflowId, usize> =
-            self.coflows.iter().enumerate().map(|(i, c)| (c.id, i)).collect();
+        let index: HashMap<CoflowId, usize> = self
+            .coflows
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.id, i))
+            .collect();
         // 0 = unvisited, 1 = in stack, 2 = done
         let mut state = vec![0u8; self.coflows.len()];
         for start in 0..self.coflows.len() {
@@ -311,7 +333,10 @@ mod tests {
     fn validate_catches_problems() {
         let mut t = tiny_trace();
         t.coflows[1].flows[0].src = NodeId(9);
-        assert!(matches!(t.validate(), Err(TraceError::NodeOutOfRange { .. })));
+        assert!(matches!(
+            t.validate(),
+            Err(TraceError::NodeOutOfRange { .. })
+        ));
 
         let mut t = tiny_trace();
         t.coflows[1].id = CoflowId(0);

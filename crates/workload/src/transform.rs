@@ -15,7 +15,11 @@ use saath_simcore::Time;
 pub fn scale_arrivals(trace: &Trace, num: u64, den: u64) -> Trace {
     assert!(num > 0 && den > 0, "arrival scale must be positive");
     let mut out = trace.clone();
-    let first = trace.coflows.first().map(|c| c.arrival).unwrap_or(Time::ZERO);
+    let first = trace
+        .coflows
+        .first()
+        .map(|c| c.arrival)
+        .unwrap_or(Time::ZERO);
     for c in &mut out.coflows {
         let gap = c.arrival.saturating_since(first);
         c.arrival = first + gap.mul_ratio(den, num);

@@ -32,22 +32,33 @@ fn main() {
     let query = dag::diamond(source, middle, sink);
 
     // A competing ad-hoc query shares the cluster.
-    let adhoc =
-        CoflowSpec::new(CoflowId(4), Time::from_millis(100), vec![FlowSpec::new(
-            NodeId(2),
-            NodeId(8),
-            Bytes::mb(60),
-        )]);
+    let adhoc = CoflowSpec::new(
+        CoflowId(4),
+        Time::from_millis(100),
+        vec![FlowSpec::new(NodeId(2), NodeId(8), Bytes::mb(60))],
+    );
 
     let mut coflows = query;
     coflows.push(adhoc);
-    let trace = Trace { num_nodes: 10, port_rate: Rate::gbps(1), coflows };
+    let trace = Trace {
+        num_nodes: 10,
+        port_rate: Rate::gbps(1),
+        coflows,
+    };
     trace.validate().unwrap();
 
-    let out = run_policy(&trace, &Policy::saath(), &SimConfig::default(), &DynamicsSpec::none())
-        .unwrap();
+    let out = run_policy(
+        &trace,
+        &Policy::saath(),
+        &SimConfig::default(),
+        &DynamicsSpec::none(),
+    )
+    .unwrap();
 
-    println!("{:<8} {:>10} {:>10} {:>10}", "stage", "released", "finished", "CCT");
+    println!(
+        "{:<8} {:>10} {:>10} {:>10}",
+        "stage", "released", "finished", "CCT"
+    );
     for r in &out.records {
         println!(
             "{:<8} {:>9.3}s {:>9.3}s {:>9.3}s",

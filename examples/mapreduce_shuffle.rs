@@ -33,13 +33,26 @@ fn main() {
     // jobs 1-4 are small 1×1 "joins" that keep arriving under it.
     let mut coflows = vec![shuffle(0, 0, &[0, 1, 2, 3], &[4, 5, 6, 7], 400)];
     for i in 1..=4 {
-        coflows.push(shuffle(i, 50 * i as u64, &[(i - 1) % 4], &[4 + (i - 1) % 4], 25));
+        coflows.push(shuffle(
+            i,
+            50 * i as u64,
+            &[(i - 1) % 4],
+            &[4 + (i - 1) % 4],
+            25,
+        ));
     }
-    let trace = Trace { num_nodes: 8, port_rate: Rate::gbps(1), coflows };
+    let trace = Trace {
+        num_nodes: 8,
+        port_rate: Rate::gbps(1),
+        coflows,
+    };
     trace.validate().unwrap();
 
     let cfg = SimConfig::default();
-    println!("{:<12} {:>10} {:>10} {:>10}", "coflow", "aalo CCT", "saath CCT", "speedup");
+    println!(
+        "{:<12} {:>10} {:>10} {:>10}",
+        "coflow", "aalo CCT", "saath CCT", "speedup"
+    );
     let aalo = run_policy(&trace, &Policy::aalo(), &cfg, &DynamicsSpec::none()).unwrap();
     let saath = run_policy(&trace, &Policy::saath(), &cfg, &DynamicsSpec::none()).unwrap();
     for (a, s) in aalo.records.iter().zip(&saath.records) {

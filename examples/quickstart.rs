@@ -25,8 +25,16 @@ fn main() {
     let aalo = run_policy(&trace, &Policy::aalo(), &cfg, &DynamicsSpec::none()).unwrap();
     let saath = run_policy(&trace, &Policy::saath(), &cfg, &DynamicsSpec::none()).unwrap();
 
-    println!("Aalo : avg CCT {:.3}s over {} CoFlows", aalo.avg_cct_secs(), aalo.records.len());
-    println!("Saath: avg CCT {:.3}s over {} CoFlows", saath.avg_cct_secs(), saath.records.len());
+    println!(
+        "Aalo : avg CCT {:.3}s over {} CoFlows",
+        aalo.avg_cct_secs(),
+        aalo.records.len()
+    );
+    println!(
+        "Saath: avg CCT {:.3}s over {} CoFlows",
+        saath.avg_cct_secs(),
+        saath.records.len()
+    );
 
     let speedup = SpeedupSummary::compute(&aalo.records, &saath.records).unwrap();
     println!("per-CoFlow speedup of Saath over Aalo: {speedup}");

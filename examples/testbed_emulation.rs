@@ -47,7 +47,5 @@ fn main() {
     let speedup =
         SpeedupSummary::compute(&aalo.coordinator.records, &saath.coordinator.records).unwrap();
     println!("emulated testbed, Saath over Aalo: {speedup}");
-    println!(
-        "(timestamps are δ-granular coordinator observations, like a real deployment)"
-    );
+    println!("(timestamps are δ-granular coordinator observations, like a real deployment)");
 }

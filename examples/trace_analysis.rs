@@ -48,8 +48,12 @@ fn main() {
         .filter(|c| c.width() > 1 && c.has_equal_flows())
         .count() as f64
         / n;
-    println!("single-flow: {:.0}%   multi equal: {:.0}%   multi uneven: {:.0}%",
-        single * 100.0, equal * 100.0, (1.0 - single - equal) * 100.0);
+    println!(
+        "single-flow: {:.0}%   multi equal: {:.0}%   multi uneven: {:.0}%",
+        single * 100.0,
+        equal * 100.0,
+        (1.0 - single - equal) * 100.0
+    );
     let mut bin_counts = [0usize; 4];
     for c in &trace.coflows {
         let b = bins::classify(c.total_size(), c.width());
@@ -61,9 +65,13 @@ fn main() {
 
     // Behaviour: replay under Aalo and measure the out-of-sync spread.
     println!("\nreplaying under Aalo to measure the out-of-sync problem (Fig 2c)…");
-    let out =
-        run_policy(&trace, &Policy::aalo(), &SimConfig::default(), &DynamicsSpec::none())
-            .unwrap();
+    let out = run_policy(
+        &trace,
+        &Policy::aalo(),
+        &SimConfig::default(),
+        &DynamicsSpec::none(),
+    )
+    .unwrap();
     let (eq_dev, uneq_dev) = deviation::fct_deviation_split(&out.records);
     let p = |v: &[f64], q| percentile(v, q).map(|x| x * 100.0).unwrap_or(f64::NAN);
     println!(

@@ -65,8 +65,8 @@ pub use saath_workload as workload;
 /// The most common imports in one place.
 pub mod prelude {
     pub use crate::core::{
-        Aalo, CoflowScheduler, OfflinePolicy, OfflineScheduler, QueueConfig, Saath,
-        SaathConfig, UcTcp,
+        Aalo, CoflowScheduler, OfflinePolicy, OfflineScheduler, QueueConfig, Saath, SaathConfig,
+        UcTcp,
     };
     pub use crate::metrics::{CoflowRecord, SpeedupSummary};
     pub use crate::simcore::{Bytes, CoflowId, Duration, FlowId, NodeId, Rate, Time};

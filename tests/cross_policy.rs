@@ -42,17 +42,20 @@ fn all_policies_complete_all_coflows() {
     for p in all_policies() {
         let out = run_policy(&trace, &p, &SimConfig::default(), &DynamicsSpec::none())
             .unwrap_or_else(|e| panic!("{}: {e}", p.name()));
-        assert_eq!(out.records.len(), trace.coflows.len(), "{} lost CoFlows", p.name());
+        assert_eq!(
+            out.records.len(),
+            trace.coflows.len(),
+            "{} lost CoFlows",
+            p.name()
+        );
         assert_eq!(out.unfinished, 0, "{}", p.name());
         for r in &out.records {
             assert!(r.finish >= r.released, "{}: time ran backwards", p.name());
             assert_eq!(r.width, r.flow_fcts.len(), "{}: fct arity", p.name());
             // Physics: CCT ≥ bottleneck bytes / port rate.
-            let min_ns = saath::simcore::units::transfer_time(
-                Bytes(lower_bound[&r.id]),
-                trace.port_rate,
-            )
-            .as_nanos();
+            let min_ns =
+                saath::simcore::units::transfer_time(Bytes(lower_bound[&r.id]), trace.port_rate)
+                    .as_nanos();
             assert!(
                 r.cct().as_nanos() >= min_ns,
                 "{}: {} finished faster than its bottleneck allows ({} < {min_ns})",
@@ -87,13 +90,19 @@ fn end_to_end_determinism() {
 /// everything beats UC-TCP's tail.
 #[test]
 fn speedup_ordering_shape() {
-    // A contended slice: compressed arrivals on few nodes.
+    // A contended slice: compressed arrivals on few nodes. 90 CoFlows
+    // over 15 s keeps several CoFlows in flight at once — the regime the
+    // paper's claims are about. (At 40 s the median CoFlow runs *alone*,
+    // where all policies are within one 8 ms coordination epoch of each
+    // other and per-CoFlow ratios only measure quantization noise.)
     let mut cfg = gen::small(9, 16, 90);
-    cfg.span = Duration::from_secs(40);
+    cfg.span = Duration::from_secs(15);
     let trace = gen::generate(&cfg);
     let sim = SimConfig::default();
     let run = |p: &Policy| {
-        run_policy(&trace, p, &sim, &DynamicsSpec::none()).unwrap().records
+        run_policy(&trace, p, &sim, &DynamicsSpec::none())
+            .unwrap()
+            .records
     };
     let aalo = run(&Policy::aalo());
     let saath = run(&Policy::saath());
@@ -137,8 +146,7 @@ fn failures_are_contained() {
         }],
     };
     for p in [Policy::saath(), Policy::aalo()] {
-        let clean =
-            run_policy(&trace, &p, &SimConfig::default(), &DynamicsSpec::none()).unwrap();
+        let clean = run_policy(&trace, &p, &SimConfig::default(), &DynamicsSpec::none()).unwrap();
         let failed = run_policy(&trace, &p, &SimConfig::default(), &dynamics).unwrap();
         assert_eq!(failed.records.len(), trace.coflows.len(), "{}", p.name());
         for (c, f) in clean.records.iter().zip(&failed.records) {

@@ -1,0 +1,124 @@
+//! Cross-crate guarantees of the incremental simulation engine:
+//!
+//! 1. **Determinism** — the same seeded trace, policy, and dynamics
+//!    always produce byte-identical [`CoflowRecord`]s.
+//! 2. **Equivalence** — the incremental epoch loop ([`simulate`])
+//!    produces records byte-identical to the straightforward
+//!    recompute-everything loop ([`simulate_reference`]) it replaced,
+//!    including under stragglers and node failures.
+//!
+//! The in-crate tests cover the paper's worked examples; these run a
+//! scaled-down FB-like workload (the generator preset calibrated to the
+//! paper's Facebook trace) through the public facade, so any future
+//! engine change that breaks replay fidelity fails here too.
+
+use saath::prelude::*;
+use saath::simulator::simulate_reference;
+use saath::workload::{gen, DynamicsEvent};
+
+/// A scaled-down FB-like workload: same mix/bin/placement structure as
+/// the paper's Facebook preset, fewer CoFlows so the reference loop
+/// stays fast in CI.
+fn mini_fb(seed: u64) -> Trace {
+    let cfg = gen::GenConfig {
+        num_nodes: 40,
+        num_coflows: 60,
+        span: Duration::from_secs(40),
+        max_width: 1_600,
+        ..gen::fb_like(seed)
+    };
+    gen::generate(&cfg)
+}
+
+fn stress_dynamics() -> DynamicsSpec {
+    DynamicsSpec {
+        events: vec![
+            DynamicsEvent::Straggler {
+                node: NodeId(3),
+                at: Time::from_secs(2),
+                until: Time::from_secs(12),
+                num: 1,
+                den: 5,
+            },
+            DynamicsEvent::NodeFailure {
+                node: NodeId(7),
+                at: Time::from_secs(5),
+                restart_delay: Duration::from_millis(400),
+            },
+        ],
+    }
+}
+
+#[test]
+fn replay_is_deterministic() {
+    let trace = mini_fb(11);
+    let cfg = SimConfig::default();
+    let dynamics = stress_dynamics();
+    for policy in [Policy::saath(), Policy::aalo()] {
+        let a = run_policy(&trace, &policy, &cfg, &dynamics).unwrap();
+        let b = run_policy(&trace, &policy, &cfg, &dynamics).unwrap();
+        assert_eq!(
+            a.records,
+            b.records,
+            "{} replay not deterministic",
+            policy.name()
+        );
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.end, b.end);
+    }
+}
+
+#[test]
+fn incremental_loop_matches_reference_on_fb_like() {
+    let trace = mini_fb(23);
+    let cfg = SimConfig::default();
+    let inc = simulate(
+        &trace,
+        &mut Saath::with_defaults(),
+        &cfg,
+        &DynamicsSpec::none(),
+    )
+    .unwrap();
+    let re = simulate_reference(
+        &trace,
+        &mut Saath::with_defaults(),
+        &cfg,
+        &DynamicsSpec::none(),
+    )
+    .unwrap();
+    assert_eq!(inc.records, re.records);
+    assert_eq!(inc.rounds, re.rounds);
+    assert_eq!(inc.end, re.end);
+    assert_eq!(inc.records.len(), trace.coflows.len());
+}
+
+#[test]
+fn incremental_loop_matches_reference_under_dynamics() {
+    let trace = mini_fb(31);
+    let cfg = SimConfig::default();
+    let dynamics = stress_dynamics();
+    let inc = simulate(&trace, &mut Saath::with_defaults(), &cfg, &dynamics).unwrap();
+    let re = simulate_reference(&trace, &mut Saath::with_defaults(), &cfg, &dynamics).unwrap();
+    assert_eq!(inc.records, re.records);
+    assert_eq!(inc.rounds, re.rounds);
+    assert_eq!(inc.end, re.end);
+}
+
+#[test]
+fn incremental_loop_matches_reference_across_policies_and_deltas() {
+    let trace = mini_fb(47);
+    let dynamics = stress_dynamics();
+    for delta_ms in [0u64, 8, 50] {
+        let cfg = SimConfig {
+            delta: Duration::from_millis(delta_ms),
+            ..Default::default()
+        };
+        let inc = simulate(&trace, &mut Aalo::with_defaults(), &cfg, &dynamics).unwrap();
+        let re = simulate_reference(&trace, &mut Aalo::with_defaults(), &cfg, &dynamics).unwrap();
+        assert_eq!(
+            inc.records, re.records,
+            "aalo diverged at δ = {delta_ms} ms"
+        );
+        assert_eq!(inc.end, re.end);
+    }
+}

@@ -22,8 +22,7 @@ fn one_flow_trace(size: Bytes, available_after: Duration) -> Trace {
 fn pipelined_data_availability_delays_start() {
     let trace = one_flow_trace(Bytes(125_000_000), Duration::from_secs(2));
     for p in [Policy::saath(), Policy::aalo(), Policy::UcTcp] {
-        let out =
-            run_policy(&trace, &p, &SimConfig::default(), &DynamicsSpec::none()).unwrap();
+        let out = run_policy(&trace, &p, &SimConfig::default(), &DynamicsSpec::none()).unwrap();
         let cct = out.records[0].cct().as_secs_f64();
         // 2 s unavailable + 1 s transfer (+ δ slack).
         assert!((cct - 3.0).abs() < 0.05, "{}: cct {cct}", p.name());
@@ -35,16 +34,26 @@ fn pipelined_data_availability_delays_start() {
 #[test]
 fn event_driven_mode_is_exact() {
     let trace = one_flow_trace(Bytes(125_000_000), Duration::ZERO);
-    let ideal = SimConfig { delta: Duration::ZERO, ..Default::default() };
-    let out =
-        run_policy(&trace, &Policy::saath(), &ideal, &DynamicsSpec::none()).unwrap();
-    assert_eq!(out.records[0].cct(), Duration::from_secs(1), "event-driven must be exact");
+    let ideal = SimConfig {
+        delta: Duration::ZERO,
+        ..Default::default()
+    };
+    let out = run_policy(&trace, &Policy::saath(), &ideal, &DynamicsSpec::none()).unwrap();
+    assert_eq!(
+        out.records[0].cct(),
+        Duration::from_secs(1),
+        "event-driven must be exact"
+    );
 
     // And a contended workload is never worse under δ=0 than δ=8ms.
     let trace = saath::workload::gen::generate(&saath::workload::gen::small(23, 10, 30));
-    let delta8 =
-        run_policy(&trace, &Policy::saath(), &SimConfig::default(), &DynamicsSpec::none())
-            .unwrap();
+    let delta8 = run_policy(
+        &trace,
+        &Policy::saath(),
+        &SimConfig::default(),
+        &DynamicsSpec::none(),
+    )
+    .unwrap();
     let delta0 = run_policy(&trace, &Policy::saath(), &ideal, &DynamicsSpec::none()).unwrap();
     assert!(
         delta0.avg_cct_secs() <= delta8.avg_cct_secs() * 1.01,
@@ -69,10 +78,18 @@ fn multi_wave_chain_serializes() {
         )
     };
     let coflows = dag::chain((0..5).map(wave).collect());
-    let trace = Trace { num_nodes: 4, port_rate: Rate::gbps(1), coflows };
-    let out =
-        run_policy(&trace, &Policy::saath(), &SimConfig::default(), &DynamicsSpec::none())
-            .unwrap();
+    let trace = Trace {
+        num_nodes: 4,
+        port_rate: Rate::gbps(1),
+        coflows,
+    };
+    let out = run_policy(
+        &trace,
+        &Policy::saath(),
+        &SimConfig::default(),
+        &DynamicsSpec::none(),
+    )
+    .unwrap();
     assert_eq!(out.records.len(), 5);
     for w in out.records.windows(2) {
         assert!(
@@ -105,7 +122,10 @@ fn round_limit_catches_livelock() {
         }
     }
     let trace = one_flow_trace(Bytes(1_000_000), Duration::ZERO);
-    let cfg = SimConfig { max_rounds: 1000, ..Default::default() };
+    let cfg = SimConfig {
+        max_rounds: 1000,
+        ..Default::default()
+    };
     let err = simulate(&trace, &mut NullScheduler, &cfg, &DynamicsSpec::none()).unwrap_err();
     assert!(matches!(err, saath::simulator::SimError::RoundLimit(1000)));
 }
@@ -130,7 +150,11 @@ fn aalo_weighted_vs_strict_priority() {
             vec![FlowSpec::new(NodeId(0), NodeId(2), Bytes::mb(5))],
         ));
     }
-    let trace = Trace { num_nodes: 3, port_rate: Rate::gbps(1), coflows };
+    let trace = Trace {
+        num_nodes: 3,
+        port_rate: Rate::gbps(1),
+        coflows,
+    };
 
     let cfg = SimConfig::default();
     let mut weighted = Aalo::with_defaults();
@@ -161,9 +185,13 @@ fn aalo_weighted_vs_strict_priority() {
 #[test]
 fn record_internal_consistency() {
     let trace = saath::workload::gen::generate(&saath::workload::gen::small(29, 12, 40));
-    let out =
-        run_policy(&trace, &Policy::saath(), &SimConfig::default(), &DynamicsSpec::none())
-            .unwrap();
+    let out = run_policy(
+        &trace,
+        &Policy::saath(),
+        &SimConfig::default(),
+        &DynamicsSpec::none(),
+    )
+    .unwrap();
     for r in &out.records {
         let max_fct = r.flow_fcts.iter().max().copied().unwrap();
         assert_eq!(

@@ -34,7 +34,11 @@ fn fig1_out_of_sync() {
     let aalo = run(&trace, &Policy::aalo());
     let saath = run(&trace, &Policy::saath());
     assert!((avg(&aalo) - 1.75).abs() < TOL, "aalo avg {}", avg(&aalo));
-    assert!((avg(&saath) - 1.25).abs() < TOL, "saath avg {}", avg(&saath));
+    assert!(
+        (avg(&saath) - 1.25).abs() < TOL,
+        "saath avg {}",
+        avg(&saath)
+    );
     // The narrow CoFlows C3/C4 are the ones Saath saves.
     assert!((cct(&aalo, 3) - 2.0).abs() < TOL);
     assert!((cct(&saath, 3) - 1.0).abs() < TOL);
@@ -50,7 +54,10 @@ fn fig4_work_conservation() {
     let trace = ex::fig4_work_conservation();
     let strict = run(
         &trace,
-        &Policy::Saath(SaathConfig { work_conservation: false, ..Default::default() }),
+        &Policy::Saath(SaathConfig {
+            work_conservation: false,
+            ..Default::default()
+        }),
     );
     let with_wc = run(&trace, &Policy::saath());
     assert!((avg(&strict) - 2.0).abs() < TOL, "strict {}", avg(&strict));
@@ -78,12 +85,18 @@ fn fig5_fast_queue_transition() {
 
     // Aalo: total sent = 2·B·t ≤ 4·B·t ⇒ still in Q0 after t, needs 2t.
     assert_eq!(q.queue_for_total(Bytes(per_flow_progress.as_u64() * 2)), 0);
-    assert_eq!(q.queue_for_total(Bytes(per_flow_progress.as_u64() * 4 + 1)), 1);
+    assert_eq!(
+        q.queue_for_total(Bytes(per_flow_progress.as_u64() * 4 + 1)),
+        1
+    );
 
     // Saath: per-flow share is B·t ⇒ the first flow to exceed it (just
     // past t) demotes the whole CoFlow.
     assert_eq!(q.queue_for_per_flow(per_flow_progress, width), 0);
-    assert_eq!(q.queue_for_per_flow(Bytes(per_flow_progress.as_u64() + 1), width), 1);
+    assert_eq!(
+        q.queue_for_per_flow(Bytes(per_flow_progress.as_u64() + 1), width),
+        1
+    );
 
     // And end-to-end: replaying the Fig 5 trace, the wide CoFlow under
     // Saath leaves Q0 roughly twice as early as under Aalo's rule —
@@ -104,7 +117,11 @@ fn fig5_fast_queue_transition() {
 fn fig8_lcof_limitation() {
     let trace = ex::fig8_lcof_limitation();
     let saath = run(&trace, &Policy::saath());
-    assert!((avg(&saath) - 2.8333).abs() < TOL, "saath avg {}", avg(&saath));
+    assert!(
+        (avg(&saath) - 2.8333).abs() < TOL,
+        "saath avg {}",
+        avg(&saath)
+    );
     assert!((cct(&saath, 1) - 3.5).abs() < TOL);
 
     let sebf = run(&trace, &Policy::Varys);

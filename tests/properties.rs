@@ -16,7 +16,12 @@ fn arb_views() -> impl Strategy<Value = Vec<CoflowView>> {
     proptest::collection::vec(
         (
             proptest::collection::vec(
-                (0u32..NODES as u32, 0u32..NODES as u32, 1u64..1_000_000_000, 0u8..4),
+                (
+                    0u32..NODES as u32,
+                    0u32..NODES as u32,
+                    1u64..1_000_000_000,
+                    0u8..4,
+                ),
                 1..6,
             ),
             0u64..10_000,
@@ -41,7 +46,11 @@ fn arb_views() -> impl Strategy<Value = Vec<CoflowView>> {
                             src: NodeId(src),
                             dst: NodeId(dst),
                             // `state` bit 0: finished, bit 1: unready.
-                            sent: if state & 1 != 0 { Bytes(size) } else { Bytes(size / 2) },
+                            sent: if state & 1 != 0 {
+                                Bytes(size)
+                            } else {
+                                Bytes(size / 2)
+                            },
                             ready: state & 2 == 0,
                             finished: state & 1 != 0,
                             oracle_size: Some(Bytes(size)),

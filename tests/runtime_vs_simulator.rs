@@ -15,7 +15,10 @@ fn emulation_tracks_simulation() {
     let trace = gen::generate(&cfg);
 
     // Simulator at the emulation's δ for apples-to-apples staleness.
-    let sim_cfg = SimConfig { delta: Duration::from_millis(400), ..Default::default() };
+    let sim_cfg = SimConfig {
+        delta: Duration::from_millis(400),
+        ..Default::default()
+    };
     let sim = run_policy(&trace, &Policy::saath(), &sim_cfg, &DynamicsSpec::none()).unwrap();
 
     let emu_cfg = EmulationConfig {
@@ -85,16 +88,15 @@ fn emulation_relative_ordering_matches_simulation() {
     assert!(!saath.coordinator.timed_out && !aalo.coordinator.timed_out);
 
     let emu_speedup =
-        SpeedupSummary::compute(&aalo.coordinator.records, &saath.coordinator.records)
-            .unwrap();
+        SpeedupSummary::compute(&aalo.coordinator.records, &saath.coordinator.records).unwrap();
 
-    let sim_cfg = SimConfig { delta: Duration::from_millis(100), ..Default::default() };
-    let sim_saath =
-        run_policy(&trace, &Policy::saath(), &sim_cfg, &DynamicsSpec::none()).unwrap();
-    let sim_aalo =
-        run_policy(&trace, &Policy::aalo(), &sim_cfg, &DynamicsSpec::none()).unwrap();
-    let sim_speedup =
-        SpeedupSummary::compute(&sim_aalo.records, &sim_saath.records).unwrap();
+    let sim_cfg = SimConfig {
+        delta: Duration::from_millis(100),
+        ..Default::default()
+    };
+    let sim_saath = run_policy(&trace, &Policy::saath(), &sim_cfg, &DynamicsSpec::none()).unwrap();
+    let sim_aalo = run_policy(&trace, &Policy::aalo(), &sim_cfg, &DynamicsSpec::none()).unwrap();
+    let sim_speedup = SpeedupSummary::compute(&sim_aalo.records, &sim_saath.records).unwrap();
 
     // Same direction, same ballpark (ratio of medians within 2×).
     let ratio = emu_speedup.median / sim_speedup.median;

@@ -1,0 +1,28 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::{Strategy, TestRng};
+use core::ops::Range;
+
+/// Strategy producing `Vec`s with lengths drawn from a range.
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = if self.size.start >= self.size.end {
+            self.size.start
+        } else {
+            self.size.start + rng.below((self.size.end - self.size.start) as u64) as usize
+        };
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// A `Vec` strategy: `len` elements of `element`, `len` in `size`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
