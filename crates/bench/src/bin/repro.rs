@@ -6,6 +6,8 @@
 //! experiments:
 //!   fig2 fig3 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 table2 dynamics
 //!   epoch          engine wall-clock baseline (writes BENCH_epoch_loop.json)
+//!   trace          instrumented Saath + Aalo runs: mechanism breakdown tables
+//!                  and deterministic JSONL round traces in results/
 //!   all            run everything
 //!
 //! options:
@@ -15,6 +17,8 @@
 //!   --scale N      emulation time scale for fig15/fig16 (default 50)
 //!   --nodes N      emulation node cap for fig15/fig16 (default 40)
 //!   --small        use small traces (smoke test, seconds instead of minutes)
+//!   --json         epoch only: print the BENCH_epoch_loop.json document
+//!                  instead of the table
 //! ```
 //!
 //! CSV artifacts land in `results/`.
@@ -30,7 +34,7 @@ fn arg_value(args: &[String], key: &str) -> Option<String> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let what = args.first().cloned().unwrap_or_else(|| {
-        eprintln!("usage: repro <fig2|fig3|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|fig17|table2|dynamics|epoch|all> [--seed N] [--panel P] [--trace PATH] [--scale N] [--nodes N] [--small]");
+        eprintln!("usage: repro <fig2|fig3|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|fig17|table2|dynamics|epoch|trace|all> [--seed N] [--panel P] [--trace PATH] [--scale N] [--nodes N] [--small] [--json]");
         std::process::exit(2);
     });
     let seed: u64 = arg_value(&args, "--seed")
@@ -44,6 +48,7 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(40);
     let small = args.iter().any(|a| a == "--small");
+    let json = args.iter().any(|a| a == "--json");
 
     let mut lab = if small {
         Lab::small(seed)
@@ -82,7 +87,8 @@ fn main() {
             "fig17" => Some(figs::fig17(lab)),
             "table2" => Some(figs::table2(lab)),
             "dynamics" => Some(figs::dynamics(lab)),
-            "epoch" => Some(figs::epoch(lab)),
+            "epoch" => Some(figs::epoch(lab, json)),
+            "trace" => Some(figs::trace_diag(lab, small)),
             _ => None,
         }
     };

@@ -26,15 +26,16 @@ pub fn fig2(lab: &mut Lab) -> String {
     let trace = lab.trace(Workload::Fb).clone();
     let aalo = lab.run(Workload::Fb, &Policy::aalo()).to_vec();
 
-    // (a) width distribution of the trace itself.
+    // (a) width distribution of the trace itself (empty-trace safe).
     let widths: Vec<f64> = trace.coflows.iter().map(|c| c.width() as f64).collect();
-    let single = widths.iter().filter(|&&w| w == 1.0).count() as f64 / widths.len() as f64;
+    let n = widths.len().max(1) as f64;
+    let single = widths.iter().filter(|&&w| w == 1.0).count() as f64 / n;
     let equal = trace
         .coflows
         .iter()
         .filter(|c| c.width() > 1 && c.has_equal_flows())
         .count() as f64
-        / widths.len() as f64;
+        / n;
     let uneven = 1.0 - single - equal;
 
     // (b) flow-length deviation per CoFlow (ground truth).
@@ -733,8 +734,13 @@ pub fn fig17(lab: &Lab) -> String {
     let trace = saath_workload::paper_examples::fig17_sjf_suboptimal();
     let sebf = lab.run_trace(&trace, &Policy::Varys, 8_000_000);
     let lwtf = lab.run_trace(&trace, &Policy::Lwtf, 8_000_000);
-    let avg =
-        |r: &[CoflowRecord]| r.iter().map(|x| x.cct().as_secs_f64()).sum::<f64>() / r.len() as f64;
+    let avg = |r: &[CoflowRecord]| {
+        if r.is_empty() {
+            0.0
+        } else {
+            r.iter().map(|x| x.cct().as_secs_f64()).sum::<f64>() / r.len() as f64
+        }
+    };
     let mut t = Table::new(
         "Fig 17 — SJF is sub-optimal for CoFlows (t = 1 s units)",
         &["policy", "C1", "C2", "C3", "average (paper)"],
@@ -754,31 +760,41 @@ pub fn fig17(lab: &Lab) -> String {
     t.render()
 }
 
+/// Number of flows in a trace.
+fn flow_count(t: &saath_workload::Trace) -> usize {
+    t.coflows.iter().map(|c| c.flows.len()).sum::<usize>()
+}
+
+/// An FB-like trace grown until it carries ≥ 10k flows, with arrivals
+/// compressed into 100 s so many CoFlows are concurrently active —
+/// the regime where the reference loop's O(active state) per-epoch cost
+/// shows and where the telemetry mechanisms (queue transitions,
+/// deadline rescues, stale pops) all fire.
+fn grown_fb_trace(seed: u64) -> saath_workload::Trace {
+    use saath_workload::gen;
+    let mut gcfg = gen::fb_like(seed);
+    gcfg.span = saath_simcore::Duration::from_secs(100);
+    let mut trace = gen::generate(&gcfg);
+    while flow_count(&trace) < 10_000 {
+        gcfg.num_coflows += 100;
+        trace = gen::generate(&gcfg);
+    }
+    trace
+}
+
 /// **Epoch loop** — not a paper figure: the wall-clock baseline of the
 /// incremental simulation engine against the recompute-everything
 /// reference loop it replaced, on an FB-like workload grown to ≥ 10k
 /// flows. Also asserts the two loops emit byte-identical
 /// [`CoflowRecord`]s, so the speedup is never bought with drift.
-/// Writes `BENCH_epoch_loop.json` in the working directory.
-pub fn epoch(lab: &Lab) -> String {
-    use saath_simulator::{simulate, simulate_reference, SimConfig};
-    use saath_workload::{gen, DynamicsSpec};
+/// Writes `BENCH_epoch_loop.json` in the working directory; with
+/// `json`, returns the JSON document instead of the rendered table.
+pub fn epoch(lab: &Lab, json: bool) -> String {
+    use saath_simulator::{simulate, simulate_reference, simulate_with_telemetry, SimConfig};
+    use saath_workload::DynamicsSpec;
     use std::time::Instant;
 
-    // Grow the FB-like preset until the trace carries ≥10k flows, with
-    // arrivals compressed into 100 s so many CoFlows are concurrently
-    // active — that is the regime where the reference loop's
-    // O(active state) per-epoch cost shows, while the incremental loop
-    // stays O(changes).
-    let mut gcfg = gen::fb_like(lab.seed());
-    gcfg.span = saath_simcore::Duration::from_secs(100);
-    let mut trace = gen::generate(&gcfg);
-    let flow_count =
-        |t: &saath_workload::Trace| t.coflows.iter().map(|c| c.flows.len()).sum::<usize>();
-    while flow_count(&trace) < 10_000 {
-        gcfg.num_coflows += 100;
-        trace = gen::generate(&gcfg);
-    }
+    let trace = grown_fb_trace(lab.seed());
     let flows = flow_count(&trace);
 
     // Both loops call the *same* scheduler on the *same* views at the
@@ -824,9 +840,22 @@ pub fn epoch(lab: &Lab) -> String {
     let total_speedup = ref_total / inc_total;
     let loop_speedup = ref_loop / inc_loop;
 
+    // A separate *untimed* instrumented run collects the engine
+    // counters (heap traffic, stale-pop ratio, dirty-set sizes). It is
+    // deliberately excluded from the timing loop above so the baseline
+    // numbers never include instrumentation, whatever the feature state.
+    let mut tele = saath_telemetry::Telemetry::new();
+    {
+        let mut sched = saath_core::Saath::with_defaults();
+        simulate_with_telemetry(&trace, &mut sched, &cfg, &dynamics, Some(&mut tele))
+            .expect("instrumented epoch-loop run failed");
+    }
+    let stale_ratio = tele.stale_pop_ratio();
+    let mean_dirty = tele.dirty_set.mean();
+
     // The vendored serde stub cannot serialize, so the baseline is
     // formatted by hand — it is a flat object of scalars.
-    let json = format!(
+    let json_doc = format!(
         "{{\n  \"experiment\": \"epoch_loop\",\n  \"seed\": {seed},\n  \
          \"num_nodes\": {nodes},\n  \"num_coflows\": {coflows},\n  \
          \"num_flows\": {flows},\n  \"delta_ms\": 8,\n  \
@@ -837,14 +866,27 @@ pub fn epoch(lab: &Lab) -> String {
          \"loop_reference_ms\": {ref_loop:.1},\n  \
          \"loop_incremental_ms\": {inc_loop:.1},\n  \
          \"loop_speedup\": {loop_speedup:.2},\n  \
-         \"records_identical\": true\n}}\n",
+         \"records_identical\": true,\n  \
+         \"telemetry_enabled\": {tele_on},\n  \
+         \"heap_pushes\": {pushes},\n  \
+         \"heap_compactions\": {compactions},\n  \
+         \"stale_pop_ratio\": {stale_ratio:.4},\n  \
+         \"mean_dirty_set\": {mean_dirty:.1},\n  \
+         \"max_heap_len\": {max_heap}\n}}\n",
         seed = lab.seed(),
         nodes = trace.num_nodes,
         coflows = trace.coflows.len(),
         rounds = inc.rounds,
+        tele_on = saath_telemetry::enabled(),
+        pushes = tele.counter(saath_telemetry::Counter::HeapPush),
+        compactions = tele.counter(saath_telemetry::Counter::HeapCompactions),
+        max_heap = tele.heap_len.max,
     );
-    if let Err(e) = std::fs::write("BENCH_epoch_loop.json", &json) {
+    if let Err(e) = std::fs::write("BENCH_epoch_loop.json", &json_doc) {
         eprintln!("warning: could not write BENCH_epoch_loop.json: {e}");
+    }
+    if json {
+        return json_doc;
     }
 
     let mut t = Table::new(
@@ -875,7 +917,81 @@ pub fn epoch(lab: &Lab) -> String {
         "yes".into(),
         "—".into(),
     ]);
+    t.row(&[
+        "stale pops / mean dirty set".into(),
+        fmt_pct(stale_ratio),
+        format!("{mean_dirty:.1}"),
+        if saath_telemetry::enabled() {
+            "telemetry on".into()
+        } else {
+            "telemetry off".into()
+        },
+    ]);
     t.render()
+}
+
+/// **Trace diagnosis** — not a paper figure: runs Saath and Aalo over
+/// the same FB-like workload with full instrumentation, writes each
+/// run's deterministic JSONL round trace to `results/trace_<policy>.jsonl`,
+/// and prints the per-policy mechanism breakdown that maps the run back
+/// to the paper's design levers (D1 LCoF ordering, D2 all-or-none,
+/// D3 queue transitions, D4 work conservation, D5 starvation
+/// deadlines). `small` uses the lab's FB trace instead of the grown
+/// ≥ 10k-flow workload (CI smoke test).
+pub fn trace_diag(lab: &Lab, small: bool) -> String {
+    use saath_simulator::{simulate_with_telemetry, SimConfig};
+    use saath_workload::DynamicsSpec;
+
+    let trace = if small {
+        lab.trace(Workload::Fb).clone()
+    } else {
+        grown_fb_trace(lab.seed())
+    };
+    let cfg = SimConfig::default();
+    let dynamics = DynamicsSpec::none();
+
+    let mut out = String::new();
+    let mut lines = Vec::new();
+    // Concrete scheduler types (not `Policy`) so the per-policy
+    // `MechCounters` stay reachable after the run.
+    for policy in ["saath", "aalo"] {
+        let mut tele = saath_telemetry::Telemetry::with_jsonl();
+        let mech = match policy {
+            "saath" => {
+                let mut s = saath_core::Saath::with_defaults();
+                simulate_with_telemetry(&trace, &mut s, &cfg, &dynamics, Some(&mut tele))
+                    .unwrap_or_else(|e| panic!("trace diagnosis: saath failed: {e}"));
+                s.mech
+            }
+            _ => {
+                let mut s = saath_core::Aalo::with_defaults();
+                simulate_with_telemetry(&trace, &mut s, &cfg, &dynamics, Some(&mut tele))
+                    .unwrap_or_else(|e| panic!("trace diagnosis: aalo failed: {e}"));
+                s.mech
+            }
+        };
+        lab.write_csv(&format!("trace_{policy}.jsonl"), tele.jsonl());
+        out.push_str(&saath_metrics::engine_table(policy, &tele).render());
+        out.push_str(&saath_metrics::mech_table(policy, &mech).render());
+        lines.push(saath_metrics::mech_breakdown_line(policy, &mech, &tele));
+    }
+    out.push_str("== mechanism breakdown ==\n");
+    for l in &lines {
+        out.push_str(l);
+        out.push('\n');
+    }
+    if saath_telemetry::enabled() {
+        out.push_str(&format!(
+            "JSONL round traces written to {}/trace_saath.jsonl and trace_aalo.jsonl\n",
+            lab.out_dir.display()
+        ));
+    } else {
+        out.push_str(
+            "telemetry feature is OFF — counters read 0 and no JSONL was recorded; \
+             rebuild with `--features telemetry` (bench default)\n",
+        );
+    }
+    out
 }
 
 #[cfg(test)]

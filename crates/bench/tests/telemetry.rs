@@ -1,0 +1,188 @@
+//! Integration tests of the telemetry layer under the bench crate,
+//! whose `default = ["telemetry"]` turns the feature on for the whole
+//! workspace build — so these see real counts. (Run the workspace with
+//! `--no-default-features` for the zero-overhead configuration; the
+//! assertions below degrade gracefully.)
+//!
+//! 1. The JSONL round trace of a small seeded FB-like workload is
+//!    byte-stable across runs and matches a checked-in golden head.
+//! 2. Both Saath and Aalo report nonzero mechanism counts on that
+//!    workload (queue transitions, stale pops, dirty sets, …).
+//! 3. Heap hygiene: under heavy rate churn (stragglers + failures) the
+//!    completion heap compacts and its peak length stays bounded by the
+//!    live flow population — while records stay byte-identical to the
+//!    recompute-everything reference loop.
+
+use saath_core::{Aalo, Saath};
+use saath_simulator::{simulate_reference, simulate_with_telemetry, SimConfig, SimOutput};
+use saath_telemetry::{Counter, Telemetry};
+use saath_workload::{gen, DynamicsSpec, Trace};
+
+/// Scaled-down FB-like workload (same preset the equivalence suite
+/// uses: paper mix/bin structure, few CoFlows).
+fn mini_fb(seed: u64) -> Trace {
+    let cfg = gen::GenConfig {
+        num_nodes: 40,
+        num_coflows: 60,
+        span: saath_simcore::Duration::from_secs(40),
+        max_width: 1_600,
+        ..gen::fb_like(seed)
+    };
+    gen::generate(&cfg)
+}
+
+fn instrumented_saath(trace: &Trace, dynamics: &DynamicsSpec) -> (SimOutput, Telemetry) {
+    let mut tele = Telemetry::with_jsonl();
+    let out = simulate_with_telemetry(
+        trace,
+        &mut Saath::with_defaults(),
+        &SimConfig::default(),
+        dynamics,
+        Some(&mut tele),
+    )
+    .unwrap();
+    (out, tele)
+}
+
+#[test]
+fn jsonl_trace_is_byte_stable_and_matches_golden_head() {
+    let trace = mini_fb(5);
+    let (_, a) = instrumented_saath(&trace, &DynamicsSpec::none());
+    let (_, b) = instrumented_saath(&trace, &DynamicsSpec::none());
+    assert_eq!(a.jsonl(), b.jsonl(), "JSONL trace not byte-stable");
+    if !saath_telemetry::enabled() {
+        assert!(a.jsonl().is_empty());
+        return;
+    }
+    assert!(!a.jsonl().is_empty());
+    for line in a.jsonl().lines() {
+        assert!(
+            line.starts_with("{\"round\":") && line.ends_with('}'),
+            "malformed JSONL line: {line}"
+        );
+    }
+    // Golden head: the first 5 lines of the seed-5 trace, checked in.
+    // Regenerate with `BLESS=1 cargo test -p saath-bench jsonl_trace`.
+    let head: String = a
+        .jsonl()
+        .lines()
+        .take(5)
+        .map(|l| format!("{l}\n"))
+        .collect();
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/trace_head.jsonl");
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(golden_path, &head).unwrap();
+    }
+    let golden =
+        std::fs::read_to_string(golden_path).expect("golden missing — run once with BLESS=1");
+    assert_eq!(head, golden, "JSONL head drifted from the golden file");
+}
+
+#[test]
+fn both_policies_report_nonzero_mechanism_counts() {
+    if !saath_telemetry::enabled() {
+        return; // counters are compiled-out no-ops
+    }
+    let trace = mini_fb(5);
+
+    let (out, tele) = instrumented_saath(&trace, &DynamicsSpec::none());
+    assert_eq!(out.unfinished, 0);
+    let mut saath = Saath::with_defaults();
+    let _ = simulate_with_telemetry(
+        &trace,
+        &mut saath,
+        &SimConfig::default(),
+        &DynamicsSpec::none(),
+        Some(&mut Telemetry::new()),
+    )
+    .unwrap();
+    assert!(tele.counter(Counter::SchedRounds) > 0);
+    assert!(tele.counter(Counter::HeapPopStale) > 0);
+    assert!(tele.dirty_set.count > 0 && tele.dirty_set.max > 0);
+    assert!(saath.mech.queue_transitions > 0);
+    assert!(saath.mech.gang_admissions > 0);
+    assert!(saath.mech.wc_backfills > 0);
+    assert!(saath.mech.lcof_comparisons > 0);
+    assert!(saath.mech.madd_evals > 0);
+
+    let mut aalo = Aalo::with_defaults();
+    let mut tele = Telemetry::new();
+    let out = simulate_with_telemetry(
+        &trace,
+        &mut aalo,
+        &SimConfig::default(),
+        &DynamicsSpec::none(),
+        Some(&mut tele),
+    )
+    .unwrap();
+    assert_eq!(out.unfinished, 0);
+    assert!(tele.counter(Counter::HeapPopStale) > 0);
+    assert!(tele.dirty_set.count > 0);
+    assert!(aalo.mech.queue_transitions > 0);
+    assert!(aalo.mech.lcof_comparisons > 0);
+    // Aalo has no gang admission or deadline machinery.
+    assert_eq!(aalo.mech.gang_admissions, 0);
+    assert_eq!(aalo.mech.deadline_expiries, 0);
+}
+
+#[test]
+fn heap_compaction_bounds_stale_entries_under_churn() {
+    // Heavy rate churn: stragglers re-rate every flow on a node twice
+    // (onset + recovery) and failures restart flows — each change
+    // pushes a fresh heap entry, stranding the old one.
+    let trace = mini_fb(7);
+    let spec = DynamicsSpec::random(
+        7,
+        trace.num_nodes,
+        trace.arrival_span(),
+        0.30,
+        saath_simcore::Duration::from_secs(10),
+        1,
+        10,
+        0.20,
+        saath_simcore::Duration::from_secs(1),
+    );
+    let (out, tele) = instrumented_saath(&trace, &spec);
+
+    // Compaction must never change what the simulation computes.
+    let reference = simulate_reference(
+        &trace,
+        &mut Saath::with_defaults(),
+        &SimConfig::default(),
+        &spec,
+    )
+    .unwrap();
+    assert_eq!(out.records, reference.records);
+    assert_eq!(out.end, reference.end);
+
+    if !saath_telemetry::enabled() {
+        return;
+    }
+    assert!(
+        tele.counter(Counter::HeapCompactions) > 0,
+        "churn never triggered a compaction"
+    );
+    // The compaction trigger (len > 64 && len > 4×flowing, checked
+    // every round) bounds the heap by the live flow population, not by
+    // the cumulative push count.
+    let max_flowing = tele
+        .jsonl()
+        .lines()
+        .filter_map(|l| {
+            let v = l.split("\"flowing\":").nth(1)?;
+            v.split(',').next()?.parse::<u64>().ok()
+        })
+        .max()
+        .unwrap_or(0);
+    assert!(max_flowing > 0);
+    let bound = 64 + 6 * max_flowing;
+    assert!(
+        tele.heap_len.max <= bound,
+        "heap peaked at {} > bound {bound} (max flowing {max_flowing})",
+        tele.heap_len.max
+    );
+    assert!(
+        tele.heap_len.max < tele.counter(Counter::HeapPush),
+        "heap peak should sit well below cumulative pushes under churn"
+    );
+}

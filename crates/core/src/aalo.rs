@@ -19,6 +19,8 @@ use crate::config::QueueConfig;
 use crate::timing::SchedTimings;
 use crate::view::{ClusterView, CoflowScheduler, Schedule};
 use saath_fabric::{greedy_fill_into, FlowEndpoints, PortBank};
+use saath_telemetry::MechCounters;
+use std::collections::HashMap;
 use std::time::Instant;
 
 /// The Aalo scheduler.
@@ -38,6 +40,13 @@ pub struct Aalo {
     rates: Vec<saath_simcore::Rate>,
     present: Vec<[bool; 16]>,
     budget: Vec<u64>,
+    // Telemetry-only state (empty / all-zero in feature-off builds):
+    // last observed queue per CoFlow, per-queue occupancy, counters.
+    last_queue: HashMap<saath_simcore::CoflowId, usize>,
+    occupancy: Vec<usize>,
+    /// Mechanism counters (queue transitions, FIFO sort comparisons,
+    /// …). Only maintained in `telemetry`-feature builds.
+    pub mech: MechCounters,
 }
 
 impl Aalo {
@@ -54,6 +63,9 @@ impl Aalo {
             rates: Vec::new(),
             present: Vec::new(),
             budget: Vec::new(),
+            last_queue: HashMap::new(),
+            occupancy: Vec::new(),
+            mech: MechCounters::default(),
         }
     }
 
@@ -83,15 +95,42 @@ impl CoflowScheduler for Aalo {
         // (queue, arrival, coflow id, flow id) → endpoints, for every
         // ready unfinished flow.
         self.order.clear();
+        if saath_telemetry::enabled() {
+            self.occupancy.clear();
+            self.occupancy.resize(self.queues.num_queues, 0);
+            let live = &mut self.last_queue;
+            live.retain(|id, _| view.coflows.iter().any(|c| c.id == *id));
+        }
         for c in view.coflows {
             let q = self.queues.queue_for_total(c.total_sent());
+            if saath_telemetry::enabled() {
+                self.occupancy[q] += 1;
+                // Aalo keeps no queue state; reconstruct transitions
+                // from the previous round's assignment.
+                if let Some(prev) = self.last_queue.insert(c.id, q) {
+                    if prev != q {
+                        self.mech.queue_transitions += 1;
+                    }
+                }
+            }
             self.order.extend(
                 c.unfinished()
                     .filter(|f| f.ready)
                     .map(|f| ((q, c.arrival, c.id.0, f.id.0), f.endpoints(view.num_nodes))),
             );
         }
-        self.order.sort_by_key(|(key, _)| *key);
+        if saath_telemetry::enabled() {
+            // Same stable sort through a counting comparator, so the
+            // FIFO ordering work is comparable against Saath's LCoF.
+            let mut cmps = 0u64;
+            self.order.sort_by(|(a, _), (b, _)| {
+                cmps += 1;
+                a.cmp(b)
+            });
+            self.mech.lcof_comparisons += cmps;
+        } else {
+            self.order.sort_by_key(|(key, _)| *key);
+        }
         self.eps.clear();
         self.eps.extend(self.order.iter().map(|(_, e)| *e));
 
@@ -165,6 +204,18 @@ impl CoflowScheduler for Aalo {
 
         self.timings.total.push(t_total.elapsed());
         self.timings.active_coflows.push(view.coflows.len());
+    }
+
+    fn mech_counters(&self) -> Option<&MechCounters> {
+        Some(&self.mech)
+    }
+
+    fn queue_occupancy(&self) -> Option<&[usize]> {
+        if saath_telemetry::enabled() {
+            Some(&self.occupancy)
+        } else {
+            None
+        }
     }
 }
 

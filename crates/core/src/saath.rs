@@ -32,6 +32,7 @@ use crate::timing::SchedTimings;
 use crate::view::{ClusterView, CoflowScheduler, CoflowView, Schedule};
 use saath_fabric::{gang_allocate, gang_rate_with, greedy_fill_into, FlowEndpoints, PortBank};
 use saath_simcore::{Bytes, CoflowId, Rate, Time};
+use saath_telemetry::MechCounters;
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
@@ -106,6 +107,9 @@ impl SaathConfig {
 struct CoflowState {
     queue: usize,
     deadline: Time,
+    /// Whether this deadline's expiry was already counted (telemetry
+    /// only; never read by scheduling decisions).
+    expiry_counted: bool,
 }
 
 /// The Saath global scheduler. See the module docs.
@@ -130,6 +134,9 @@ pub struct Saath {
     /// Rounds in which a deadline-expired CoFlow was force-prioritized
     /// (§7.1 reports starvation avoidance kicking in <1 % of the time).
     pub starvation_kicks: u64,
+    /// Mechanism counters (D1–D5 events). Only maintained in
+    /// `telemetry`-feature builds; all-zero otherwise.
+    pub mech: MechCounters,
 }
 
 impl Saath {
@@ -150,6 +157,7 @@ impl Saath {
             wc_rates: Vec::new(),
             live: HashSet::new(),
             starvation_kicks: 0,
+            mech: MechCounters::default(),
         }
     }
 
@@ -259,6 +267,11 @@ impl CoflowScheduler for Saath {
                 None => true,
             };
             if needs_fresh {
+                if saath_telemetry::enabled() && self.state.contains_key(&c.id) {
+                    // An existing CoFlow crossed a threshold (D3) — new
+                    // arrivals are assignments, not transitions.
+                    self.mech.queue_transitions += 1;
+                }
                 let t_q = self.cfg.queues.min_residence(q, nominal_rate);
                 let horizon = t_q
                     .saturating_mul(self.cfg.deadline_factor)
@@ -268,6 +281,7 @@ impl CoflowScheduler for Saath {
                     CoflowState {
                         queue: q,
                         deadline: view.now.saturating_add(horizon),
+                        expiry_counted: false,
                     },
                 );
             }
@@ -295,9 +309,23 @@ impl CoflowScheduler for Saath {
                     .map(|s| s.deadline <= view.now)
                     .unwrap_or(false)
         }));
+        if saath_telemetry::enabled() {
+            // Each expired deadline is one D5 event, counted once per
+            // deadline (a CoFlow stays expired until its queue changes).
+            for (c, &e) in view.coflows.iter().zip(&self.expired) {
+                if e {
+                    if let Some(s) = self.state.get_mut(&c.id) {
+                        if !s.expiry_counted {
+                            s.expiry_counted = true;
+                            self.mech.deadline_expiries += 1;
+                        }
+                    }
+                }
+            }
+        }
         let (queues, expired, k) = (&self.queues, &self.expired, &self.k);
         let lcof = self.cfg.lcof;
-        self.order.sort_by_key(|&i| {
+        let sort_key = |i: usize| {
             (
                 queues[i],
                 !expired[i],
@@ -305,9 +333,24 @@ impl CoflowScheduler for Saath {
                 view.coflows[i].arrival,
                 view.coflows[i].id,
             )
-        });
+        };
+        if saath_telemetry::enabled() {
+            // Same stable sort, same keys — but through a comparator so
+            // the D1 comparison work is measurable.
+            let mut cmps = 0u64;
+            self.order.sort_by(|&a, &b| {
+                cmps += 1;
+                sort_key(a).cmp(&sort_key(b))
+            });
+            self.mech.lcof_comparisons += cmps;
+        } else {
+            self.order.sort_by_key(|&i| sort_key(i));
+        }
         if self.expired.iter().any(|&e| e) {
             self.starvation_kicks += 1;
+            if saath_telemetry::enabled() {
+                self.mech.starvation_rescues += 1;
+            }
         }
         let order_elapsed = t_order.elapsed();
 
@@ -322,6 +365,9 @@ impl CoflowScheduler for Saath {
                 continue; // fully finished; driver will drop it
             }
             if !self.cfg.all_or_none || !c.all_ready() {
+                if saath_telemetry::enabled() && self.cfg.all_or_none {
+                    self.mech.unready_skips += 1;
+                }
                 self.missed.push(ci);
                 continue;
             }
@@ -331,9 +377,18 @@ impl CoflowScheduler for Saath {
                 &mut self.arena.gang_scratch,
                 &mut self.arena.gang_touched,
             );
+            if saath_telemetry::enabled() {
+                self.mech.madd_evals += 1;
+            }
             if r.is_zero() {
+                if saath_telemetry::enabled() {
+                    self.mech.gang_rejections += 1;
+                }
                 self.missed.push(ci);
             } else {
+                if saath_telemetry::enabled() {
+                    self.mech.gang_admissions += 1;
+                }
                 gang_allocate(bank, &self.eps, r);
                 for e in &self.eps {
                     out.set(e.flow, r);
@@ -355,6 +410,9 @@ impl CoflowScheduler for Saath {
                 greedy_fill_into(bank, &self.eps, &mut self.wc_rates);
                 for (e, &r) in self.eps.iter().zip(&self.wc_rates) {
                     if !r.is_zero() {
+                        if saath_telemetry::enabled() {
+                            self.mech.wc_backfills += 1;
+                        }
                         out.set(e.flow, r);
                     }
                 }
@@ -367,6 +425,14 @@ impl CoflowScheduler for Saath {
         self.timings.work_conservation.push(wc_elapsed);
         self.timings.total.push(t_total.elapsed());
         self.timings.active_coflows.push(n);
+    }
+
+    fn mech_counters(&self) -> Option<&MechCounters> {
+        Some(&self.mech)
+    }
+
+    fn queue_occupancy(&self) -> Option<&[usize]> {
+        Some(&self.occupancy)
     }
 }
 

@@ -172,6 +172,21 @@ pub trait CoflowScheduler {
     /// draws it down as it admits flows, and fills `out` (cleared by the
     /// caller).
     fn compute(&mut self, view: &ClusterView<'_>, bank: &mut PortBank, out: &mut Schedule);
+
+    /// Mechanism counters (queue transitions, deadline rescues, …)
+    /// accumulated across rounds, for policies that maintain them.
+    /// Meaningful only in `telemetry`-feature builds; the default is
+    /// `None` so baselines need no instrumentation.
+    fn mech_counters(&self) -> Option<&saath_telemetry::MechCounters> {
+        None
+    }
+
+    /// Per-priority-queue CoFlow occupancy as of the last `compute`,
+    /// lowest queue first, for policies with a queue structure. Feeds
+    /// the telemetry round trace; the default is `None`.
+    fn queue_occupancy(&self) -> Option<&[usize]> {
+        None
+    }
 }
 
 #[cfg(test)]

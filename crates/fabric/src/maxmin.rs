@@ -25,6 +25,10 @@ pub struct MaxMinScratch {
     cap: Vec<u64>,
     count: Vec<u64>,
     fixed: Vec<bool>,
+    /// Cumulative progressive-filling iterations (one per bottleneck
+    /// fixed) across every call that used this scratch. Only maintained
+    /// with the `telemetry` feature; always 0 otherwise.
+    pub iterations: u64,
 }
 
 /// Computes the max-min fair rate for every flow subject to the
@@ -85,6 +89,9 @@ pub fn max_min_fair_into(
         let Some((bottleneck, level)) = best else {
             break;
         };
+        if saath_telemetry::enabled() {
+            scratch.iterations += 1;
+        }
 
         // Fix every unfixed flow crossing the bottleneck at `level` and
         // charge its other port.

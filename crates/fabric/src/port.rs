@@ -128,6 +128,29 @@ impl PortBank {
         Rate(cap - rem)
     }
 
+    /// Ports fully allocated this round: remaining zero on nonzero
+    /// capacity (dead ports don't count as saturated). Diagnostics for
+    /// the telemetry round trace.
+    pub fn saturated_ports(&self) -> usize {
+        self.capacity
+            .iter()
+            .zip(self.remaining.iter())
+            .filter(|(c, r)| !c.is_zero() && r.is_zero())
+            .count()
+    }
+
+    /// Fabric utilization this round in permille (allocated / capacity
+    /// × 1000), 0 on an all-dead fabric. Integer-valued so the round
+    /// trace stays byte-deterministic.
+    pub fn utilization_permille(&self) -> u64 {
+        let cap: u64 = self.capacity.iter().map(|r| r.as_u64()).sum();
+        if cap == 0 {
+            return 0;
+        }
+        let rem: u64 = self.remaining.iter().map(|r| r.as_u64()).sum();
+        (cap - rem) * 1000 / cap
+    }
+
     /// Uplink port of `node`.
     pub fn uplink(&self, node: NodeId) -> PortId {
         PortId::uplink(node)
@@ -162,8 +185,21 @@ mod tests {
         bank.allocate(p, Rate(40));
         assert!(!bank.has_spare(p));
         assert_eq!(bank.total_allocated(), Rate(100));
+        assert_eq!(bank.saturated_ports(), 1);
+        assert_eq!(bank.utilization_permille(), 250); // 100 of 400 total
         bank.reset_round();
         assert_eq!(bank.remaining(p), Rate(100));
+        assert_eq!(bank.saturated_ports(), 0);
+        assert_eq!(bank.utilization_permille(), 0);
+    }
+
+    #[test]
+    fn dead_ports_are_not_saturated() {
+        let mut bank = PortBank::uniform(1, Rate(100));
+        bank.set_capacity(PortId(0), Rate(0));
+        assert_eq!(bank.saturated_ports(), 0);
+        bank.set_capacity(PortId(1), Rate(0));
+        assert_eq!(bank.utilization_permille(), 0, "all-dead fabric");
     }
 
     #[test]

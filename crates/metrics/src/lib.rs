@@ -19,8 +19,10 @@ pub mod record;
 pub mod speedup;
 pub mod stats;
 pub mod table;
+pub mod telemetry_report;
 
 pub use bins::{bin_of, Bin};
 pub use record::CoflowRecord;
 pub use speedup::{speedups, SpeedupSummary};
 pub use stats::{cdf_points, mean, median, percentile};
+pub use telemetry_report::{engine_table, mech_breakdown_line, mech_table};

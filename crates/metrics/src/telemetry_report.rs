@@ -1,0 +1,118 @@
+//! End-of-run telemetry rendering: turns a [`Telemetry`] handle (and a
+//! policy's [`MechCounters`]) into the harness's standard [`Table`]s,
+//! plus the one-line per-policy mechanism breakdown `repro trace`
+//! prints (e.g. "saath: 412 queue transitions, 9 deadline rescues,
+//! 3.1% stale heap pops").
+
+use crate::table::Table;
+use saath_telemetry::{Hist, MechCounters, Telemetry};
+
+fn hist_cells(name: &str, h: &Hist) -> [String; 5] {
+    [
+        name.to_string(),
+        h.count.to_string(),
+        h.min.to_string(),
+        format!("{:.1}", h.mean()),
+        h.max.to_string(),
+    ]
+}
+
+/// Renders the engine-side counters and histograms as one table.
+pub fn engine_table(policy: &str, tele: &Telemetry) -> Table {
+    let mut t = Table::new(
+        format!("engine telemetry — {policy}"),
+        &["counter", "count", "min", "mean", "max"],
+    );
+    for (name, v) in tele.counter_rows() {
+        // Counters have no distribution; fill the stat columns with "-".
+        t.row(&[
+            name.to_string(),
+            v.to_string(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+        ]);
+    }
+    t.row(&[
+        "stale_pop_ratio".to_string(),
+        format!("{:.3}", tele.stale_pop_ratio()),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+    ]);
+    for (name, h) in [
+        ("dirty_set_size", &tele.dirty_set),
+        ("heap_len", &tele.heap_len),
+        ("active_coflows", &tele.active_coflows),
+        ("round_wall_ns", &tele.round_wall_ns),
+        ("sync_round_ns", &tele.sync_round_ns),
+    ] {
+        if h.count > 0 {
+            t.row(&hist_cells(name, h));
+        }
+    }
+    t
+}
+
+/// Renders a policy's mechanism counters (paper levers D1–D5).
+pub fn mech_table(policy: &str, mech: &MechCounters) -> Table {
+    let mut t = Table::new(
+        format!("mechanism counters — {policy}"),
+        &["mechanism", "count"],
+    );
+    for (name, v) in mech.rows() {
+        t.row(&[name.to_string(), v.to_string()]);
+    }
+    t
+}
+
+/// The one-line per-policy breakdown `repro trace` prints.
+pub fn mech_breakdown_line(policy: &str, mech: &MechCounters, tele: &Telemetry) -> String {
+    format!(
+        "{policy}: {} queue transitions, {} deadline rescues, {} gang rejections, \
+         {} wc backfills, {:.1}% stale heap pops, mean dirty set {:.1}",
+        mech.queue_transitions,
+        mech.deadline_expiries,
+        mech.gang_rejections,
+        mech.wc_backfills,
+        tele.stale_pop_ratio() * 100.0,
+        tele.dirty_set.mean(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saath_telemetry::Counter;
+
+    #[test]
+    fn tables_render_without_samples() {
+        let tele = Telemetry::new();
+        let t = engine_table("saath", &tele);
+        let txt = t.render();
+        assert!(txt.contains("heap_pushes"));
+        assert!(txt.contains("stale_pop_ratio"));
+        // Histograms with no samples are omitted.
+        assert!(!txt.contains("round_wall_ns"));
+
+        let m = mech_table("saath", &MechCounters::default());
+        assert!(m.render().contains("queue_transitions"));
+    }
+
+    #[test]
+    fn breakdown_line_mentions_the_mechanisms() {
+        let mut tele = Telemetry::new();
+        tele.incr(Counter::HeapPopStale);
+        tele.incr(Counter::HeapPopCurrent);
+        let mech = MechCounters {
+            queue_transitions: 412,
+            deadline_expiries: 9,
+            ..Default::default()
+        };
+        let line = mech_breakdown_line("saath", &mech, &tele);
+        assert!(line.starts_with("saath: 412 queue transitions, 9 deadline rescues"));
+        if saath_telemetry::enabled() {
+            assert!(line.contains("50.0% stale heap pops"));
+        }
+    }
+}

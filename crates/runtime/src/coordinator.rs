@@ -18,6 +18,7 @@ use saath_core::view::{ClusterView, CoflowScheduler, CoflowView, FlowView, Sched
 use saath_fabric::PortBank;
 use saath_metrics::CoflowRecord;
 use saath_simcore::{Bytes, CoflowId, Duration, FlowId, NodeId, Rate, Time};
+use saath_telemetry::{Counter, Telemetry};
 use saath_workload::Trace;
 
 /// Static description of one registered CoFlow.
@@ -125,6 +126,22 @@ pub fn run_coordinator(
     clock: &EmuClock,
     cfg: &CoordinatorConfig,
 ) -> CoordinatorReport {
+    run_coordinator_with_telemetry(registry, make_sched, agents, clock, cfg, None)
+}
+
+/// [`run_coordinator`] with an optional instrumentation handle: counts
+/// stats messages drained and schedule messages pushed, and samples the
+/// wall-clock latency of each sync round (drain → compute → push,
+/// excluding the δ sleep). No-op with `None` or with the `telemetry`
+/// feature off.
+pub fn run_coordinator_with_telemetry(
+    registry: &CoflowRegistry,
+    make_sched: &dyn Fn() -> Box<dyn CoflowScheduler>,
+    agents: &mut [Box<dyn Transport>],
+    clock: &EmuClock,
+    cfg: &CoordinatorConfig,
+    mut tele: Option<&mut Telemetry>,
+) -> CoordinatorReport {
     let mut sched = make_sched();
     let mut restarted = false;
 
@@ -178,10 +195,16 @@ pub fn run_coordinator(
 
         // Drain stats from every agent.
         let now = clock.now();
+        let t_round = tele.as_ref().map(|_| std::time::Instant::now());
         for a in agents.iter_mut() {
             loop {
                 match a.recv_timeout(std::time::Duration::ZERO) {
                     Ok(Some(Message::Stats { flows, .. })) => {
+                        if saath_telemetry::enabled() {
+                            if let Some(t) = tele.as_deref_mut() {
+                                t.incr(Counter::CoordStatsMsgs);
+                            }
+                        }
                         for FlowStat {
                             flow,
                             sent,
@@ -301,6 +324,23 @@ pub fn run_coordinator(
             };
             for a in agents.iter_mut() {
                 let _ = a.send(&push);
+                if saath_telemetry::enabled() {
+                    if let Some(t) = tele.as_deref_mut() {
+                        t.incr(Counter::CoordScheduleMsgs);
+                    }
+                }
+            }
+            if saath_telemetry::enabled() {
+                if let Some(t) = tele.as_deref_mut() {
+                    t.incr(Counter::CoordEpochs);
+                }
+            }
+        }
+        if saath_telemetry::enabled() {
+            if let Some(t) = tele.as_deref_mut() {
+                if let Some(started) = t_round {
+                    t.sync_round_ns.observe(started.elapsed().as_nanos() as u64);
+                }
             }
         }
 

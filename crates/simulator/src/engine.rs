@@ -28,13 +28,27 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::time::Instant;
 
 use saath_core::view::{ClusterView, CoflowScheduler, CoflowView, FlowView, Schedule};
 use saath_fabric::PortBank;
 use saath_metrics::CoflowRecord;
 use saath_simcore::units::{bytes_in, transfer_time};
 use saath_simcore::{Bytes, Duration, EventQueue, FlowId, NodeId, Rate, Time};
+use saath_telemetry::{Counter, RoundSnapshot, Telemetry};
 use saath_workload::{DynamicsEvent, DynamicsSpec, Trace};
+
+/// Bumps a counter on an `Option<&mut Telemetry>`; compiles to nothing
+/// when the `telemetry` feature is off.
+macro_rules! tele_incr {
+    ($tele:expr, $c:expr) => {
+        if saath_telemetry::enabled() {
+            if let Some(t) = $tele.as_deref_mut() {
+                t.incr($c);
+            }
+        }
+    };
+}
 
 /// Simulation parameters.
 #[derive(Clone, Debug)]
@@ -307,6 +321,25 @@ pub fn simulate(
     cfg: &SimConfig,
     dynamics: &DynamicsSpec,
 ) -> Result<SimOutput, SimError> {
+    simulate_with_telemetry(trace, sched, cfg, dynamics, None)
+}
+
+/// [`simulate`] with an optional instrumentation handle.
+///
+/// With `Some(tele)` the engine counts heap pushes and pop outcomes,
+/// dirty-set sizes, scheduling rounds and per-round wall-time, and —
+/// if the handle was built with [`Telemetry::with_jsonl`] — appends one
+/// deterministic JSONL round snapshot per scheduling round. With `None`
+/// (or with the `telemetry` feature off) the instrumentation vanishes;
+/// records are byte-identical either way, which
+/// `tests/engine_equivalence.rs` asserts.
+pub fn simulate_with_telemetry(
+    trace: &Trace,
+    sched: &mut dyn CoflowScheduler,
+    cfg: &SimConfig,
+    dynamics: &DynamicsSpec,
+    mut tele: Option<&mut Telemetry>,
+) -> Result<SimOutput, SimError> {
     trace
         .validate()
         .map_err(|e| SimError::InvalidTrace(e.to_string()))?;
@@ -410,6 +443,7 @@ pub fn simulate(
                             };
                             if !f.pred.is_never() {
                                 completions.push(Reverse((f.pred, fi as u32)));
+                                tele_incr!(tele, Counter::HeapPush);
                             }
                         }
                     }
@@ -460,6 +494,10 @@ pub fn simulate(
             if rounds > cfg.max_rounds {
                 return Err(SimError::RoundLimit(cfg.max_rounds));
             }
+            // Wall-clock only when instrumented; it never reaches the
+            // JSONL trace, so determinism is unaffected.
+            let t_round = tele.as_ref().map(|_| Instant::now());
+            let dirty_n = dirty_list.len();
             // Sync views with ground truth — only where it moved.
             let any_straggler = straggled.iter().any(|&b| b);
             for ci in dirty_list.drain(..) {
@@ -522,6 +560,7 @@ pub fn simulate(
                     f.pred = now.saturating_add(transfer_time(rem, rate));
                     if !f.pred.is_never() {
                         completions.push(Reverse((f.pred, fi as u32)));
+                        tele_incr!(tele, Counter::HeapPush);
                     }
                 }
                 // Unchanged rate ⇒ `pred` was refreshed at `now` by the
@@ -530,6 +569,31 @@ pub fn simulate(
             }
             #[cfg(debug_assertions)]
             check_feasibility(&flows, &bank, num_nodes);
+
+            if saath_telemetry::enabled() {
+                if let Some(t) = tele.as_deref_mut() {
+                    t.incr(Counter::SchedRounds);
+                    t.dirty_set.observe(dirty_n as u64);
+                    t.heap_len.observe(completions.len() as u64);
+                    t.active_coflows.observe(views.len() as u64);
+                    if let Some(started) = t_round {
+                        t.round_wall_ns.observe(started.elapsed().as_nanos() as u64);
+                    }
+                    if t.wants_jsonl() {
+                        t.snapshot_round(&RoundSnapshot {
+                            round: rounds - 1,
+                            now_ns: now.as_nanos(),
+                            active_coflows: views.len(),
+                            flowing: flowing.len(),
+                            dirty: dirty_n,
+                            heap_len: completions.len(),
+                            saturated_ports: bank.saturated_ports(),
+                            utilization_permille: bank.utilization_permille(),
+                            queue_occupancy: sched.queue_occupancy().unwrap_or(&[]),
+                        });
+                    }
+                }
+            }
         }
 
         // ---- 3. Find the next instant anything changes ----
@@ -541,6 +605,25 @@ pub fn simulate(
             t_next = t_next.min(t);
         }
         if !views.is_empty() {
+            // Heap hygiene: under heavy rate churn (stragglers, δ≈0)
+            // dead and stale entries can pile up faster than lazy
+            // deletion drains them. When the heap dwarfs the flowing
+            // set, rebuild it with exactly one current entry per
+            // candidate flow. Every unfinished nonzero-rate flow is in
+            // `flowing`, keys `(pred, flow)` are unique, and a binary
+            // heap's observable pop order depends only on its key
+            // multiset — so the popped minima (and hence the records)
+            // are unchanged, which the equivalence suite asserts.
+            if completions.len() > 64 && completions.len() > 4 * flowing.len() {
+                completions.clear();
+                for &fi in &flowing {
+                    let f = &flows[fi];
+                    if f.finished_at.is_none() && !f.rate.is_zero() && !f.pred.is_never() {
+                        completions.push(Reverse((f.pred, fi as u32)));
+                    }
+                }
+                tele_incr!(tele, Counter::HeapCompactions);
+            }
             // Earliest completion under current rates, from the heap.
             let t_complete = loop {
                 let Some(&Reverse((t, fi))) = completions.peek() else {
@@ -549,17 +632,22 @@ pub fn simulate(
                 let f = &flows[fi as usize];
                 if f.finished_at.is_some() || f.rate.is_zero() || f.pred.is_never() {
                     completions.pop(); // flow no longer completing
+                    tele_incr!(tele, Counter::HeapPopDead);
                 } else if t == f.pred {
+                    tele_incr!(tele, Counter::HeapPopCurrent);
                     break t; // entry is current: true minimum
                 } else if t < f.pred {
                     // Stale (prediction drifted later): re-key at the
                     // current prediction and keep looking.
                     completions.pop();
                     completions.push(Reverse((f.pred, fi)));
+                    tele_incr!(tele, Counter::HeapPopStale);
+                    tele_incr!(tele, Counter::HeapPush);
                 } else {
                     // Superseded: a rate change already pushed a fresher
                     // entry at or before the current prediction.
                     completions.pop();
+                    tele_incr!(tele, Counter::HeapPopSuperseded);
                 }
             };
             t_next = t_next.min(t_complete);
@@ -611,6 +699,7 @@ pub fn simulate(
                 // prediction clamped at NEVER can come back into range.
                 if was_never && !f.pred.is_never() {
                     completions.push(Reverse((f.pred, fi as u32)));
+                    tele_incr!(tele, Counter::HeapPush);
                 }
                 true
             }
@@ -1004,6 +1093,17 @@ mod tests {
 
     fn default_run(trace: &Trace, sched: &mut dyn CoflowScheduler) -> SimOutput {
         simulate(trace, sched, &SimConfig::default(), &DynamicsSpec::none()).unwrap()
+    }
+
+    #[test]
+    fn avg_cct_is_zero_on_empty_records() {
+        let out = SimOutput {
+            records: Vec::new(),
+            unfinished: 0,
+            rounds: 0,
+            end: Time::ZERO,
+        };
+        assert_eq!(out.avg_cct_secs(), 0.0);
     }
 
     #[test]

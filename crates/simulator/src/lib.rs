@@ -33,5 +33,7 @@
 pub mod engine;
 pub mod policy;
 
-pub use engine::{simulate, simulate_reference, SimConfig, SimError, SimOutput};
+pub use engine::{
+    simulate, simulate_reference, simulate_with_telemetry, SimConfig, SimError, SimOutput,
+};
 pub use policy::{run_policy, Policy};

@@ -1,0 +1,415 @@
+//! # saath-telemetry
+//!
+//! The workspace's zero-overhead instrumentation layer: cheap monotonic
+//! counters, min/max/mean accumulators, per-policy mechanism counters,
+//! and a deterministic JSONL round-trace buffer, all behind one
+//! [`Telemetry`] handle.
+//!
+//! Two switches make it zero-overhead:
+//!
+//! 1. **Compile time** — the `telemetry` cargo feature. [`enabled`] is a
+//!    `const fn` returning `cfg!(feature = "telemetry")`, so every call
+//!    site written as `if telemetry::enabled() { … }` const-folds to
+//!    nothing when the feature is off. The engine equivalence suite
+//!    proves records stay byte-identical and the criterion benches prove
+//!    speed is unchanged.
+//! 2. **Run time** — instrumented entry points take
+//!    `Option<&mut Telemetry>`; passing `None` skips even the cheap
+//!    increments, and un-instrumented wrappers (plain `simulate`) keep
+//!    their signatures.
+//!
+//! The JSONL round trace contains **only deterministic integers**
+//! (simulated time, set sizes, port utilization in permille) — never
+//! wall-clock times — so two runs of the same seeded workload are
+//! byte-identical and diffable. Wall-time goes to the summary
+//! histograms instead, which are printed but never serialized into the
+//! trace.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+
+/// Whether the `telemetry` cargo feature is compiled in.
+///
+/// `const`, so `if telemetry::enabled() { … }` is folded away entirely
+/// in feature-off builds — the instrumentation's "zero" in
+/// zero-overhead.
+pub const fn enabled() -> bool {
+    cfg!(feature = "telemetry")
+}
+
+/// Monotonic event counters, one slot per variant.
+///
+/// Engine counters (`Heap*`, `SchedRounds`) are incremented by the
+/// simulator's epoch loop; `Coord*` by the runtime coordinator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Counter {
+    /// Completion-heap entries pushed (rate changes + re-keyed stale
+    /// entries).
+    HeapPush,
+    /// Heap pops whose key matched the flow's current prediction — the
+    /// pop that actually advances time.
+    HeapPopCurrent,
+    /// Heap pops that surfaced *earlier* than the flow's current
+    /// prediction (the entry went stale while buried) and were re-keyed.
+    HeapPopStale,
+    /// Heap pops superseded by a later-pushed, earlier-keyed entry.
+    HeapPopSuperseded,
+    /// Heap pops for flows already finished, rate-zero, or unbounded.
+    HeapPopDead,
+    /// Completion-heap rebuilds triggered by the stale-fraction bound.
+    HeapCompactions,
+    /// Scheduling rounds (boundary crossings that ran `compute`).
+    SchedRounds,
+    /// Flow-stat report messages drained by the coordinator.
+    CoordStatsMsgs,
+    /// Schedule messages pushed by the coordinator.
+    CoordScheduleMsgs,
+    /// Coordinator sync rounds (δ epochs) completed.
+    CoordEpochs,
+}
+
+/// All counters, in display order.
+pub const COUNTERS: [Counter; 10] = [
+    Counter::HeapPush,
+    Counter::HeapPopCurrent,
+    Counter::HeapPopStale,
+    Counter::HeapPopSuperseded,
+    Counter::HeapPopDead,
+    Counter::HeapCompactions,
+    Counter::SchedRounds,
+    Counter::CoordStatsMsgs,
+    Counter::CoordScheduleMsgs,
+    Counter::CoordEpochs,
+];
+
+impl Counter {
+    /// Stable snake_case name, used in tables and the epoch JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::HeapPush => "heap_pushes",
+            Counter::HeapPopCurrent => "heap_pops_current",
+            Counter::HeapPopStale => "heap_pops_stale",
+            Counter::HeapPopSuperseded => "heap_pops_superseded",
+            Counter::HeapPopDead => "heap_pops_dead",
+            Counter::HeapCompactions => "heap_compactions",
+            Counter::SchedRounds => "sched_rounds",
+            Counter::CoordStatsMsgs => "coord_stats_msgs",
+            Counter::CoordScheduleMsgs => "coord_schedule_msgs",
+            Counter::CoordEpochs => "coord_epochs",
+        }
+    }
+}
+
+/// A min/sum/max accumulator over `u64` samples — the cheapest thing
+/// that still answers "how big does the dirty set get, typically and at
+/// worst?".
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Hist {
+    /// Number of samples observed.
+    pub count: u64,
+    /// Sum of all samples (mean = sum / count).
+    pub sum: u64,
+    /// Smallest sample, 0 if none.
+    pub min: u64,
+    /// Largest sample, 0 if none.
+    pub max: u64,
+}
+
+impl Hist {
+    /// Folds one sample in.
+    #[inline]
+    pub fn observe(&mut self, v: u64) {
+        if self.count == 0 || v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Arithmetic mean, or 0.0 with no samples.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Per-policy mechanism counters — the paper's levers (D1–D5) as
+/// monotonic event counts, owned by each scheduler and read back after
+/// a run.
+///
+/// Schedulers increment these only inside `if telemetry::enabled()`
+/// blocks, so feature-off builds pay nothing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MechCounters {
+    /// CoFlows that moved to a different priority queue (per-flow
+    /// threshold crossings, D3).
+    pub queue_transitions: u64,
+    /// CoFlows whose FIFO-derived starvation deadline newly expired
+    /// (D5 trigger events).
+    pub deadline_expiries: u64,
+    /// Rounds in which at least one expired CoFlow was force-prioritized
+    /// to the front (D5 rescues; mirrors `starvation_kicks`).
+    pub starvation_rescues: u64,
+    /// All-or-none gang admissions that fit and were granted (D2).
+    pub gang_admissions: u64,
+    /// All-or-none gang admissions rejected because the gang rate was
+    /// zero at some contended port (D2).
+    pub gang_rejections: u64,
+    /// CoFlows skipped because not all flows were ready yet
+    /// (out-of-sync avoidance, D2).
+    pub unready_skips: u64,
+    /// Flows granted leftover capacity by work conservation (D4).
+    pub wc_backfills: u64,
+    /// Intra-queue order comparisons performed by the LCoF sort (D1
+    /// work; for Aalo, the FIFO sort's comparisons).
+    pub lcof_comparisons: u64,
+    /// MADD gang-rate evaluations (shared-bottleneck rate probes).
+    pub madd_evals: u64,
+}
+
+impl MechCounters {
+    /// `(name, value)` rows in display order, for table rendering
+    /// without the renderer knowing the fields.
+    pub fn rows(&self) -> [(&'static str, u64); 9] {
+        [
+            ("queue_transitions", self.queue_transitions),
+            ("deadline_expiries", self.deadline_expiries),
+            ("starvation_rescues", self.starvation_rescues),
+            ("gang_admissions", self.gang_admissions),
+            ("gang_rejections", self.gang_rejections),
+            ("unready_skips", self.unready_skips),
+            ("wc_backfills", self.wc_backfills),
+            ("lcof_comparisons", self.lcof_comparisons),
+            ("madd_evals", self.madd_evals),
+        ]
+    }
+}
+
+/// One scheduling round's deterministic state, serialized as a JSONL
+/// line. Integers only — see the module docs on diffability.
+#[derive(Clone, Copy, Debug)]
+pub struct RoundSnapshot<'a> {
+    /// Scheduling-round ordinal (0-based).
+    pub round: u64,
+    /// Simulated time at the boundary, in nanoseconds.
+    pub now_ns: u64,
+    /// CoFlows active (arrived, unfinished) at the boundary.
+    pub active_coflows: usize,
+    /// Flows currently holding a nonzero rate.
+    pub flowing: usize,
+    /// Flows whose state changed since the previous boundary (the
+    /// dirty set the incremental view-sync walked).
+    pub dirty: usize,
+    /// Completion-heap length after the round's pushes.
+    pub heap_len: usize,
+    /// Ports fully allocated this round (remaining = 0, capacity > 0).
+    pub saturated_ports: usize,
+    /// Fabric utilization in permille (allocated / capacity × 1000).
+    pub utilization_permille: u64,
+    /// Per-priority-queue CoFlow occupancy, lowest queue first; empty
+    /// when the policy has no queue structure.
+    pub queue_occupancy: &'a [usize],
+}
+
+/// The instrumentation handle threaded (as `Option<&mut Telemetry>`)
+/// through instrumented entry points.
+#[derive(Clone, Debug, Default)]
+pub struct Telemetry {
+    counters: [u64; COUNTERS.len()],
+    /// Dirty-set size per scheduling round.
+    pub dirty_set: Hist,
+    /// Completion-heap length per scheduling round.
+    pub heap_len: Hist,
+    /// Wall-clock nanoseconds per scheduling round (summary only,
+    /// never in the JSONL trace).
+    pub round_wall_ns: Hist,
+    /// Active CoFlows per scheduling round.
+    pub active_coflows: Hist,
+    /// Coordinator sync-round wall latency, nanoseconds.
+    pub sync_round_ns: Hist,
+    record_jsonl: bool,
+    jsonl: String,
+}
+
+impl Telemetry {
+    /// A handle that aggregates counters and histograms only.
+    pub fn new() -> Telemetry {
+        Telemetry::default()
+    }
+
+    /// A handle that additionally buffers the JSONL round trace.
+    pub fn with_jsonl() -> Telemetry {
+        Telemetry {
+            record_jsonl: true,
+            ..Telemetry::default()
+        }
+    }
+
+    /// Bumps `c` by one. No-op with the feature off.
+    #[inline]
+    pub fn incr(&mut self, c: Counter) {
+        if enabled() {
+            self.counters[c as usize] += 1;
+        }
+    }
+
+    /// Bumps `c` by `n`. No-op with the feature off.
+    #[inline]
+    pub fn add(&mut self, c: Counter, n: u64) {
+        if enabled() {
+            self.counters[c as usize] += n;
+        }
+    }
+
+    /// Current value of `c`.
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters[c as usize]
+    }
+
+    /// Whether this handle wants per-round JSONL snapshots.
+    pub fn wants_jsonl(&self) -> bool {
+        enabled() && self.record_jsonl
+    }
+
+    /// Appends one round snapshot as a JSONL line (hand-formatted; the
+    /// workspace's serde is a vendored API stub and cannot serialize).
+    /// No-op unless built via [`Telemetry::with_jsonl`].
+    pub fn snapshot_round(&mut self, s: &RoundSnapshot<'_>) {
+        if !self.wants_jsonl() {
+            return;
+        }
+        let _ = write!(
+            self.jsonl,
+            "{{\"round\":{},\"now_ns\":{},\"active\":{},\"flowing\":{},\"dirty\":{},\
+             \"heap\":{},\"sat_ports\":{},\"util_pm\":{},\"queues\":[",
+            s.round,
+            s.now_ns,
+            s.active_coflows,
+            s.flowing,
+            s.dirty,
+            s.heap_len,
+            s.saturated_ports,
+            s.utilization_permille,
+        );
+        for (i, q) in s.queue_occupancy.iter().enumerate() {
+            if i > 0 {
+                self.jsonl.push(',');
+            }
+            let _ = write!(self.jsonl, "{q}");
+        }
+        self.jsonl.push_str("]}\n");
+    }
+
+    /// The buffered JSONL trace (empty unless built via
+    /// [`Telemetry::with_jsonl`]).
+    pub fn jsonl(&self) -> &str {
+        &self.jsonl
+    }
+
+    /// Fraction of heap pops that surfaced stale, in `[0, 1]`.
+    pub fn stale_pop_ratio(&self) -> f64 {
+        let stale = self.counter(Counter::HeapPopStale);
+        let pops = stale
+            + self.counter(Counter::HeapPopCurrent)
+            + self.counter(Counter::HeapPopSuperseded)
+            + self.counter(Counter::HeapPopDead);
+        if pops == 0 {
+            0.0
+        } else {
+            stale as f64 / pops as f64
+        }
+    }
+
+    /// `(name, value)` rows for every counter, in display order.
+    pub fn counter_rows(&self) -> [(&'static str, u64); COUNTERS.len()] {
+        let mut rows = [("", 0u64); COUNTERS.len()];
+        for (row, &c) in rows.iter_mut().zip(COUNTERS.iter()) {
+            *row = (c.name(), self.counter(c));
+        }
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enabled_matches_feature() {
+        assert_eq!(enabled(), cfg!(feature = "telemetry"));
+    }
+
+    #[test]
+    fn hist_tracks_min_mean_max() {
+        let mut h = Hist::default();
+        assert_eq!(h.mean(), 0.0);
+        for v in [4, 2, 9] {
+            h.observe(v);
+        }
+        assert_eq!((h.min, h.max, h.count, h.sum), (2, 9, 3, 15));
+        assert_eq!(h.mean(), 5.0);
+    }
+
+    #[test]
+    fn counters_roundtrip_when_enabled() {
+        let mut t = Telemetry::new();
+        t.incr(Counter::HeapPush);
+        t.add(Counter::HeapPopStale, 3);
+        if enabled() {
+            assert_eq!(t.counter(Counter::HeapPush), 1);
+            assert_eq!(t.counter(Counter::HeapPopStale), 3);
+        } else {
+            // Feature off: increments are compiled-out no-ops.
+            assert_eq!(t.counter(Counter::HeapPush), 0);
+            assert_eq!(t.counter(Counter::HeapPopStale), 0);
+        }
+    }
+
+    #[test]
+    fn stale_ratio_guards_zero_pops() {
+        assert_eq!(Telemetry::new().stale_pop_ratio(), 0.0);
+    }
+
+    #[test]
+    fn jsonl_lines_are_integer_only_and_ordered() {
+        let mut t = Telemetry::with_jsonl();
+        t.snapshot_round(&RoundSnapshot {
+            round: 0,
+            now_ns: 8_000_000,
+            active_coflows: 2,
+            flowing: 5,
+            dirty: 3,
+            heap_len: 7,
+            saturated_ports: 1,
+            utilization_permille: 421,
+            queue_occupancy: &[1, 1, 0],
+        });
+        if enabled() {
+            assert_eq!(
+                t.jsonl(),
+                "{\"round\":0,\"now_ns\":8000000,\"active\":2,\"flowing\":5,\"dirty\":3,\
+                 \"heap\":7,\"sat_ports\":1,\"util_pm\":421,\"queues\":[1,1,0]}\n"
+            );
+        } else {
+            assert!(t.jsonl().is_empty());
+        }
+    }
+
+    #[test]
+    fn counter_rows_cover_every_counter() {
+        let rows = Telemetry::new().counter_rows();
+        assert_eq!(rows.len(), COUNTERS.len());
+        assert!(rows.iter().all(|(n, _)| !n.is_empty()));
+        let mech = MechCounters::default().rows();
+        assert_eq!(mech.len(), 9);
+    }
+}

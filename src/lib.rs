@@ -32,6 +32,7 @@
 //! | [`simulator`] | `saath-simulator` | trace-replay simulation engine |
 //! | [`runtime`] | `saath-runtime` | distributed coordinator/agents runtime |
 //! | [`metrics`] | `saath-metrics` | CCT statistics, bins, tables |
+//! | [`telemetry`] | `saath-telemetry` | zero-overhead counters, mechanism stats, JSONL round traces |
 //!
 //! ## Quickstart
 //!
@@ -60,6 +61,7 @@ pub use saath_metrics as metrics;
 pub use saath_runtime as runtime;
 pub use saath_simcore as simcore;
 pub use saath_simulator as simulator;
+pub use saath_telemetry as telemetry;
 pub use saath_workload as workload;
 
 /// The most common imports in one place.

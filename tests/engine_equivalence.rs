@@ -105,6 +105,38 @@ fn incremental_loop_matches_reference_under_dynamics() {
 }
 
 #[test]
+fn telemetry_threading_is_inert() {
+    // Threading a live `Telemetry` handle through the engine must not
+    // change the simulation, whatever the feature state: records,
+    // round count, and end time stay byte-identical to the plain
+    // `simulate` entry point.
+    let trace = mini_fb(59);
+    let cfg = SimConfig::default();
+    let dynamics = stress_dynamics();
+    let plain = simulate(&trace, &mut Saath::with_defaults(), &cfg, &dynamics).unwrap();
+    let mut tele = saath::telemetry::Telemetry::with_jsonl();
+    let instrumented = saath::simulator::simulate_with_telemetry(
+        &trace,
+        &mut Saath::with_defaults(),
+        &cfg,
+        &dynamics,
+        Some(&mut tele),
+    )
+    .unwrap();
+    assert_eq!(plain.records, instrumented.records);
+    assert_eq!(plain.rounds, instrumented.rounds);
+    assert_eq!(plain.end, instrumented.end);
+    if saath::telemetry::enabled() {
+        assert!(tele.counter(saath::telemetry::Counter::SchedRounds) > 0);
+        assert!(!tele.jsonl().is_empty());
+    } else {
+        // Feature off: the handle must stay untouched (zero-overhead).
+        assert_eq!(tele.counter(saath::telemetry::Counter::SchedRounds), 0);
+        assert!(tele.jsonl().is_empty());
+    }
+}
+
+#[test]
 fn incremental_loop_matches_reference_across_policies_and_deltas() {
     let trace = mini_fb(47);
     let dynamics = stress_dynamics();
