@@ -70,6 +70,7 @@ fn bench_round(c: &mut Criterion) {
                     now: Time::ZERO,
                     num_nodes: NODES,
                     coflows: &views,
+                    changed: None,
                 };
                 sched.compute(&view, &mut bank, &mut out);
             });
@@ -85,6 +86,7 @@ fn bench_round(c: &mut Criterion) {
                     now: Time::ZERO,
                     num_nodes: NODES,
                     coflows: &views,
+                    changed: None,
                 };
                 sched.compute(&view, &mut bank, &mut out);
             });
@@ -100,6 +102,7 @@ fn bench_round(c: &mut Criterion) {
                     now: Time::ZERO,
                     num_nodes: NODES,
                     coflows: &views,
+                    changed: None,
                 };
                 sched.compute(&view, &mut bank, &mut out);
             });
@@ -115,6 +118,7 @@ fn bench_round(c: &mut Criterion) {
                     now: Time::ZERO,
                     num_nodes: NODES,
                     coflows: &views_oracle,
+                    changed: None,
                 };
                 sched.compute(&view, &mut bank, &mut out);
             });
@@ -134,6 +138,7 @@ fn bench_contention(c: &mut Criterion) {
                 now: Time::ZERO,
                 num_nodes: NODES,
                 coflows: &views,
+                changed: None,
             };
             b.iter(|| saath_core::common::contention(&view));
         });
@@ -142,6 +147,7 @@ fn bench_contention(c: &mut Criterion) {
                 now: Time::ZERO,
                 num_nodes: NODES,
                 coflows: &views,
+                changed: None,
             };
             let mut arena = saath_core::common::RoundArena::new();
             let mut k = Vec::new();

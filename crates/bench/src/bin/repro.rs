@@ -5,20 +5,29 @@
 //!
 //! experiments:
 //!   fig2 fig3 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 table2 dynamics
-//!   epoch          engine wall-clock baseline (writes BENCH_epoch_loop.json)
+//!   epoch          engine wall-clock baseline (writes BENCH_epoch_loop.json;
+//!                  with --trace PATH, streams the coflow-benchmark file and
+//!                  writes BENCH_epoch_fb_trace.json instead)
+//!   scale          Fig 9-style scalability sweep: rounds/sec at 150→1k nodes
+//!                  × 10k→100k flows, full-rebuild vs incremental contention
+//!                  (writes BENCH_scalability.json; rebuild with
+//!                  --features parallel for the sharded-probe variant)
 //!   trace          instrumented Saath + Aalo runs: mechanism breakdown tables
 //!                  and deterministic JSONL round traces in results/
+//!   gen-trace      write a full-size FB-like trace in coflow-benchmark format
+//!                  to --out PATH (offline stand-in for the published trace)
 //!   all            run everything
 //!
 //! options:
 //!   --seed N       generator seed (default 1)
 //!   --panel P      fig14 panel: s | e | delta | a | d | all (default all)
 //!   --trace PATH   use a real coflow-benchmark file for the FB workload
+//!   --out PATH     gen-trace output path (default fb_trace.txt)
 //!   --scale N      emulation time scale for fig15/fig16 (default 50)
 //!   --nodes N      emulation node cap for fig15/fig16 (default 40)
 //!   --small        use small traces (smoke test, seconds instead of minutes)
-//!   --json         epoch only: print the BENCH_epoch_loop.json document
-//!                  instead of the table
+//!   --json         epoch/scale only: print the BENCH JSON document instead
+//!                  of the table
 //! ```
 //!
 //! CSV artifacts land in `results/`.
@@ -34,7 +43,7 @@ fn arg_value(args: &[String], key: &str) -> Option<String> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let what = args.first().cloned().unwrap_or_else(|| {
-        eprintln!("usage: repro <fig2|fig3|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|fig17|table2|dynamics|epoch|trace|all> [--seed N] [--panel P] [--trace PATH] [--scale N] [--nodes N] [--small] [--json]");
+        eprintln!("usage: repro <fig2|fig3|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|fig17|table2|dynamics|epoch|scale|trace|gen-trace|all> [--seed N] [--panel P] [--trace PATH] [--out PATH] [--scale N] [--nodes N] [--small] [--json]");
         std::process::exit(2);
     });
     let seed: u64 = arg_value(&args, "--seed")
@@ -88,10 +97,17 @@ fn main() {
             "table2" => Some(figs::table2(lab)),
             "dynamics" => Some(figs::dynamics(lab)),
             "epoch" => Some(figs::epoch(lab, json)),
+            "scale" => Some(figs::scale(lab, json, small)),
             "trace" => Some(figs::trace_diag(lab, small)),
             _ => None,
         }
     };
+
+    if what == "gen-trace" {
+        let out = arg_value(&args, "--out").unwrap_or_else(|| "fb_trace.txt".into());
+        println!("{}", figs::gen_trace(seed, std::path::Path::new(&out)));
+        return;
+    }
 
     if what == "all" {
         for id in [

@@ -789,12 +789,31 @@ fn grown_fb_trace(seed: u64) -> saath_workload::Trace {
 /// [`CoflowRecord`]s, so the speedup is never bought with drift.
 /// Writes `BENCH_epoch_loop.json` in the working directory; with
 /// `json`, returns the JSON document instead of the rendered table.
+///
+/// When the lab's FB workload was loaded from a real coflow-benchmark
+/// file (`repro epoch --trace PATH`), that file is streamed through the
+/// ingestion path instead of the generator preset and the baseline goes
+/// to `BENCH_epoch_fb_trace.json` — a second, trace-driven baseline.
+/// (The published Facebook trace is not redistributable here; `repro
+/// gen-trace` writes a full-size stand-in in the same format.)
 pub fn epoch(lab: &Lab, json: bool) -> String {
     use saath_simulator::{simulate, simulate_reference, simulate_with_telemetry, SimConfig};
     use saath_workload::DynamicsSpec;
     use std::time::Instant;
 
-    let trace = grown_fb_trace(lab.seed());
+    let (trace, source, bench_file) = if lab.fb_is_real() {
+        (
+            lab.trace(Workload::Fb).clone(),
+            "coflow-benchmark-file",
+            "BENCH_epoch_fb_trace.json",
+        )
+    } else {
+        (
+            grown_fb_trace(lab.seed()),
+            "generator-grown-fb",
+            "BENCH_epoch_loop.json",
+        )
+    };
     let flows = flow_count(&trace);
 
     // Both loops call the *same* scheduler on the *same* views at the
@@ -857,6 +876,7 @@ pub fn epoch(lab: &Lab, json: bool) -> String {
     // formatted by hand — it is a flat object of scalars.
     let json_doc = format!(
         "{{\n  \"experiment\": \"epoch_loop\",\n  \"seed\": {seed},\n  \
+         \"trace_source\": \"{source}\",\n  \
          \"num_nodes\": {nodes},\n  \"num_coflows\": {coflows},\n  \
          \"num_flows\": {flows},\n  \"delta_ms\": 8,\n  \
          \"rounds\": {rounds},\n  \
@@ -882,8 +902,8 @@ pub fn epoch(lab: &Lab, json: bool) -> String {
         compactions = tele.counter(saath_telemetry::Counter::HeapCompactions),
         max_heap = tele.heap_len.max,
     );
-    if let Err(e) = std::fs::write("BENCH_epoch_loop.json", &json_doc) {
-        eprintln!("warning: could not write BENCH_epoch_loop.json: {e}");
+    if let Err(e) = std::fs::write(bench_file, &json_doc) {
+        eprintln!("warning: could not write {bench_file}: {e}");
     }
     if json {
         return json_doc;
@@ -930,6 +950,216 @@ pub fn epoch(lab: &Lab, json: bool) -> String {
     t.render()
 }
 
+/// An FB-like trace at an explicit cluster size, grown until it carries
+/// at least `target_flows` flows (arrivals compressed into 100 s so the
+/// active set — and with it the per-round contention work — scales with
+/// the flow count).
+fn grown_trace_at(seed: u64, nodes: usize, target_flows: usize) -> saath_workload::Trace {
+    use saath_workload::gen;
+    let mut gcfg = gen::fb_like(seed);
+    gcfg.num_nodes = nodes;
+    gcfg.max_width = (nodes * nodes).min(gcfg.max_width);
+    gcfg.span = saath_simcore::Duration::from_secs(100);
+    let mut trace = gen::generate(&gcfg);
+    while flow_count(&trace) < target_flows {
+        // Jump proportionally instead of stepping: 100k-flow points
+        // would otherwise regenerate the trace hundreds of times.
+        let have = flow_count(&trace).max(1);
+        gcfg.num_coflows = (gcfg.num_coflows * target_flows)
+            .div_ceil(have)
+            .max(gcfg.num_coflows + 50);
+        trace = gen::generate(&gcfg);
+    }
+    trace
+}
+
+/// **gen-trace** — writes the grown FB-like workload (the `epoch`
+/// baseline's trace: ≥ 10k flows on 150 nodes) to `out` in the
+/// published `coflow-benchmark` text format. The real Facebook trace is
+/// not redistributable with this repository; this produces a full-size
+/// stand-in in the identical format, so `repro epoch --trace <out>`
+/// exercises the exact file-streaming ingestion path the published
+/// trace would.
+pub fn gen_trace(seed: u64, out: &std::path::Path) -> String {
+    let trace = grown_fb_trace(seed);
+    let text = saath_workload::io::write_coflow_benchmark(&trace);
+    if let Err(e) = std::fs::write(out, &text) {
+        return format!("error: could not write {}: {e}", out.display());
+    }
+    format!(
+        "wrote {}: {} nodes, {} coflows, {} flows, {} bytes (coflow-benchmark format)",
+        out.display(),
+        trace.num_nodes,
+        trace.coflows.len(),
+        flow_count(&trace),
+        text.len()
+    )
+}
+
+/// Per-mode measurements of one scalability-sweep point.
+struct ScaleRun {
+    wall_ms: f64,
+    rounds: u64,
+    rounds_per_sec: f64,
+    sched_ms: f64,
+    contention_ms: f64,
+    ordering_ms: f64,
+    all_or_none_ms: f64,
+    work_conservation_ms: f64,
+    probe_ms: f64,
+    merge_ms: f64,
+    records: Vec<saath_metrics::CoflowRecord>,
+}
+
+/// **Scalability sweep** (Fig 9's scale axis, §5.4) — not a CCT figure:
+/// rounds/sec of the full replay loop as cluster size and flow count
+/// grow from 150 nodes × 10k flows to 1k nodes × 100k flows, comparing
+/// the per-round `contention_into` full rebuild against the
+/// incremental [`ContentionTracker`] delta update, with per-phase
+/// scheduler timings for both. Asserts the two modes produce
+/// byte-identical records at every point. Writes
+/// `BENCH_scalability.json` (skipped for `small` smoke runs); with
+/// `json`, returns the JSON document instead of the rendered table.
+///
+/// Built with `--features parallel` the same sweep also exercises the
+/// sharded gang probes (probe/merge columns become non-zero), so serial
+/// vs parallel is a rebuild of the same command.
+pub fn scale(lab: &Lab, json: bool, small: bool) -> String {
+    use saath_simulator::{simulate, SimConfig};
+    use saath_workload::DynamicsSpec;
+    use std::time::Instant;
+
+    let points: &[(usize, usize)] = if small {
+        &[(40, 1_000), (80, 2_500)]
+    } else {
+        &[
+            (150, 10_000),
+            (300, 25_000),
+            (600, 50_000),
+            (1_000, 100_000),
+        ]
+    };
+    let cfg = SimConfig::default();
+    let dynamics = DynamicsSpec::none();
+
+    let run_mode = |trace: &saath_workload::Trace, incremental: bool| -> ScaleRun {
+        let mut sched = saath_core::Saath::new(SaathConfig {
+            incremental_contention: incremental,
+            ..SaathConfig::default()
+        });
+        let t = Instant::now();
+        let out = simulate(trace, &mut sched, &cfg, &dynamics).expect("scale-sweep run failed");
+        let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+        // `.max(0.0)` normalizes the empty sum (−0.0 since Rust 1.74)
+        // so absent probe/merge phases serialize as plain 0.0.
+        let sum_ms = |v: &[std::time::Duration]| {
+            v.iter()
+                .map(|d| d.as_secs_f64() * 1e3)
+                .sum::<f64>()
+                .max(0.0)
+        };
+        ScaleRun {
+            wall_ms,
+            rounds: out.rounds,
+            rounds_per_sec: out.rounds as f64 / (wall_ms / 1e3).max(1e-9),
+            sched_ms: sum_ms(&sched.timings.total),
+            contention_ms: sum_ms(&sched.timings.contention),
+            ordering_ms: sum_ms(&sched.timings.ordering),
+            all_or_none_ms: sum_ms(&sched.timings.all_or_none),
+            work_conservation_ms: sum_ms(&sched.timings.work_conservation),
+            probe_ms: sum_ms(&sched.timings.probe),
+            merge_ms: sum_ms(&sched.timings.merge),
+            records: out.records,
+        }
+    };
+    let mode_json = |label: &str, r: &ScaleRun| {
+        format!(
+            "      \"{label}\": {{\n        \"wall_ms\": {:.1},\n        \
+             \"rounds_per_sec\": {:.1},\n        \"sched_ms\": {:.1},\n        \
+             \"contention_ms\": {:.1},\n        \"ordering_ms\": {:.1},\n        \
+             \"all_or_none_ms\": {:.1},\n        \"work_conservation_ms\": {:.1},\n        \
+             \"probe_ms\": {:.1},\n        \"merge_ms\": {:.1}\n      }}",
+            r.wall_ms,
+            r.rounds_per_sec,
+            r.sched_ms,
+            r.contention_ms,
+            r.ordering_ms,
+            r.all_or_none_ms,
+            r.work_conservation_ms,
+            r.probe_ms,
+            r.merge_ms,
+        )
+    };
+
+    let mut t = Table::new(
+        "Scalability sweep — rounds/sec, full-rebuild vs incremental contention",
+        &[
+            "nodes",
+            "flows",
+            "rounds",
+            "rebuild r/s",
+            "incr r/s",
+            "speedup",
+            "k_c ms (reb → inc)",
+        ],
+    );
+    let mut point_docs = Vec::new();
+    for &(nodes, target_flows) in points {
+        let trace = grown_trace_at(lab.seed(), nodes, target_flows);
+        let flows = flow_count(&trace);
+        let rebuild = run_mode(&trace, false);
+        let incremental = run_mode(&trace, true);
+        assert_eq!(
+            rebuild.records, incremental.records,
+            "incremental contention changed the schedule at {nodes} nodes"
+        );
+        assert_eq!(rebuild.rounds, incremental.rounds);
+        let speedup = incremental.rounds_per_sec / rebuild.rounds_per_sec.max(1e-9);
+        t.row(&[
+            nodes.to_string(),
+            flows.to_string(),
+            incremental.rounds.to_string(),
+            format!("{:.1}", rebuild.rounds_per_sec),
+            format!("{:.1}", incremental.rounds_per_sec),
+            fmt_x(speedup),
+            format!(
+                "{:.1} → {:.1}",
+                rebuild.contention_ms, incremental.contention_ms
+            ),
+        ]);
+        point_docs.push(format!(
+            "    {{\n      \"nodes\": {nodes},\n      \"coflows\": {},\n      \
+             \"flows\": {flows},\n      \"rounds\": {},\n      \
+             \"records_identical\": true,\n      \
+             \"rounds_per_sec_speedup\": {speedup:.2},\n\
+             {},\n{}\n    }}",
+            trace.coflows.len(),
+            incremental.rounds,
+            mode_json("full_rebuild", &rebuild),
+            mode_json("incremental", &incremental),
+        ));
+    }
+
+    let json_doc = format!(
+        "{{\n  \"experiment\": \"scalability_sweep\",\n  \"seed\": {},\n  \
+         \"delta_ms\": 8,\n  \"parallel_feature\": {},\n  \
+         \"telemetry_feature\": {},\n  \"points\": [\n{}\n  ]\n}}\n",
+        lab.seed(),
+        cfg!(feature = "parallel"),
+        saath_telemetry::enabled(),
+        point_docs.join(",\n"),
+    );
+    if !small {
+        if let Err(e) = std::fs::write("BENCH_scalability.json", &json_doc) {
+            eprintln!("warning: could not write BENCH_scalability.json: {e}");
+        }
+    }
+    if json {
+        return json_doc;
+    }
+    t.render()
+}
+
 /// **Trace diagnosis** — not a paper figure: runs Saath and Aalo over
 /// the same FB-like workload with full instrumentation, writes each
 /// run's deterministic JSONL round trace to `results/trace_<policy>.jsonl`,
@@ -961,6 +1191,26 @@ pub fn trace_diag(lab: &Lab, small: bool) -> String {
                 let mut s = saath_core::Saath::with_defaults();
                 simulate_with_telemetry(&trace, &mut s, &cfg, &dynamics, Some(&mut tele))
                     .unwrap_or_else(|e| panic!("trace diagnosis: saath failed: {e}"));
+                // Wall-clock phase spans stay out of the deterministic
+                // JSONL; report them here alongside the counters.
+                let f = |v: &[std::time::Duration]| saath_core::SchedTimings::avg_p90_ms(v);
+                let (ca, cp) = f(&s.timings.contention);
+                out.push_str(&format!(
+                    "saath contention phase: {ca:.4} ms avg / {cp:.4} ms P90\n"
+                ));
+                if s.timings.probe.is_empty() {
+                    out.push_str(
+                        "saath probe/merge phases: (serial admission — \
+                         rebuild with --features parallel)\n",
+                    );
+                } else {
+                    let (pa, pp) = f(&s.timings.probe);
+                    let (ma, mp) = f(&s.timings.merge);
+                    out.push_str(&format!(
+                        "saath probe phase: {pa:.4} ms avg / {pp:.4} ms P90 \
+                         (sharded); merge: {ma:.4} ms avg / {mp:.4} ms P90\n"
+                    ));
+                }
                 s.mech
             }
             _ => {

@@ -104,6 +104,21 @@ fn both_policies_report_nonzero_mechanism_counts() {
     assert!(saath.mech.wc_backfills > 0);
     assert!(saath.mech.lcof_comparisons > 0);
     assert!(saath.mech.madd_evals > 0);
+    // Incremental contention: the dirty-set hint means most rounds are
+    // delta-updates, with footprint joins/leaves actually applied.
+    assert!(saath.mech.contention_deltas > 0);
+    assert!(saath.mech.contention_rebuilds_avoided > 0);
+    // The engine always supplies a change hint, so the only full
+    // rebuild is the first round's tracker initialization (the
+    // num_nodes 0 → N reset discards the hint by design).
+    assert_eq!(
+        saath.mech.contention_rebuilds, 1,
+        "only the first round should full-rebuild"
+    );
+    // Probe revalidations only exist on the parallel merge path.
+    if !cfg!(feature = "parallel") {
+        assert_eq!(saath.mech.probe_revalidations, 0);
+    }
 
     let mut aalo = Aalo::with_defaults();
     let mut tele = Telemetry::new();

@@ -253,6 +253,7 @@ mod tests {
             now: Time::ZERO,
             num_nodes,
             coflows,
+            changed: None,
         };
         let mut bank = PortBank::uniform(num_nodes, GBPS);
         let mut out = Schedule::default();
@@ -312,6 +313,7 @@ mod tests {
             now: Time::ZERO,
             num_nodes: 4,
             coflows: &coflows,
+            changed: None,
         };
         let mut bank = PortBank::uniform(4, GBPS);
         let mut out = Schedule::default();

@@ -5,6 +5,7 @@
 use crate::view::{ClusterView, CoflowView};
 use saath_fabric::FlowEndpoints;
 use saath_simcore::CoflowId;
+use std::collections::HashMap;
 
 /// Reusable buffers for one scheduling round.
 ///
@@ -97,6 +98,290 @@ pub fn contention_into(view: &ClusterView<'_>, arena: &mut RoundArena, k: &mut V
     }
 }
 
+/// Work done by one [`ContentionTracker::compute_into`] call, for
+/// telemetry: how many port join/leave deltas were applied, and whether
+/// the call fell back to a full rebuild of the tracker state.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ContentionWork {
+    /// Port-membership joins + leaves applied this call.
+    pub delta_updates: u64,
+    /// Whether this call rebuilt from scratch (no usable hint).
+    pub full_rebuild: bool,
+}
+
+/// Incrementally-maintained per-CoFlow contention, replacing the
+/// per-round full rebuild of [`contention_into`] with a delta update
+/// driven by the [`ClusterView::changed`] hint.
+///
+/// # Invariant
+///
+/// After every [`compute_into`](ContentionTracker::compute_into) call,
+/// for each live CoFlow `c`:
+///
+/// * `footprints[c]` is the sorted, deduplicated set of port indices
+///   carrying an unfinished flow of `c`;
+/// * `pairs[(a, b)]` (keys ordered `a < b`) is `|footprints[a] ∩
+///   footprints[b]|`, present only when nonzero;
+/// * `k[c]` is the number of other CoFlows `o` with `pairs[(c, o)] >
+///   0` — exactly the §3.3 contention [`contention_into`] computes.
+///
+/// A round touching `m` CoFlows costs `O(active + Σ footprint sizes of
+/// the m changed CoFlows)` instead of `O(Σ flows of all CoFlows)`. The
+/// `active` term is one id → index map build per call; footprints are
+/// diffed with a sorted merge walk, and each port join/leave adjusts
+/// the pair counts of that port's current members.
+///
+/// [`contention_into`] remains the oracle: `Saath::compute` asserts
+/// equality in debug builds, and the churn tests here and in the
+/// equivalence suite do the same under stragglers and failures.
+#[derive(Default)]
+pub struct ContentionTracker {
+    /// Port-space size the state was built for; a mismatch forces a
+    /// rebuild (ports index into `port_members`).
+    num_nodes: usize,
+    /// CoFlow → sorted port indices of its unfinished flows.
+    footprints: HashMap<CoflowId, Vec<u32>>,
+    /// port → CoFlows whose footprint contains it (unordered).
+    port_members: Vec<Vec<CoflowId>>,
+    /// Ordered CoFlow pair → number of shared footprint ports (> 0).
+    pairs: HashMap<(u32, u32), u32>,
+    /// CoFlow → contention `k_c`.
+    k: HashMap<CoflowId, u32>,
+    /// id → index into the current view, rebuilt each call.
+    index: HashMap<CoflowId, u32>,
+    /// Fresh-footprint scratch for the merge walk.
+    scratch: Vec<u32>,
+    /// Departed-id scratch.
+    gone: Vec<CoflowId>,
+    /// Ports joined / left this refresh (reused buffers).
+    joins: Vec<u32>,
+    leaves: Vec<u32>,
+}
+
+impl ContentionTracker {
+    /// A fresh, empty tracker.
+    pub fn new() -> ContentionTracker {
+        ContentionTracker::default()
+    }
+
+    /// Computes `k_c` for every CoFlow in `view` (parallel to
+    /// `view.coflows`, written into `k_out`), applying deltas for the
+    /// CoFlows named by `view.changed` — or rebuilding everything when
+    /// the hint is absent or the port space changed.
+    pub fn compute_into(&mut self, view: &ClusterView<'_>, k_out: &mut Vec<u32>) -> ContentionWork {
+        let mut work = ContentionWork::default();
+        // A port-space change invalidates every stored footprint: clear
+        // the state and ignore the hint — all CoFlows must be re-added.
+        let mut hint = view.changed;
+        if self.num_nodes != view.num_nodes {
+            self.footprints.clear();
+            self.port_members.clear();
+            self.pairs.clear();
+            self.k.clear();
+            self.num_nodes = view.num_nodes;
+            hint = None;
+        }
+        let num_ports = 2 * view.num_nodes;
+        if self.port_members.len() < num_ports {
+            self.port_members.resize_with(num_ports, Vec::new);
+        }
+
+        self.index.clear();
+        for (i, c) in view.coflows.iter().enumerate() {
+            self.index.insert(c.id, i as u32);
+        }
+
+        // Departures: tracked CoFlows no longer in the view. Every
+        // tracked CoFlow has a `k` entry (footprints drop theirs when
+        // they empty out), so `k` is the membership authority.
+        self.gone.clear();
+        self.gone.extend(
+            self.k
+                .keys()
+                .filter(|id| !self.index.contains_key(id))
+                .copied(),
+        );
+        // Keep removal order deterministic (HashMap iteration is not);
+        // the *counts* are order-independent, but determinism everywhere
+        // keeps replay debugging sane.
+        self.gone.sort_unstable();
+        for i in 0..self.gone.len() {
+            let id = self.gone[i];
+            work.delta_updates += self.remove_coflow(id);
+        }
+
+        // Changed CoFlows: diff fresh footprints against stored ones.
+        match hint {
+            Some(changed) => {
+                for &id in changed {
+                    if let Some(&ci) = self.index.get(&id) {
+                        work.delta_updates += self.refresh_coflow(view, ci as usize);
+                    }
+                }
+            }
+            None => {
+                work.full_rebuild = true;
+                for ci in 0..view.coflows.len() {
+                    work.delta_updates += self.refresh_coflow(view, ci);
+                }
+            }
+        }
+
+        k_out.clear();
+        k_out.extend(
+            view.coflows
+                .iter()
+                .map(|c| self.k.get(&c.id).copied().unwrap_or(0)),
+        );
+        work
+    }
+
+    /// Recomputes one CoFlow's footprint from the view and applies the
+    /// port joins/leaves. Returns the number of deltas applied.
+    fn refresh_coflow(&mut self, view: &ClusterView<'_>, ci: usize) -> u64 {
+        let c = &view.coflows[ci];
+        self.scratch.clear();
+        for f in c.unfinished() {
+            let e = f.endpoints(view.num_nodes);
+            self.scratch.push(e.src.index() as u32);
+            self.scratch.push(e.dst.index() as u32);
+        }
+        self.scratch.sort_unstable();
+        self.scratch.dedup();
+
+        let id = c.id;
+        // Merge walk over two sorted sets; joins/leaves collected first
+        // so the stored footprint can be replaced wholesale.
+        self.joins.clear();
+        self.leaves.clear();
+        {
+            let old: &[u32] = self.footprints.get(&id).map_or(&[], |v| v.as_slice());
+            let (mut i, mut j) = (0, 0);
+            while i < old.len() || j < self.scratch.len() {
+                match (old.get(i), self.scratch.get(j)) {
+                    (Some(&a), Some(&b)) if a == b => {
+                        i += 1;
+                        j += 1;
+                    }
+                    (Some(&a), Some(&b)) if a < b => {
+                        self.leaves.push(a);
+                        i += 1;
+                    }
+                    (Some(_), Some(&b)) => {
+                        self.joins.push(b);
+                        j += 1;
+                    }
+                    (Some(&a), None) => {
+                        self.leaves.push(a);
+                        i += 1;
+                    }
+                    (None, Some(&b)) => {
+                        self.joins.push(b);
+                        j += 1;
+                    }
+                    (None, None) => unreachable!(),
+                }
+            }
+        }
+        if self.scratch.is_empty() {
+            self.footprints.remove(&id);
+        } else {
+            let stored = self.footprints.entry(id).or_default();
+            stored.clear();
+            stored.extend_from_slice(&self.scratch);
+        }
+        let mut deltas = 0u64;
+        for li in 0..self.leaves.len() {
+            let p = self.leaves[li] as usize;
+            let pos = self.port_members[p]
+                .iter()
+                .position(|&m| m == id)
+                .expect("leave of a port not joined");
+            self.port_members[p].swap_remove(pos);
+            for mi in 0..self.port_members[p].len() {
+                let other = self.port_members[p][mi];
+                pair_dec(&mut self.pairs, &mut self.k, id, other);
+            }
+            deltas += 1;
+        }
+        for ji in 0..self.joins.len() {
+            let p = self.joins[ji] as usize;
+            for mi in 0..self.port_members[p].len() {
+                let other = self.port_members[p][mi];
+                pair_inc(&mut self.pairs, &mut self.k, id, other);
+            }
+            self.port_members[p].push(id);
+            deltas += 1;
+        }
+        self.k.entry(id).or_insert(0);
+        deltas
+    }
+
+    /// Drops a departed CoFlow, unwinding its pair counts.
+    fn remove_coflow(&mut self, id: CoflowId) -> u64 {
+        let Some(footprint) = self.footprints.remove(&id) else {
+            self.k.remove(&id);
+            return 0;
+        };
+        let mut deltas = 0u64;
+        for &p in &footprint {
+            let p = p as usize;
+            let pos = self.port_members[p]
+                .iter()
+                .position(|&m| m == id)
+                .expect("departure from a port not joined");
+            self.port_members[p].swap_remove(pos);
+            for mi in 0..self.port_members[p].len() {
+                let other = self.port_members[p][mi];
+                pair_dec(&mut self.pairs, &mut self.k, id, other);
+            }
+            deltas += 1;
+        }
+        let residual = self.k.remove(&id);
+        debug_assert_eq!(residual.unwrap_or(0), 0, "departed CoFlow still paired");
+        deltas
+    }
+}
+
+fn pair_key(a: CoflowId, b: CoflowId) -> (u32, u32) {
+    if a.0 < b.0 {
+        (a.0, b.0)
+    } else {
+        (b.0, a.0)
+    }
+}
+
+fn pair_inc(
+    pairs: &mut HashMap<(u32, u32), u32>,
+    k: &mut HashMap<CoflowId, u32>,
+    a: CoflowId,
+    b: CoflowId,
+) {
+    debug_assert_ne!(a, b);
+    let shared = pairs.entry(pair_key(a, b)).or_insert(0);
+    *shared += 1;
+    if *shared == 1 {
+        *k.entry(a).or_insert(0) += 1;
+        *k.entry(b).or_insert(0) += 1;
+    }
+}
+
+fn pair_dec(
+    pairs: &mut HashMap<(u32, u32), u32>,
+    k: &mut HashMap<CoflowId, u32>,
+    a: CoflowId,
+    b: CoflowId,
+) {
+    let key = pair_key(a, b);
+    let shared = pairs.get_mut(&key).expect("pair decrement below zero");
+    *shared -= 1;
+    if *shared == 0 {
+        pairs.remove(&key);
+        *k.get_mut(&a).expect("k missing on unpair") -= 1;
+        *k.get_mut(&b).expect("k missing on unpair") -= 1;
+    }
+}
+
 /// Endpoints of a CoFlow's unfinished flows, optionally restricted to
 /// ready (data-available) ones.
 pub fn endpoints_of(c: &CoflowView, num_nodes: usize, ready_only: bool) -> Vec<FlowEndpoints> {
@@ -167,6 +452,7 @@ mod tests {
             now: Time::ZERO,
             num_nodes: 9,
             coflows: &coflows,
+            changed: None,
         };
         assert_eq!(contention(&view), vec![1, 3, 1, 1]);
     }
@@ -178,6 +464,7 @@ mod tests {
             now: Time::ZERO,
             num_nodes: 4,
             coflows: &coflows,
+            changed: None,
         };
         assert_eq!(contention(&view), vec![1, 1]);
         coflows[0].flows[0].finished = true;
@@ -185,6 +472,7 @@ mod tests {
             now: Time::ZERO,
             num_nodes: 4,
             coflows: &coflows,
+            changed: None,
         };
         assert_eq!(contention(&view), vec![0, 0]);
     }
@@ -198,6 +486,7 @@ mod tests {
             now: Time::ZERO,
             num_nodes: 6,
             coflows: &coflows,
+            changed: None,
         };
         assert_eq!(contention(&view), vec![1, 1]);
     }
@@ -210,6 +499,7 @@ mod tests {
             now: Time::ZERO,
             num_nodes: 4,
             coflows: &coflows,
+            changed: None,
         };
         assert_eq!(contention(&view), vec![1, 1]);
     }
@@ -232,6 +522,7 @@ mod tests {
                 now: Time::ZERO,
                 num_nodes: 9,
                 coflows: &big,
+                changed: None,
             };
             contention_into(&view, &mut arena, &mut k);
             assert_eq!(k, contention(&view));
@@ -239,6 +530,7 @@ mod tests {
                 now: Time::ZERO,
                 num_nodes: 4,
                 coflows: &small,
+                changed: None,
             };
             contention_into(&view, &mut arena, &mut k);
             assert_eq!(k, contention(&view));
@@ -248,6 +540,149 @@ mod tests {
         for c in &big {
             endpoints_into(c, 9, false, &mut eps);
             assert_eq!(eps, endpoints_of(c, 9, false));
+        }
+    }
+
+    /// Tracker output with an explicit `changed` hint must equal the
+    /// [`contention_into`] oracle on the same view.
+    fn assert_tracker_matches(
+        tracker: &mut ContentionTracker,
+        num_nodes: usize,
+        coflows: &[CoflowView],
+        changed: Option<&[CoflowId]>,
+    ) -> ContentionWork {
+        let view = ClusterView {
+            now: Time::ZERO,
+            num_nodes,
+            coflows,
+            changed,
+        };
+        let mut k = Vec::new();
+        let work = tracker.compute_into(&view, &mut k);
+        let oracle = ClusterView {
+            changed: None,
+            ..view
+        };
+        assert_eq!(k, contention(&oracle), "tracker diverged from oracle");
+        work
+    }
+
+    #[test]
+    fn tracker_without_hint_is_a_full_rebuild() {
+        let coflows = vec![
+            cf(1, &[(0, 3)]),
+            cf(2, &[(0, 4), (1, 5), (2, 6)]),
+            cf(3, &[(1, 7)]),
+            cf(4, &[(2, 8)]),
+        ];
+        let mut tracker = ContentionTracker::new();
+        let work = assert_tracker_matches(&mut tracker, 9, &coflows, None);
+        assert!(work.full_rebuild);
+        assert!(work.delta_updates > 0);
+        // Steady state: nothing changed, hint says so, no deltas.
+        let work = assert_tracker_matches(&mut tracker, 9, &coflows, Some(&[]));
+        assert!(!work.full_rebuild);
+        assert_eq!(work.delta_updates, 0);
+    }
+
+    #[test]
+    fn tracker_applies_arrival_finish_and_departure_deltas() {
+        let mut coflows = vec![cf(0, &[(0, 4), (1, 5)]), cf(1, &[(0, 6)])];
+        let mut tracker = ContentionTracker::new();
+        assert_tracker_matches(&mut tracker, 8, &coflows, None);
+
+        // Arrival: a new CoFlow sharing sender 1 with CoFlow 0.
+        coflows.push(cf(2, &[(1, 7)]));
+        let work = assert_tracker_matches(&mut tracker, 8, &coflows, Some(&[CoflowId(2)]));
+        assert!(!work.full_rebuild);
+        assert!(work.delta_updates > 0);
+
+        // Finish: CoFlow 0's flow on sender 0 completes, dissolving the
+        // (0, 1) contention pair but keeping the (0, 2) one.
+        coflows[0].flows[0].finished = true;
+        assert_tracker_matches(&mut tracker, 8, &coflows, Some(&[CoflowId(0)]));
+
+        // Departure: CoFlow 0 leaves the view entirely. Departures are
+        // detected internally — the hint only names survivors.
+        coflows.remove(0);
+        let work = assert_tracker_matches(&mut tracker, 8, &coflows, Some(&[]));
+        assert!(!work.full_rebuild);
+        assert!(work.delta_updates > 0);
+
+        // A CoFlow whose flows all finish while it stays in the view
+        // must drop to zero contention, then depart cleanly.
+        coflows[0].flows[0].finished = true;
+        assert_tracker_matches(&mut tracker, 8, &coflows, Some(&[CoflowId(1)]));
+        coflows.remove(0);
+        assert_tracker_matches(&mut tracker, 8, &coflows, Some(&[]));
+    }
+
+    #[test]
+    fn tracker_resets_when_the_port_space_changes() {
+        let small = vec![cf(0, &[(0, 2)]), cf(1, &[(0, 3)])];
+        let big = vec![
+            cf(1, &[(0, 3)]),
+            cf(2, &[(0, 4), (1, 5), (2, 6)]),
+            cf(3, &[(1, 7)]),
+            cf(4, &[(2, 8)]),
+        ];
+        let mut tracker = ContentionTracker::new();
+        assert_tracker_matches(&mut tracker, 4, &small, None);
+        // num_nodes changed: stale state must be discarded even though
+        // the hint claims nothing changed.
+        assert_tracker_matches(&mut tracker, 9, &big, Some(&[]));
+        assert_tracker_matches(&mut tracker, 4, &small, Some(&[]));
+    }
+
+    #[test]
+    fn tracker_matches_oracle_under_random_churn() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(0x5aa7);
+        let num_nodes = 12usize;
+        let mut coflows: Vec<CoflowView> = Vec::new();
+        let mut next_id = 0u32;
+        let mut tracker = ContentionTracker::new();
+        assert_tracker_matches(&mut tracker, num_nodes, &coflows, None);
+        for round in 0..200 {
+            let mut changed: Vec<CoflowId> = Vec::new();
+            // Arrivals.
+            while coflows.len() < 3 || rng.gen_bool(0.3) {
+                let width = rng.gen_range(1..6usize);
+                let flows: Vec<(u32, u32)> = (0..width)
+                    .map(|_| {
+                        (
+                            rng.gen_range(0..num_nodes as u32),
+                            rng.gen_range(0..num_nodes as u32),
+                        )
+                    })
+                    .collect();
+                coflows.push(cf(next_id, &flows));
+                changed.push(CoflowId(next_id));
+                next_id += 1;
+            }
+            // Finishes (footprints shrink) and readiness flips (which
+            // must NOT affect contention, but mark dirty anyway — the
+            // hint is a superset).
+            for c in coflows.iter_mut() {
+                if rng.gen_bool(0.4) {
+                    let fi = rng.gen_range(0..c.flows.len());
+                    c.flows[fi].finished = true;
+                    changed.push(c.id);
+                }
+                if rng.gen_bool(0.2) {
+                    let fi = rng.gen_range(0..c.flows.len());
+                    c.flows[fi].ready = !c.flows[fi].ready;
+                    changed.push(c.id);
+                }
+            }
+            // Departures: drained CoFlows usually leave; occasionally
+            // one is yanked mid-transfer (failure/abort path).
+            coflows.retain(|c| {
+                let drained = c.flows.iter().all(|f| f.finished);
+                !(drained && rng.gen_bool(0.8) || rng.gen_bool(0.05))
+            });
+            let work = assert_tracker_matches(&mut tracker, num_nodes, &coflows, Some(&changed));
+            assert!(!work.full_rebuild, "hinted round {round} fell back");
         }
     }
 

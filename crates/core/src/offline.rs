@@ -21,7 +21,7 @@
 //! backfill leftovers greedily in the same order (work conservation, as
 //! Varys does).
 
-use crate::common::{contention_into, RoundArena};
+use crate::common::ContentionTracker;
 use crate::timing::SchedTimings;
 use crate::view::{ClusterView, CoflowScheduler, CoflowView, Schedule};
 use saath_fabric::{bottleneck_time, greedy_fill_into, madd_rates_into, FlowEndpoints, PortBank};
@@ -60,7 +60,7 @@ pub struct OfflineScheduler {
     /// Per-round overhead samples.
     pub timings: SchedTimings,
     // Per-round buffers, recycled so the hot path never allocates.
-    arena: RoundArena,
+    tracker: ContentionTracker,
     k: Vec<u32>,
     keys: Vec<u128>,
     order: Vec<usize>,
@@ -79,7 +79,7 @@ impl OfflineScheduler {
         OfflineScheduler {
             policy,
             timings: SchedTimings::default(),
-            arena: RoundArena::new(),
+            tracker: ContentionTracker::new(),
             k: Vec::new(),
             keys: Vec::new(),
             order: Vec::new(),
@@ -99,6 +99,52 @@ impl OfflineScheduler {
     /// The policy in use.
     pub fn policy(&self) -> OfflinePolicy {
         self.policy
+    }
+
+    /// Computes the Γ-based ordering keys (SEBF / LWTF) sharded across
+    /// a scoped thread pool, each shard with its own scratch bank and
+    /// endpoint buffers. Keys are written by CoFlow index, so the
+    /// result is independent of thread interleaving and byte-identical
+    /// to the serial loop. Returns `false` when the round is too small
+    /// to be worth the fan-out.
+    #[cfg(feature = "parallel")]
+    fn gamma_keys_parallel(&mut self, view: &ClusterView<'_>, bank: &PortBank) -> bool {
+        let n = view.coflows.len();
+        if n < 2 {
+            return false;
+        }
+        let shards = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .clamp(1, n);
+        self.keys.resize(n, 0);
+        let lwtf = self.policy == OfflinePolicy::Lwtf;
+        let k = &self.k;
+        let chunk = n.div_ceil(shards);
+        std::thread::scope(|s| {
+            let mut keys_rest: &mut [u128] = &mut self.keys;
+            let mut start = 0;
+            while start < n {
+                let len = chunk.min(n - start);
+                let (keys_chunk, rest) = keys_rest.split_at_mut(len);
+                keys_rest = rest;
+                s.spawn(move || {
+                    let mut scratch_bank: Option<PortBank> = None;
+                    let mut eps: Vec<FlowEndpoints> = Vec::new();
+                    let mut rem: Vec<Bytes> = Vec::new();
+                    for (j, key) in keys_chunk.iter_mut().enumerate() {
+                        let ci = start + j;
+                        let c = &view.coflows[ci];
+                        remaining_into(c, view.num_nodes, &mut eps, &mut rem);
+                        let t = gamma_on_fresh_bank(&mut scratch_bank, bank, &eps, &rem).as_nanos()
+                            as u128;
+                        *key = if lwtf { t * k[ci] as u128 } else { t };
+                    }
+                });
+                start += len;
+            }
+        });
+        true
     }
 }
 
@@ -155,23 +201,41 @@ impl CoflowScheduler for OfflineScheduler {
                         .sum::<u128>()
                 }));
             }
-            OfflinePolicy::Sebf => {
-                for c in view.coflows {
-                    remaining_into(c, view.num_nodes, &mut self.eps, &mut self.rem);
-                    let g = gamma_on_fresh_bank(&mut self.scratch_bank, bank, &self.eps, &self.rem);
-                    self.keys.push(g.as_nanos() as u128);
+            OfflinePolicy::Sebf | OfflinePolicy::Lwtf => {
+                if self.policy == OfflinePolicy::Lwtf {
+                    let _ = self.tracker.compute_into(view, &mut self.k);
+                    #[cfg(debug_assertions)]
+                    {
+                        use crate::common::contention_into;
+                        let mut arena = crate::common::RoundArena::new();
+                        let mut oracle = Vec::new();
+                        contention_into(view, &mut arena, &mut oracle);
+                        assert_eq!(
+                            self.k, oracle,
+                            "incremental contention diverged from the contention_into oracle"
+                        );
+                    }
                 }
-            }
-            OfflinePolicy::Lwtf => {
-                contention_into(view, &mut self.arena, &mut self.k);
-                for (c, &kc) in view.coflows.iter().zip(&self.k) {
-                    remaining_into(c, view.num_nodes, &mut self.eps, &mut self.rem);
-                    let t = gamma_on_fresh_bank(&mut self.scratch_bank, bank, &self.eps, &self.rem)
-                        .as_nanos() as u128;
-                    // The waiting time a CoFlow inflicts is t·k; a
-                    // CoFlow contending with nobody (k = 0) delays
-                    // nobody and can go first.
-                    self.keys.push(t * kc as u128);
+                // The Γ probes are independent per CoFlow; parallel
+                // builds shard them across threads with per-shard
+                // scratch banks, writing keys by index — deterministic
+                // either way. The waiting time a CoFlow inflicts under
+                // LWTF is t·k; a CoFlow contending with nobody (k = 0)
+                // delays nobody and can go first.
+                #[cfg(feature = "parallel")]
+                let keyed = self.gamma_keys_parallel(view, bank);
+                #[cfg(not(feature = "parallel"))]
+                let keyed = false;
+                if !keyed {
+                    let lwtf = self.policy == OfflinePolicy::Lwtf;
+                    for (ci, c) in view.coflows.iter().enumerate() {
+                        remaining_into(c, view.num_nodes, &mut self.eps, &mut self.rem);
+                        let t =
+                            gamma_on_fresh_bank(&mut self.scratch_bank, bank, &self.eps, &self.rem)
+                                .as_nanos() as u128;
+                        self.keys
+                            .push(if lwtf { t * self.k[ci] as u128 } else { t });
+                    }
                 }
             }
         };
@@ -283,6 +347,7 @@ mod tests {
             now: Time::ZERO,
             num_nodes,
             coflows,
+            changed: None,
         };
         let mut bank = PortBank::uniform(num_nodes, GBPS);
         let mut out = Schedule::default();

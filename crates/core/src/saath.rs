@@ -26,7 +26,7 @@
 //! (FIFO order + Aalo-style total-bytes thresholds), `+ per-flow
 //! thresholds`, `+ LCoF` (= full Saath).
 
-use crate::common::{contention_into, endpoints_into, RoundArena};
+use crate::common::{contention_into, endpoints_into, ContentionTracker, RoundArena};
 use crate::config::QueueConfig;
 use crate::timing::SchedTimings;
 use crate::view::{ClusterView, CoflowScheduler, CoflowView, Schedule};
@@ -64,6 +64,18 @@ pub struct SaathConfig {
     /// fraction instead of the plain equal split. Off by default (the
     /// paper's evaluated design splits equally).
     pub skew_aware_thresholds: bool,
+    /// Maintain `k_c` incrementally across rounds via the
+    /// [`ClusterView::changed`] hint instead of rebuilding the full
+    /// port-incidence map every round (§5.4 scalability). Identical
+    /// results either way — [`contention_into`] stays the oracle and
+    /// debug builds assert equality every round. Off reproduces the
+    /// original full-rebuild cost for benchmarking.
+    pub incremental_contention: bool,
+    /// Number of shards for the parallel gang-probe phase; `0` = one
+    /// per available core. Only read in `parallel`-feature builds; the
+    /// schedule is byte-identical for every shard count (speculative
+    /// probes are re-validated in a deterministic serial merge).
+    pub probe_shards: usize,
 }
 
 impl Default for SaathConfig {
@@ -78,6 +90,8 @@ impl Default for SaathConfig {
             starvation_avoidance: true,
             dynamics_srtf: true,
             skew_aware_thresholds: false,
+            incremental_contention: true,
+            probe_shards: 0,
         }
     }
 }
@@ -121,6 +135,8 @@ pub struct Saath {
     /// Shared scratch (contention incidence map, gang-rate counters),
     /// kept across rounds so the hot path never allocates.
     arena: RoundArena,
+    /// Incremental `k_c` state, fed by the `ClusterView::changed` hint.
+    tracker: ContentionTracker,
     /// Per-round buffers, recycled across rounds (see `compute`).
     queues: Vec<usize>,
     occupancy: Vec<usize>,
@@ -131,6 +147,18 @@ pub struct Saath {
     eps: Vec<FlowEndpoints>,
     wc_rates: Vec<Rate>,
     live: HashSet<CoflowId>,
+    /// Speculative probe results, indexed by order position (parallel
+    /// builds only): endpoints, readiness, and the gang rate computed
+    /// against the pre-admission bank snapshot.
+    #[cfg(feature = "parallel")]
+    spec_eps: Vec<Vec<FlowEndpoints>>,
+    #[cfg(feature = "parallel")]
+    spec_ready: Vec<bool>,
+    #[cfg(feature = "parallel")]
+    spec_rate: Vec<Rate>,
+    /// Ports drawn down by an admission since the probe snapshot.
+    #[cfg(feature = "parallel")]
+    drawn: Vec<bool>,
     /// Rounds in which a deadline-expired CoFlow was force-prioritized
     /// (§7.1 reports starvation avoidance kicking in <1 % of the time).
     pub starvation_kicks: u64,
@@ -147,6 +175,7 @@ impl Saath {
             state: HashMap::new(),
             timings: SchedTimings::default(),
             arena: RoundArena::new(),
+            tracker: ContentionTracker::new(),
             queues: Vec::new(),
             occupancy: Vec::new(),
             k: Vec::new(),
@@ -156,6 +185,14 @@ impl Saath {
             eps: Vec::new(),
             wc_rates: Vec::new(),
             live: HashSet::new(),
+            #[cfg(feature = "parallel")]
+            spec_eps: Vec::new(),
+            #[cfg(feature = "parallel")]
+            spec_ready: Vec::new(),
+            #[cfg(feature = "parallel")]
+            spec_rate: Vec::new(),
+            #[cfg(feature = "parallel")]
+            drawn: Vec::new(),
             starvation_kicks: 0,
             mech: MechCounters::default(),
         }
@@ -174,6 +211,178 @@ impl Saath {
     /// The queue a CoFlow would be assigned this round (D3 + §4.3).
     pub fn queue_of(&self, c: &CoflowView) -> usize {
         queue_for(&self.cfg, c)
+    }
+
+    /// Speculatively probes every CoFlow's gang rate against the
+    /// pre-admission bank snapshot, sharded across a scoped thread
+    /// pool. Returns `false` (probe skipped) when gang admission is off
+    /// or the round is too small to be worth the fan-out.
+    ///
+    /// Each shard gets a contiguous slice of the admission order and
+    /// its own gang scratch, and writes results by order position —
+    /// so the output is independent of thread interleaving.
+    #[cfg(feature = "parallel")]
+    fn parallel_probe(&mut self, view: &ClusterView<'_>, bank: &PortBank) -> bool {
+        let n = self.order.len();
+        if !self.cfg.all_or_none || n < 2 {
+            return false;
+        }
+        let shards = if self.cfg.probe_shards == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            self.cfg.probe_shards
+        }
+        .clamp(1, n);
+        let t_probe = Instant::now();
+        if self.spec_eps.len() < n {
+            self.spec_eps.resize_with(n, Vec::new);
+        }
+        self.spec_ready.clear();
+        self.spec_ready.resize(n, false);
+        self.spec_rate.clear();
+        self.spec_rate.resize(n, Rate::ZERO);
+        let chunk = n.div_ceil(shards);
+        let order = &self.order;
+        std::thread::scope(|s| {
+            let mut eps_rest: &mut [Vec<FlowEndpoints>] = &mut self.spec_eps[..n];
+            let mut ready_rest: &mut [bool] = &mut self.spec_ready;
+            let mut rate_rest: &mut [Rate] = &mut self.spec_rate;
+            let mut start = 0;
+            while start < n {
+                let len = chunk.min(n - start);
+                let (eps_chunk, rest) = eps_rest.split_at_mut(len);
+                eps_rest = rest;
+                let (ready_chunk, rest) = ready_rest.split_at_mut(len);
+                ready_rest = rest;
+                let (rate_chunk, rest) = rate_rest.split_at_mut(len);
+                rate_rest = rest;
+                let order_chunk = &order[start..start + len];
+                s.spawn(move || {
+                    let mut scratch: Vec<u32> = Vec::new();
+                    let mut touched: Vec<saath_simcore::PortId> = Vec::new();
+                    for (j, &ci) in order_chunk.iter().enumerate() {
+                        let c = &view.coflows[ci];
+                        endpoints_into(c, view.num_nodes, false, &mut eps_chunk[j]);
+                        ready_chunk[j] = c.all_ready();
+                        rate_chunk[j] = if eps_chunk[j].is_empty() || !ready_chunk[j] {
+                            Rate::ZERO
+                        } else {
+                            gang_rate_with(bank, &eps_chunk[j], &mut scratch, &mut touched)
+                        };
+                    }
+                });
+                start += len;
+            }
+        });
+        self.timings.probe.push(t_probe.elapsed());
+        true
+    }
+
+    /// The sequential admission scan — the executable specification the
+    /// parallel probe + merge must match byte for byte.
+    fn admit_serial(&mut self, view: &ClusterView<'_>, bank: &mut PortBank, out: &mut Schedule) {
+        for oi in 0..self.order.len() {
+            let ci = self.order[oi];
+            let c = &view.coflows[ci];
+            endpoints_into(c, view.num_nodes, false, &mut self.eps);
+            if self.eps.is_empty() {
+                continue; // fully finished; driver will drop it
+            }
+            if !self.cfg.all_or_none || !c.all_ready() {
+                if saath_telemetry::enabled() && self.cfg.all_or_none {
+                    self.mech.unready_skips += 1;
+                }
+                self.missed.push(ci);
+                continue;
+            }
+            let r = gang_rate_with(
+                bank,
+                &self.eps,
+                &mut self.arena.gang_scratch,
+                &mut self.arena.gang_touched,
+            );
+            if saath_telemetry::enabled() {
+                self.mech.madd_evals += 1;
+            }
+            if r.is_zero() {
+                if saath_telemetry::enabled() {
+                    self.mech.gang_rejections += 1;
+                }
+                self.missed.push(ci);
+            } else {
+                if saath_telemetry::enabled() {
+                    self.mech.gang_admissions += 1;
+                }
+                gang_allocate(bank, &self.eps, r);
+                for e in &self.eps {
+                    out.set(e.flow, r);
+                }
+            }
+        }
+    }
+
+    /// Serial, in-order merge of the speculative probes. A speculative
+    /// rate is exact unless an earlier admission drew down one of the
+    /// CoFlow's ports since the snapshot; those are recomputed against
+    /// the live bank — yielding exactly what the serial path computes,
+    /// byte for byte.
+    #[cfg(feature = "parallel")]
+    fn merge_probes(&mut self, view: &ClusterView<'_>, bank: &mut PortBank, out: &mut Schedule) {
+        let t_merge = Instant::now();
+        self.drawn.clear();
+        self.drawn.resize(2 * view.num_nodes, false);
+        for oi in 0..self.order.len() {
+            let ci = self.order[oi];
+            let eps = &self.spec_eps[oi];
+            if eps.is_empty() {
+                continue; // fully finished; driver will drop it
+            }
+            if !self.spec_ready[oi] {
+                if saath_telemetry::enabled() {
+                    self.mech.unready_skips += 1;
+                }
+                self.missed.push(ci);
+                continue;
+            }
+            let stale = eps
+                .iter()
+                .any(|e| self.drawn[e.src.index()] || self.drawn[e.dst.index()]);
+            let r = if stale {
+                if saath_telemetry::enabled() {
+                    self.mech.probe_revalidations += 1;
+                }
+                gang_rate_with(
+                    bank,
+                    eps,
+                    &mut self.arena.gang_scratch,
+                    &mut self.arena.gang_touched,
+                )
+            } else {
+                self.spec_rate[oi]
+            };
+            if saath_telemetry::enabled() {
+                self.mech.madd_evals += 1;
+            }
+            if r.is_zero() {
+                if saath_telemetry::enabled() {
+                    self.mech.gang_rejections += 1;
+                }
+                self.missed.push(ci);
+            } else {
+                if saath_telemetry::enabled() {
+                    self.mech.gang_admissions += 1;
+                }
+                gang_allocate(bank, eps, r);
+                for e in eps {
+                    out.set(e.flow, r);
+                    self.drawn[e.src.index()] = true;
+                    self.drawn[e.dst.index()] = true;
+                }
+            }
+        }
+        self.timings.merge.push(t_merge.elapsed());
     }
 }
 
@@ -288,12 +497,37 @@ impl CoflowScheduler for Saath {
         }
 
         // Contention (only when LCoF orders by it).
+        let t_contention = Instant::now();
         if self.cfg.lcof {
-            contention_into(view, &mut self.arena, &mut self.k);
+            if self.cfg.incremental_contention {
+                let work = self.tracker.compute_into(view, &mut self.k);
+                if saath_telemetry::enabled() {
+                    self.mech.contention_deltas += work.delta_updates;
+                    if work.full_rebuild {
+                        self.mech.contention_rebuilds += 1;
+                    } else {
+                        self.mech.contention_rebuilds_avoided += 1;
+                    }
+                }
+                // The full rebuild stays the executable specification:
+                // every debug round proves the delta-updated k equals it.
+                #[cfg(debug_assertions)]
+                {
+                    let mut oracle = Vec::new();
+                    contention_into(view, &mut self.arena, &mut oracle);
+                    assert_eq!(
+                        self.k, oracle,
+                        "incremental contention diverged from the contention_into oracle"
+                    );
+                }
+            } else {
+                contention_into(view, &mut self.arena, &mut self.k);
+            }
         } else {
             self.k.clear();
             self.k.resize(n, 0);
         }
+        self.timings.contention.push(t_contention.elapsed());
 
         // Global scan order: queue asc (strict priority), expired
         // deadlines first within the queue, then LCoF (or FIFO), then
@@ -357,43 +591,18 @@ impl CoflowScheduler for Saath {
         // ---- All-or-none admission (D1 step 4, D2) ----
         let t_an = Instant::now();
         self.missed.clear();
-        for oi in 0..self.order.len() {
-            let ci = self.order[oi];
-            let c = &view.coflows[ci];
-            endpoints_into(c, view.num_nodes, false, &mut self.eps);
-            if self.eps.is_empty() {
-                continue; // fully finished; driver will drop it
-            }
-            if !self.cfg.all_or_none || !c.all_ready() {
-                if saath_telemetry::enabled() && self.cfg.all_or_none {
-                    self.mech.unready_skips += 1;
-                }
-                self.missed.push(ci);
-                continue;
-            }
-            let r = gang_rate_with(
-                bank,
-                &self.eps,
-                &mut self.arena.gang_scratch,
-                &mut self.arena.gang_touched,
-            );
-            if saath_telemetry::enabled() {
-                self.mech.madd_evals += 1;
-            }
-            if r.is_zero() {
-                if saath_telemetry::enabled() {
-                    self.mech.gang_rejections += 1;
-                }
-                self.missed.push(ci);
-            } else {
-                if saath_telemetry::enabled() {
-                    self.mech.gang_admissions += 1;
-                }
-                gang_allocate(bank, &self.eps, r);
-                for e in &self.eps {
-                    out.set(e.flow, r);
-                }
-            }
+        // Parallel builds probe every CoFlow's gang rate concurrently
+        // against the untouched bank, then merge serially in order;
+        // serial builds (and tiny rounds) take the loop below.
+        #[cfg(feature = "parallel")]
+        let speculated = self.parallel_probe(view, bank);
+        #[cfg(not(feature = "parallel"))]
+        let speculated = false;
+        if speculated {
+            #[cfg(feature = "parallel")]
+            self.merge_probes(view, bank, out);
+        } else {
+            self.admit_serial(view, bank, out);
         }
         let an_elapsed = t_an.elapsed();
 
@@ -470,6 +679,7 @@ mod tests {
             now,
             num_nodes,
             coflows,
+            changed: None,
         };
         let mut bank = PortBank::uniform(num_nodes, GBPS);
         let mut out = Schedule::default();
@@ -740,6 +950,7 @@ mod tests {
             now: Time::ZERO,
             num_nodes: 3,
             coflows: &coflows,
+            changed: None,
         };
 
         let mut clean = Saath::with_defaults();

@@ -22,10 +22,21 @@ pub struct SchedTimings {
     pub total: Vec<StdDuration>,
     /// Time ordering CoFlows (queue assignment + sort — "LCoF" column).
     pub ordering: Vec<StdDuration>,
+    /// Time computing per-CoFlow contention `k_c` (a sub-span of
+    /// `ordering`): the incremental tracker's delta update, or the full
+    /// `contention_into` rebuild when that is disabled. Empty for
+    /// schedulers/configs that never compute contention.
+    pub contention: Vec<StdDuration>,
     /// Time in all-or-none admission + rate assignment.
     pub all_or_none: Vec<StdDuration>,
     /// Time assigning work-conservation rates.
     pub work_conservation: Vec<StdDuration>,
+    /// Time in the sharded speculative gang-probe fan-out (wall-clock
+    /// across all shards). Empty unless the `parallel` feature ran.
+    pub probe: Vec<StdDuration>,
+    /// Time in the deterministic serial merge of speculative probes.
+    /// Empty unless the `parallel` feature ran.
+    pub merge: Vec<StdDuration>,
     /// Active CoFlows per round (context for the latency numbers).
     pub active_coflows: Vec<usize>,
 }
@@ -40,8 +51,11 @@ impl SchedTimings {
     pub fn clear(&mut self) {
         self.total.clear();
         self.ordering.clear();
+        self.contention.clear();
         self.all_or_none.clear();
         self.work_conservation.clear();
+        self.probe.clear();
+        self.merge.clear();
         self.active_coflows.clear();
     }
 

@@ -99,6 +99,7 @@ mod tests {
             now: Time::ZERO,
             num_nodes: 4,
             coflows: &coflows,
+            changed: None,
         };
         let mut bank = PortBank::uniform(4, Rate(900));
         let mut out = Schedule::default();
@@ -123,6 +124,7 @@ mod tests {
             now: Time::ZERO,
             num_nodes: 5,
             coflows: &coflows,
+            changed: None,
         };
         let mut bank = PortBank::uniform(5, Rate(1000));
         let mut out = Schedule::default();

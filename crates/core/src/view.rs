@@ -117,6 +117,18 @@ pub struct ClusterView<'a> {
     pub num_nodes: usize,
     /// Active (not yet complete) CoFlows.
     pub coflows: &'a [CoflowView],
+    /// Change hint from the driver: ids of CoFlows whose *port
+    /// footprint* (the set of ports carrying unfinished flows) may have
+    /// changed since the previous round this scheduler saw, plus ids
+    /// that departed. Must be a superset of actual changes — extra ids
+    /// cost time, missing ids cost correctness. `None` means "assume
+    /// everything changed" and is always safe; drivers without dirty
+    /// tracking (tests, the reference loop) pass `None`.
+    ///
+    /// Pure progress (`sent` growing) never changes a footprint, so the
+    /// simulator's dirty set — which marks arrival, finish, readiness,
+    /// and failure-reset — satisfies the contract.
+    pub changed: Option<&'a [CoflowId]>,
 }
 
 /// The output of one scheduling round: a rate for every flow that may

@@ -307,6 +307,7 @@ pub fn run_coordinator_with_telemetry(
                 now,
                 num_nodes: registry.num_nodes,
                 coflows: &views,
+                changed: None,
             };
             sched.compute(&view, &mut bank, &mut out);
             epochs += 1;

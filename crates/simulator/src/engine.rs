@@ -34,7 +34,7 @@ use saath_core::view::{ClusterView, CoflowScheduler, CoflowView, FlowView, Sched
 use saath_fabric::PortBank;
 use saath_metrics::CoflowRecord;
 use saath_simcore::units::{bytes_in, transfer_time};
-use saath_simcore::{Bytes, Duration, EventQueue, FlowId, NodeId, Rate, Time};
+use saath_simcore::{Bytes, CoflowId, Duration, EventQueue, FlowId, NodeId, Rate, Time};
 use saath_telemetry::{Counter, RoundSnapshot, Telemetry};
 use saath_workload::{DynamicsEvent, DynamicsSpec, Trace};
 
@@ -393,6 +393,13 @@ pub fn simulate_with_telemetry(
     // a rate; previously-flowing flows that lost theirs are zeroed.
     let mut sched_stamp: Vec<u64> = vec![0; flows.len()];
     let mut round_stamp: u64 = 0;
+    // CoFlow ids drained from the dirty set this round — handed to the
+    // scheduler as the `ClusterView::changed` hint so incremental
+    // contention tracking can delta-update instead of rebuilding. The
+    // dirty set marks arrival, finish, readiness, and failure resets,
+    // which is a superset of port-footprint changes (pure progress
+    // never moves a footprint), satisfying the hint contract.
+    let mut changed_ids: Vec<CoflowId> = Vec::new();
 
     loop {
         // ---- 1. Drain everything due at `now` ----
@@ -500,12 +507,14 @@ pub fn simulate_with_telemetry(
             let dirty_n = dirty_list.len();
             // Sync views with ground truth — only where it moved.
             let any_straggler = straggled.iter().any(|&b| b);
+            changed_ids.clear();
             for ci in dirty_list.drain(..) {
                 dirty[ci] = false;
                 let slot = coflows[ci].view_slot;
                 if slot == usize::MAX {
                     continue; // completed since it was marked
                 }
+                changed_ids.push(views[slot].id);
                 let view = &mut views[slot];
                 let base = coflows[ci].first_flow;
                 let mut touches_straggler = false;
@@ -532,6 +541,7 @@ pub fn simulate_with_telemetry(
                     now,
                     num_nodes,
                     coflows: &views,
+                    changed: Some(&changed_ids),
                 };
                 sched.compute(&view, &mut bank, &mut schedule);
             }
@@ -920,6 +930,7 @@ pub fn simulate_reference(
                     now,
                     num_nodes,
                     coflows: &views,
+                    changed: None,
                 };
                 sched.compute(&view, &mut bank, &mut schedule);
             }

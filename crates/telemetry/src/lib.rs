@@ -174,12 +174,24 @@ pub struct MechCounters {
     pub lcof_comparisons: u64,
     /// MADD gang-rate evaluations (shared-bottleneck rate probes).
     pub madd_evals: u64,
+    /// Port join/leave deltas applied by the incremental contention
+    /// tracker (the work a full rebuild would redo from scratch).
+    pub contention_deltas: u64,
+    /// Contention rounds that had to rebuild tracker state (no usable
+    /// `changed` hint, or a port-space change).
+    pub contention_rebuilds: u64,
+    /// Contention rounds served purely by delta updates — full
+    /// `contention_into` rebuilds avoided.
+    pub contention_rebuilds_avoided: u64,
+    /// Speculative gang probes recomputed in the parallel merge because
+    /// an earlier admission drew down one of the CoFlow's ports.
+    pub probe_revalidations: u64,
 }
 
 impl MechCounters {
     /// `(name, value)` rows in display order, for table rendering
     /// without the renderer knowing the fields.
-    pub fn rows(&self) -> [(&'static str, u64); 9] {
+    pub fn rows(&self) -> [(&'static str, u64); 13] {
         [
             ("queue_transitions", self.queue_transitions),
             ("deadline_expiries", self.deadline_expiries),
@@ -190,6 +202,13 @@ impl MechCounters {
             ("wc_backfills", self.wc_backfills),
             ("lcof_comparisons", self.lcof_comparisons),
             ("madd_evals", self.madd_evals),
+            ("contention_deltas", self.contention_deltas),
+            ("contention_rebuilds", self.contention_rebuilds),
+            (
+                "contention_rebuilds_avoided",
+                self.contention_rebuilds_avoided,
+            ),
+            ("probe_revalidations", self.probe_revalidations),
         ]
     }
 }
@@ -410,6 +429,6 @@ mod tests {
         assert_eq!(rows.len(), COUNTERS.len());
         assert!(rows.iter().all(|(n, _)| !n.is_empty()));
         let mech = MechCounters::default().rows();
-        assert_eq!(mech.len(), 9);
+        assert_eq!(mech.len(), 13);
     }
 }

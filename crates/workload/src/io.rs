@@ -55,12 +55,33 @@ fn err(line: usize, message: impl Into<String>) -> ParseError {
 /// uniform port speed to attach (the file does not carry one; the paper
 /// uses 1 Gbps).
 pub fn parse_coflow_benchmark(text: &str, port_rate: Rate) -> Result<Trace, ParseError> {
-    let mut lines = text
-        .lines()
-        .enumerate()
-        .filter(|(_, l)| !l.trim().is_empty());
+    parse_from_lines(
+        text.lines().map(Ok::<_, std::convert::Infallible>),
+        port_rate,
+    )
+}
 
-    let (hline, header) = lines.next().ok_or_else(|| err(1, "empty file"))?;
+/// The line-oriented core behind [`parse_coflow_benchmark`] and
+/// [`read_coflow_benchmark`]: consumes lines one at a time (borrowed
+/// from an in-memory string, or owned from a [`std::io::BufRead`]), so
+/// file ingestion never materializes the whole trace text. Read
+/// failures surface as [`ParseError`]s on the line they interrupted.
+fn parse_from_lines<S, E, I>(lines: I, port_rate: Rate) -> Result<Trace, ParseError>
+where
+    S: AsRef<str>,
+    E: fmt::Display,
+    I: Iterator<Item = Result<S, E>>,
+{
+    let mut lines = lines
+        .enumerate()
+        .map(|(i, r)| {
+            r.map(|l| (i, l))
+                .map_err(|e| err(i + 1, format!("read failed: {e}")))
+        })
+        .filter(|r| !matches!(r, Ok((_, l)) if l.as_ref().trim().is_empty()));
+
+    let (hline, header) = lines.next().ok_or_else(|| err(1, "empty file"))??;
+    let header = header.as_ref();
     let mut head = header.split_whitespace();
     let num_nodes: usize = head
         .next()
@@ -85,9 +106,11 @@ pub fn parse_coflow_benchmark(text: &str, port_rate: Rate) -> Result<Trace, Pars
         mappers: Vec<u64>,
         reducers: Vec<(u64, f64)>,
     }
-    let mut raws: Vec<Raw> = Vec::with_capacity(num_coflows);
+    let mut raws: Vec<Raw> = Vec::with_capacity(num_coflows.min(1 << 20));
     let mut saw_zero = false;
-    for (lineno, line) in lines {
+    for item in lines {
+        let (lineno, line) = item?;
+        let line = line.as_ref();
         let ln = lineno + 1;
         let mut tok = line.split_whitespace();
         let id: u32 = tok
@@ -211,13 +234,17 @@ pub fn parse_coflow_benchmark(text: &str, port_rate: Rate) -> Result<Trace, Pars
     Ok(trace)
 }
 
-/// Reads a trace file from disk (see [`parse_coflow_benchmark`]).
+/// Reads a trace file from disk, streaming it line-by-line through a
+/// buffered reader — the full text is never held in memory, so
+/// full-size published traces ingest in `O(one line + parsed trace)`
+/// space (see [`parse_coflow_benchmark`] for the format).
 pub fn read_coflow_benchmark(
     path: &std::path::Path,
     port_rate: Rate,
 ) -> Result<Trace, Box<dyn std::error::Error>> {
-    let text = std::fs::read_to_string(path)?;
-    Ok(parse_coflow_benchmark(&text, port_rate)?)
+    use std::io::BufRead;
+    let reader = std::io::BufReader::new(std::fs::File::open(path)?);
+    Ok(parse_from_lines(reader.lines(), port_rate)?)
 }
 
 /// Writes a trace in `coflow-benchmark` format (1-based machines).
@@ -337,6 +364,16 @@ mod tests {
                 e.message
             );
         }
+    }
+
+    #[test]
+    fn streaming_file_read_matches_in_memory_parse() {
+        let t = parse_coflow_benchmark(SAMPLE, Rate::gbps(1)).unwrap();
+        let path = std::env::temp_dir().join("saath-io-streaming-test.txt");
+        std::fs::write(&path, SAMPLE).unwrap();
+        let streamed = read_coflow_benchmark(&path, Rate::gbps(1)).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(t, streamed);
     }
 
     #[test]

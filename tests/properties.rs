@@ -92,7 +92,7 @@ proptest! {
         for mut sched in all_schedulers() {
             let mut bank = PortBank::uniform(NODES, Rate::gbps(1));
             let mut out = Schedule::default();
-            let view = ClusterView { now: Time::from_secs(1), num_nodes: NODES, coflows: &views };
+            let view = ClusterView { now: Time::from_secs(1), num_nodes: NODES, coflows: &views, changed: None };
             sched.compute(&view, &mut bank, &mut out);
 
             let mut used = [0u64; 2 * NODES];
