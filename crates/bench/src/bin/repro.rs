@@ -11,7 +11,9 @@
 //!   scale          Fig 9-style scalability sweep: rounds/sec at 150→1k nodes
 //!                  × 10k→100k flows, full-rebuild vs incremental contention
 //!                  (writes BENCH_scalability.json; rebuild with
-//!                  --features parallel for the sharded-probe variant)
+//!                  --features parallel for the sharded-probe variant);
+//!                  with --shards K > 1, appends a multi-coordinator
+//!                  shard-scaling sweep asserting byte-identical records
 //!   trace          instrumented Saath + Aalo runs: mechanism breakdown tables
 //!                  and deterministic JSONL round traces in results/
 //!   gen-trace      write a full-size FB-like trace in coflow-benchmark format
@@ -25,6 +27,8 @@
 //!   --out PATH     gen-trace output path (default fb_trace.txt)
 //!   --scale N      emulation time scale for fig15/fig16 (default 50)
 //!   --nodes N      emulation node cap for fig15/fig16 (default 40)
+//!   --shards K     scale only: max coordinator shard count for the
+//!                  shard-scaling sweep (default 4; 1 disables it)
 //!   --small        use small traces (smoke test, seconds instead of minutes)
 //!   --json         epoch/scale only: print the BENCH JSON document instead
 //!                  of the table
@@ -43,7 +47,7 @@ fn arg_value(args: &[String], key: &str) -> Option<String> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let what = args.first().cloned().unwrap_or_else(|| {
-        eprintln!("usage: repro <fig2|fig3|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|fig17|table2|dynamics|epoch|scale|trace|gen-trace|all> [--seed N] [--panel P] [--trace PATH] [--out PATH] [--scale N] [--nodes N] [--small] [--json]");
+        eprintln!("usage: repro <fig2|fig3|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|fig17|table2|dynamics|epoch|scale|trace|gen-trace|all> [--seed N] [--panel P] [--trace PATH] [--out PATH] [--scale N] [--nodes N] [--shards K] [--small] [--json]");
         std::process::exit(2);
     });
     let seed: u64 = arg_value(&args, "--seed")
@@ -56,6 +60,10 @@ fn main() {
     let nodes: usize = arg_value(&args, "--nodes")
         .and_then(|v| v.parse().ok())
         .unwrap_or(40);
+    let shards: usize = arg_value(&args, "--shards")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4)
+        .max(1);
     let small = args.iter().any(|a| a == "--small");
     let json = args.iter().any(|a| a == "--json");
 
@@ -97,7 +105,7 @@ fn main() {
             "table2" => Some(figs::table2(lab)),
             "dynamics" => Some(figs::dynamics(lab)),
             "epoch" => Some(figs::epoch(lab, json)),
-            "scale" => Some(figs::scale(lab, json, small)),
+            "scale" => Some(figs::scale(lab, json, small, shards)),
             "trace" => Some(figs::trace_diag(lab, small)),
             _ => None,
         }

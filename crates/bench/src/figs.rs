@@ -1024,7 +1024,13 @@ struct ScaleRun {
 /// Built with `--features parallel` the same sweep also exercises the
 /// sharded gang probes (probe/merge columns become non-zero), so serial
 /// vs parallel is a rebuild of the same command.
-pub fn scale(lab: &Lab, json: bool, small: bool) -> String {
+///
+/// `shards > 1` appends a shard-scaling sweep: the multi-coordinator
+/// [`ShardedScheduler`](saath_runtime::ShardedScheduler) replayed on
+/// the sweep's first point for K ∈ {1, 2, 4} ∩ [1, `shards`], asserting
+/// byte-identical records at every K and reporting the reconciliation
+/// overhead (K replicas of the policy + the flow-id-ordered merge).
+pub fn scale(lab: &Lab, json: bool, small: bool, shards: usize) -> String {
     use saath_simulator::{simulate, SimConfig};
     use saath_workload::DynamicsSpec;
     use std::time::Instant;
@@ -1140,14 +1146,66 @@ pub fn scale(lab: &Lab, json: bool, small: bool) -> String {
         ));
     }
 
+    // Shard-scaling sweep: the multi-coordinator mode on the sweep's
+    // first (smallest) point. Each shard replicates the full policy, so
+    // wall time grows ~K× — the sweep reports that honestly; what
+    // sharding buys is failure-domain division, not compute division.
+    let mut shard_docs = Vec::new();
+    let mut shard_rows: Vec<[String; 5]> = Vec::new();
+    if shards > 1 {
+        let (nodes, target_flows) = points[0];
+        let trace = grown_trace_at(lab.seed(), nodes, target_flows);
+        let flows = flow_count(&trace);
+        let mut baseline: Option<(f64, Vec<saath_metrics::CoflowRecord>)> = None;
+        for k in [1usize, 2, 4] {
+            if k > shards {
+                break;
+            }
+            let mut sched = saath_runtime::ShardedScheduler::new(k, || {
+                Box::new(saath_core::Saath::with_defaults())
+            });
+            let t0 = Instant::now();
+            let out =
+                simulate(&trace, &mut sched, &cfg, &dynamics).expect("shard-sweep run failed");
+            let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let (base_ms, base_records) = baseline.get_or_insert((wall_ms, out.records.clone()));
+            assert_eq!(
+                &out.records, base_records,
+                "K={k} shards diverged from the single-coordinator records"
+            );
+            let overhead = wall_ms / base_ms.max(1e-9);
+            shard_rows.push([
+                k.to_string(),
+                nodes.to_string(),
+                flows.to_string(),
+                format!("{wall_ms:.1}"),
+                fmt_x(overhead),
+            ]);
+            shard_docs.push(format!(
+                "    {{\n      \"shards\": {k},\n      \"nodes\": {nodes},\n      \
+                 \"coflows\": {},\n      \"flows\": {flows},\n      \
+                 \"wall_ms\": {wall_ms:.1},\n      \
+                 \"replication_overhead\": {overhead:.2},\n      \
+                 \"records_identical\": true\n    }}",
+                trace.coflows.len(),
+            ));
+        }
+    }
+    let shard_json = if shard_docs.is_empty() {
+        String::new()
+    } else {
+        format!(",\n  \"shard_sweep\": [\n{}\n  ]", shard_docs.join(",\n"))
+    };
+
     let json_doc = format!(
         "{{\n  \"experiment\": \"scalability_sweep\",\n  \"seed\": {},\n  \
          \"delta_ms\": 8,\n  \"parallel_feature\": {},\n  \
-         \"telemetry_feature\": {},\n  \"points\": [\n{}\n  ]\n}}\n",
+         \"telemetry_feature\": {},\n  \"points\": [\n{}\n  ]{}\n}}\n",
         lab.seed(),
         cfg!(feature = "parallel"),
         saath_telemetry::enabled(),
         point_docs.join(",\n"),
+        shard_json,
     );
     if !small {
         if let Err(e) = std::fs::write("BENCH_scalability.json", &json_doc) {
@@ -1157,7 +1215,19 @@ pub fn scale(lab: &Lab, json: bool, small: bool) -> String {
     if json {
         return json_doc;
     }
-    t.render()
+    let mut rendered = t.render();
+    if !shard_rows.is_empty() {
+        let mut st = Table::new(
+            "Shard-scaling sweep — K coordinator replicas, byte-identical records",
+            &["shards", "nodes", "flows", "wall ms", "overhead"],
+        );
+        for row in &shard_rows {
+            st.row(row);
+        }
+        rendered.push('\n');
+        rendered.push_str(&st.render());
+    }
+    rendered
 }
 
 /// **Trace diagnosis** — not a paper figure: runs Saath and Aalo over

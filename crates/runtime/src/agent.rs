@@ -8,8 +8,9 @@
 //! statistics to the coordinator (bytes sent, finished, data-ready),
 //! and whenever a schedule push arrives it applies the new rates —
 //! *complying with the previous schedule until then*, exactly as §5
-//! prescribes. Stale pushes (older epoch) are ignored, which makes
-//! agent behaviour correct across coordinator restarts.
+//! prescribes. Stale *and duplicate* pushes (epoch ≤ the last applied
+//! one) are ignored, which makes agent behaviour correct across
+//! coordinator restarts and idempotent under retransmitted pushes.
 
 use crate::clock::EmuClock;
 use crate::proto::{FlowStat, Message, RateAssignment};
@@ -69,7 +70,10 @@ pub fn run_agent(
         loop {
             match transport.recv_timeout(std::time::Duration::ZERO) {
                 Ok(Some(Message::Schedule { epoch, rates })) => {
-                    if epoch >= last_epoch {
+                    // Strictly newer wins: a duplicated push of the same
+                    // epoch (retransmit, shard fan-out) must be a no-op,
+                    // not double-counted in `epochs_applied`.
+                    if epoch > last_epoch {
                         last_epoch = epoch;
                         epochs_applied += 1;
                         apply_schedule(&mut live, &rates);
@@ -121,7 +125,7 @@ pub fn run_agent(
         // schedule latency below one tick).
         match transport.recv_timeout(tick_wall) {
             Ok(Some(Message::Schedule { epoch, rates })) => {
-                if epoch >= last_epoch {
+                if epoch > last_epoch {
                     last_epoch = epoch;
                     epochs_applied += 1;
                     apply_schedule(&mut live, &rates);
@@ -286,5 +290,62 @@ mod tests {
         assert_eq!(sent, Some(0), "unready flow must not send");
         coord.send(&Message::Shutdown).unwrap();
         handle.join().unwrap().unwrap();
+    }
+
+    /// A retransmitted push of the *same* epoch must be a no-op: the
+    /// agent applies it once and `epochs_applied` counts it once.
+    #[test]
+    fn duplicate_epoch_pushes_are_applied_once() {
+        let (coord_side, agent_side) = inproc_pair(64);
+        let clock = EmuClock::start(100);
+        let flow = AgentFlow {
+            flow: 2,
+            size: Bytes::mb(10),
+            activate_at: Time::ZERO,
+            ready_at: Time::ZERO,
+        };
+        let c2 = clock.clone();
+        let handle = std::thread::spawn(move || {
+            run_agent(
+                1,
+                vec![flow],
+                Box::new(agent_side),
+                c2,
+                Duration::from_millis(400),
+                Duration::from_millis(100),
+            )
+        });
+        let mut coord: Box<dyn Transport> = Box::new(coord_side);
+        let _hello = coord
+            .recv_timeout(std::time::Duration::from_secs(2))
+            .unwrap();
+
+        // Push epoch 1 three times (e.g. a shard fan-out duplicating
+        // the reconciler's push), then a genuinely new epoch 2.
+        let push = Message::Schedule {
+            epoch: 1,
+            rates: vec![RateAssignment {
+                flow: 2,
+                rate: 125_000_000,
+            }],
+        };
+        coord.send(&push).unwrap();
+        coord.send(&push).unwrap();
+        coord.send(&push).unwrap();
+        coord
+            .send(&Message::Schedule {
+                epoch: 2,
+                rates: vec![RateAssignment {
+                    flow: 2,
+                    rate: 250_000_000,
+                }],
+            })
+            .unwrap();
+
+        // Let the agent drain all four pushes before shutting down.
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        coord.send(&Message::Shutdown).unwrap();
+        let epochs = handle.join().unwrap().unwrap();
+        assert_eq!(epochs, 2, "duplicates must not inflate epochs_applied");
     }
 }

@@ -22,20 +22,20 @@ use saath_telemetry::{Counter, Telemetry};
 use saath_workload::Trace;
 
 /// Static description of one registered CoFlow.
-struct RegEntry {
-    id: CoflowId,
-    arrival: Time,
-    job: Option<saath_simcore::JobId>,
+pub(crate) struct RegEntry {
+    pub(crate) id: CoflowId,
+    pub(crate) arrival: Time,
+    pub(crate) job: Option<saath_simcore::JobId>,
     /// `(flow id, src, dst, size, ready offset)`.
-    flows: Vec<(u32, NodeId, NodeId, Bytes, Duration)>,
+    pub(crate) flows: Vec<(u32, NodeId, NodeId, Bytes, Duration)>,
 }
 
 /// The coordinator's CoFlow registry, preloaded from a trace.
 pub struct CoflowRegistry {
-    entries: Vec<RegEntry>,
-    num_nodes: usize,
-    port_rate: Rate,
-    total_flows: usize,
+    pub(crate) entries: Vec<RegEntry>,
+    pub(crate) num_nodes: usize,
+    pub(crate) port_rate: Rate,
+    pub(crate) total_flows: usize,
 }
 
 impl CoflowRegistry {
@@ -104,6 +104,156 @@ pub struct CoordinatorConfig {
     pub wall_deadline: std::time::Duration,
 }
 
+/// The stateless-rebuild core of the coordinator: latest per-flow
+/// observations, CoFlow completion bookkeeping, and view construction —
+/// everything a δ round derives from the agents' reports alone. Shared
+/// by the single coordinator, each shard replica, and the reconciler,
+/// so all three rebuild *the same* view from the same stats wave.
+pub(crate) struct ObsState {
+    obs: Vec<FlowObs>,
+    done: Vec<Option<Time>>,
+    pub(crate) records: Vec<CoflowRecord>,
+}
+
+/// Latest per-flow stats (dense).
+#[derive(Clone, Copy)]
+struct FlowObs {
+    sent: u64,
+    finished: bool,
+    finished_at: Time,
+    ready: Option<bool>,
+}
+
+impl ObsState {
+    pub(crate) fn new(registry: &CoflowRegistry) -> ObsState {
+        ObsState {
+            obs: vec![
+                FlowObs {
+                    sent: 0,
+                    finished: false,
+                    finished_at: Time::ZERO,
+                    ready: None,
+                };
+                registry.total_flows
+            ],
+            done: vec![None; registry.entries.len()],
+            records: Vec::with_capacity(registry.entries.len()),
+        }
+    }
+
+    /// Folds one stats report in. `now` stamps newly-finished flows.
+    pub(crate) fn ingest(&mut self, flows: &[FlowStat], now: Time) {
+        for &FlowStat {
+            flow,
+            sent,
+            finished,
+            ready,
+        } in flows
+        {
+            let o = &mut self.obs[flow as usize];
+            o.sent = o.sent.max(sent);
+            o.ready = Some(ready);
+            if finished && !o.finished {
+                o.finished = true;
+                o.finished_at = now;
+            }
+        }
+    }
+
+    /// Completion bookkeeping: records every CoFlow whose flows have all
+    /// finished. Returns true once every registered CoFlow is done.
+    pub(crate) fn sweep(&mut self, registry: &CoflowRegistry, now: Time) -> bool {
+        for (ci, e) in registry.entries.iter().enumerate() {
+            if self.done[ci].is_some() || e.arrival > now {
+                continue;
+            }
+            if e.flows
+                .iter()
+                .all(|(fid, ..)| self.obs[*fid as usize].finished)
+            {
+                let finish = e
+                    .flows
+                    .iter()
+                    .map(|(fid, ..)| self.obs[*fid as usize].finished_at)
+                    .max()
+                    .unwrap_or(now);
+                self.done[ci] = Some(finish);
+                self.records.push(CoflowRecord {
+                    id: e.id,
+                    job: e.job,
+                    arrival: e.arrival,
+                    released: e.arrival,
+                    finish,
+                    width: e.flows.len(),
+                    total_bytes: e.flows.iter().map(|(_, _, _, s, _)| *s).sum(),
+                    flow_fcts: e
+                        .flows
+                        .iter()
+                        .map(|(fid, ..)| {
+                            self.obs[*fid as usize]
+                                .finished_at
+                                .saturating_since(e.arrival)
+                        })
+                        .collect(),
+                    flow_sizes: e.flows.iter().map(|(_, _, _, s, _)| *s).collect(),
+                });
+            }
+        }
+        self.records.len() == registry.entries.len()
+    }
+
+    /// Builds the view of active CoFlows at `now` into `views`.
+    pub(crate) fn build_views(
+        &self,
+        registry: &CoflowRegistry,
+        now: Time,
+        clairvoyant: bool,
+        views: &mut Vec<CoflowView>,
+    ) {
+        views.clear();
+        for (ci, e) in registry.entries.iter().enumerate() {
+            if self.done[ci].is_some() || e.arrival > now {
+                continue;
+            }
+            views.push(CoflowView {
+                id: e.id,
+                arrival: e.arrival,
+                flows: e
+                    .flows
+                    .iter()
+                    .map(|(fid, src, dst, size, ready_off)| {
+                        let o = &self.obs[*fid as usize];
+                        FlowView {
+                            id: FlowId(*fid),
+                            src: *src,
+                            dst: *dst,
+                            sent: Bytes(o.sent),
+                            ready: o.ready.unwrap_or(e.arrival + *ready_off <= now),
+                            finished: o.finished,
+                            oracle_size: clairvoyant.then_some(*size),
+                        }
+                    })
+                    .collect(),
+                restarted: false,
+            });
+        }
+    }
+
+    /// Whether any registered CoFlow has arrived and not yet finished.
+    pub(crate) fn has_active(&self, registry: &CoflowRegistry, now: Time) -> bool {
+        registry
+            .entries
+            .iter()
+            .enumerate()
+            .any(|(ci, e)| self.done[ci].is_none() && e.arrival <= now)
+    }
+
+    pub(crate) fn into_sorted_records(mut self) -> Vec<CoflowRecord> {
+        self.records.sort_by_key(|r| r.id);
+        self.records
+    }
+}
+
 /// What a coordinator run produced.
 pub struct CoordinatorReport {
     /// Completed CoFlows (coordinator-observed times, δ-granular).
@@ -144,27 +294,8 @@ pub fn run_coordinator_with_telemetry(
 ) -> CoordinatorReport {
     let mut sched = make_sched();
     let mut restarted = false;
-
-    // Latest per-flow stats (dense).
-    #[derive(Clone, Copy)]
-    struct FlowObs {
-        sent: u64,
-        finished: bool,
-        finished_at: Time,
-        ready: Option<bool>,
-    }
-    let mut obs = vec![
-        FlowObs {
-            sent: 0,
-            finished: false,
-            finished_at: Time::ZERO,
-            ready: None
-        };
-        registry.total_flows
-    ];
-
-    let mut done: Vec<Option<Time>> = vec![None; registry.entries.len()];
-    let mut records = Vec::with_capacity(registry.entries.len());
+    let mut state = ObsState::new(registry);
+    let mut views: Vec<CoflowView> = Vec::new();
     let mut epochs: u64 = 0;
     let mut bank = PortBank::uniform(registry.num_nodes, registry.port_rate);
     let mut out = Schedule::default();
@@ -176,9 +307,8 @@ pub fn run_coordinator_with_telemetry(
             for a in agents.iter_mut() {
                 let _ = a.send(&Message::Shutdown);
             }
-            records.sort_by_key(|r: &CoflowRecord| r.id);
             return CoordinatorReport {
-                records,
+                records: state.into_sorted_records(),
                 epochs,
                 timed_out: true,
                 restarted,
@@ -205,21 +335,7 @@ pub fn run_coordinator_with_telemetry(
                                 t.incr(Counter::CoordStatsMsgs);
                             }
                         }
-                        for FlowStat {
-                            flow,
-                            sent,
-                            finished,
-                            ready,
-                        } in flows
-                        {
-                            let o = &mut obs[flow as usize];
-                            o.sent = o.sent.max(sent);
-                            o.ready = Some(ready);
-                            if finished && !o.finished {
-                                o.finished = true;
-                                o.finished_at = now;
-                            }
-                        }
+                        state.ingest(&flows, now);
                     }
                     Ok(Some(_)) | Ok(None) => break,
                     Err(TransportError::Disconnected) => break,
@@ -229,42 +345,12 @@ pub fn run_coordinator_with_telemetry(
         }
 
         // Completion bookkeeping.
-        for (ci, e) in registry.entries.iter().enumerate() {
-            if done[ci].is_some() || e.arrival > now {
-                continue;
-            }
-            if e.flows.iter().all(|(fid, ..)| obs[*fid as usize].finished) {
-                let finish = e
-                    .flows
-                    .iter()
-                    .map(|(fid, ..)| obs[*fid as usize].finished_at)
-                    .max()
-                    .unwrap_or(now);
-                done[ci] = Some(finish);
-                records.push(CoflowRecord {
-                    id: e.id,
-                    job: e.job,
-                    arrival: e.arrival,
-                    released: e.arrival,
-                    finish,
-                    width: e.flows.len(),
-                    total_bytes: e.flows.iter().map(|(_, _, _, s, _)| *s).sum(),
-                    flow_fcts: e
-                        .flows
-                        .iter()
-                        .map(|(fid, ..)| obs[*fid as usize].finished_at.saturating_since(e.arrival))
-                        .collect(),
-                    flow_sizes: e.flows.iter().map(|(_, _, _, s, _)| *s).collect(),
-                });
-            }
-        }
-        if records.len() == registry.entries.len() {
+        if state.sweep(registry, now) {
             for a in agents.iter_mut() {
                 let _ = a.send(&Message::Shutdown);
             }
-            records.sort_by_key(|r: &CoflowRecord| r.id);
             return CoordinatorReport {
-                records,
+                records: state.into_sorted_records(),
                 epochs,
                 timed_out: false,
                 restarted,
@@ -272,33 +358,7 @@ pub fn run_coordinator_with_telemetry(
         }
 
         // Build the view of active CoFlows and compute a schedule.
-        let mut views: Vec<CoflowView> = Vec::new();
-        for (ci, e) in registry.entries.iter().enumerate() {
-            if done[ci].is_some() || e.arrival > now {
-                continue;
-            }
-            views.push(CoflowView {
-                id: e.id,
-                arrival: e.arrival,
-                flows: e
-                    .flows
-                    .iter()
-                    .map(|(fid, src, dst, size, ready_off)| {
-                        let o = &obs[*fid as usize];
-                        FlowView {
-                            id: FlowId(*fid),
-                            src: *src,
-                            dst: *dst,
-                            sent: Bytes(o.sent),
-                            ready: o.ready.unwrap_or(e.arrival + *ready_off <= now),
-                            finished: o.finished,
-                            oracle_size: cfg.clairvoyant.then_some(*size),
-                        }
-                    })
-                    .collect(),
-                restarted: false,
-            });
-        }
+        state.build_views(registry, now, cfg.clairvoyant, &mut views);
 
         if !views.is_empty() {
             bank.reset_round();

@@ -4,6 +4,7 @@
 use crate::agent::{run_agent, AgentFlow};
 use crate::clock::EmuClock;
 use crate::coordinator::{run_coordinator, CoflowRegistry, CoordinatorConfig, CoordinatorReport};
+use crate::shard::{run_shard, run_sharded_coordinator, ShardFailover};
 use crate::transport::{inproc_pair, TcpTransport, Transport};
 use saath_core::view::CoflowScheduler;
 use saath_simcore::{Duration, Time};
@@ -38,6 +39,13 @@ pub struct EmulationConfig {
     /// Kill and restart the coordinator's scheduler at this simulated
     /// time (failover drill).
     pub restart_coordinator_at: Option<Time>,
+    /// Number of coordinator shards. `1` (the default) is the classic
+    /// single coordinator; `≥ 2` hashes CoFlows across that many policy
+    /// replicas reconciled every δ (see [`crate::shard`]).
+    pub shards: usize,
+    /// Kill shard 0 at this simulated time and swap in a pre-spawned
+    /// standby replica (sharded failover drill; requires `shards ≥ 2`).
+    pub restart_shard_at: Option<Time>,
     /// Wall-clock watchdog for the whole emulation.
     pub wall_deadline: std::time::Duration,
 }
@@ -51,6 +59,8 @@ impl Default for EmulationConfig {
             transport: TransportKind::InProc,
             clairvoyant: false,
             restart_coordinator_at: None,
+            shards: 1,
+            restart_shard_at: None,
             wall_deadline: std::time::Duration::from_secs(60),
         }
     }
@@ -63,16 +73,64 @@ pub struct EmulationReport {
     pub coordinator: CoordinatorReport,
     /// Schedule epochs each agent applied.
     pub agent_epochs: Vec<u64>,
+    /// Reconciliation rounds each shard computed (empty when
+    /// `shards == 1`; the standby replica, if any, is the last entry).
+    pub shard_epochs: Vec<u64>,
+}
+
+type Links = Vec<Box<dyn Transport>>;
+
+/// Builds `n` connected transport pairs of the requested kind. The
+/// first vector holds the coordinator/reconciler sides, the second the
+/// agent/shard sides, index-aligned.
+fn link_pairs(kind: TransportKind, n: usize) -> (Links, Links) {
+    let mut near: Links = Vec::with_capacity(n);
+    let mut far: Links = Vec::with_capacity(n);
+    match kind {
+        TransportKind::InProc => {
+            for _ in 0..n {
+                let (c, a) = inproc_pair(1024);
+                near.push(Box::new(c));
+                far.push(Box::new(a));
+            }
+        }
+        TransportKind::Tcp => {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+            let addr = listener.local_addr().expect("local addr");
+            // Connect all peers, then accept in order of connection.
+            let connectors: Vec<_> = (0..n)
+                .map(|_| {
+                    std::thread::spawn(move || {
+                        TcpTransport::connect(&addr.to_string()).expect("connect")
+                    })
+                })
+                .collect();
+            for _ in 0..n {
+                let (stream, _) = listener.accept().expect("accept");
+                near.push(Box::new(TcpTransport::new(stream).expect("wrap")));
+            }
+            for c in connectors {
+                far.push(Box::new(c.join().expect("peer connect")));
+            }
+        }
+    }
+    (near, far)
 }
 
 /// Replays `trace` on an emulated cluster: one agent thread per node,
-/// the coordinator on the calling thread.
+/// the coordinator (or, with `cfg.shards ≥ 2`, the reconciler plus one
+/// thread per shard) on the calling thread's side.
 pub fn emulate(
     trace: &Trace,
-    make_sched: &dyn Fn() -> Box<dyn CoflowScheduler>,
+    make_sched: &(dyn Fn() -> Box<dyn CoflowScheduler> + Sync),
     cfg: &EmulationConfig,
 ) -> EmulationReport {
     trace.validate().expect("invalid trace");
+    assert!(cfg.shards >= 1, "shards must be at least 1");
+    assert!(
+        cfg.restart_shard_at.is_none() || cfg.shards >= 2,
+        "the shard failover drill needs shards >= 2"
+    );
 
     // Dense flow ids in trace order; each flow is owned by its sender.
     let mut per_node: Vec<Vec<AgentFlow>> = vec![Vec::new(); trace.num_nodes];
@@ -93,36 +151,7 @@ pub fn emulate(
     let clock = EmuClock::start(cfg.scale);
 
     // Wire transports.
-    let mut coord_sides: Vec<Box<dyn Transport>> = Vec::with_capacity(trace.num_nodes);
-    let mut agent_sides: Vec<Box<dyn Transport>> = Vec::with_capacity(trace.num_nodes);
-    match cfg.transport {
-        TransportKind::InProc => {
-            for _ in 0..trace.num_nodes {
-                let (c, a) = inproc_pair(1024);
-                coord_sides.push(Box::new(c));
-                agent_sides.push(Box::new(a));
-            }
-        }
-        TransportKind::Tcp => {
-            let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
-            let addr = listener.local_addr().expect("local addr");
-            // Connect all agents, then accept in order of connection.
-            let connectors: Vec<_> = (0..trace.num_nodes)
-                .map(|_| {
-                    std::thread::spawn(move || {
-                        TcpTransport::connect(&addr.to_string()).expect("connect")
-                    })
-                })
-                .collect();
-            for _ in 0..trace.num_nodes {
-                let (stream, _) = listener.accept().expect("accept");
-                coord_sides.push(Box::new(TcpTransport::new(stream).expect("wrap")));
-            }
-            for c in connectors {
-                agent_sides.push(Box::new(c.join().expect("agent connect")));
-            }
-        }
-    }
+    let (mut coord_sides, agent_sides) = link_pairs(cfg.transport, trace.num_nodes);
 
     // Launch agents.
     let mut handles = Vec::with_capacity(trace.num_nodes);
@@ -135,14 +164,59 @@ pub fn emulate(
         }));
     }
 
-    // Run the coordinator here.
+    // Run the coordinator (or reconciler + shard threads) here.
     let coord_cfg = CoordinatorConfig {
         delta: cfg.delta,
         clairvoyant: cfg.clairvoyant,
         restart_at: cfg.restart_coordinator_at,
         wall_deadline: cfg.wall_deadline,
     };
-    let coordinator = run_coordinator(&registry, make_sched, &mut coord_sides, &clock, &coord_cfg);
+    let (coordinator, shard_epochs) = if cfg.shards <= 1 {
+        let report = run_coordinator(&registry, make_sched, &mut coord_sides, &clock, &coord_cfg);
+        (report, Vec::new())
+    } else {
+        // One link per shard, plus one for the standby replica the
+        // failover drill swaps in.
+        let spare = usize::from(cfg.restart_shard_at.is_some());
+        let (mut recon_sides, shard_sides) = link_pairs(cfg.transport, cfg.shards + spare);
+        let spare_recon_side = (spare == 1).then(|| recon_sides.pop().expect("spare link"));
+        let failover = cfg.restart_shard_at.map(|at| ShardFailover {
+            shard: 0,
+            at,
+            spare: spare_recon_side.expect("spare link"),
+        });
+        let registry_ref = &registry;
+        let clairvoyant = cfg.clairvoyant;
+        let shards = cfg.shards;
+        std::thread::scope(|s| {
+            let shard_handles: Vec<_> = shard_sides
+                .into_iter()
+                .enumerate()
+                .map(|(i, link)| {
+                    // The extra link (index `shards`) is the standby
+                    // replica of shard 0, idle until swapped in.
+                    let shard = if i < shards { i } else { 0 };
+                    s.spawn(move || {
+                        run_shard(shard, shards, registry_ref, make_sched, link, clairvoyant)
+                    })
+                })
+                .collect();
+            let report = run_sharded_coordinator(
+                registry_ref,
+                &mut coord_sides,
+                recon_sides,
+                failover,
+                &clock,
+                &coord_cfg,
+                None,
+            );
+            let shard_epochs = shard_handles
+                .into_iter()
+                .map(|h| h.join().expect("shard panicked").unwrap_or(0))
+                .collect();
+            (report, shard_epochs)
+        })
+    };
 
     // Agents exit on Shutdown (sent by the coordinator) or disconnect.
     drop(coord_sides);
@@ -154,6 +228,7 @@ pub fn emulate(
     EmulationReport {
         coordinator,
         agent_epochs,
+        shard_epochs,
     }
 }
 
@@ -236,6 +311,75 @@ mod tests {
             6,
             "all CoFlows must survive a coordinator restart"
         );
+    }
+
+    #[test]
+    fn sharded_emulation_completes_all_coflows() {
+        let trace = small_trace(6);
+        let cfg = EmulationConfig {
+            shards: 2,
+            ..Default::default()
+        };
+        let report = emulate(&trace, &|| Box::new(Saath::with_defaults()), &cfg);
+        assert!(!report.coordinator.timed_out, "sharded emulation timed out");
+        assert_eq!(report.coordinator.records.len(), 6);
+        assert!(report.coordinator.epochs > 0);
+        assert_eq!(report.shard_epochs.len(), 2);
+        // Lockstep barriers: every shard computes every round.
+        assert!(report.shard_epochs.iter().all(|&e| e > 0));
+        assert!(report.agent_epochs.iter().take(3).all(|&e| e > 0));
+    }
+
+    #[test]
+    fn sharded_emulation_over_tcp() {
+        let trace = small_trace(4);
+        let cfg = EmulationConfig {
+            transport: TransportKind::Tcp,
+            shards: 2,
+            ..Default::default()
+        };
+        let report = emulate(&trace, &|| Box::new(Saath::with_defaults()), &cfg);
+        assert!(!report.coordinator.timed_out);
+        assert_eq!(report.coordinator.records.len(), 4);
+        assert_eq!(report.shard_epochs.len(), 2);
+    }
+
+    #[test]
+    fn shard_failover_drill_recovers() {
+        let trace = small_trace(6);
+        let cfg = EmulationConfig {
+            shards: 2,
+            // Kill shard 0 mid-replay (coflows span ~1.2 sim-seconds);
+            // the pre-spawned standby replica takes over.
+            restart_shard_at: Some(Time::from_millis(600)),
+            ..Default::default()
+        };
+        let report = emulate(&trace, &|| Box::new(Saath::with_defaults()), &cfg);
+        assert!(report.coordinator.restarted, "drill never injected");
+        assert!(!report.coordinator.timed_out);
+        assert_eq!(
+            report.coordinator.records.len(),
+            6,
+            "all CoFlows must survive a shard restart"
+        );
+        // 2 shards + the standby replica.
+        assert_eq!(report.shard_epochs.len(), 3);
+        // The standby computed rounds after the swap.
+        assert!(
+            *report.shard_epochs.last().unwrap() > 0,
+            "standby replica never took over"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "needs shards >= 2")]
+    fn shard_drill_without_shards_is_rejected() {
+        let trace = small_trace(1);
+        let cfg = EmulationConfig {
+            restart_shard_at: Some(Time::from_millis(100)),
+            ..Default::default()
+        };
+        let _ = emulate(&trace, &|| Box::new(Saath::with_defaults()), &cfg);
     }
 
     #[test]

@@ -34,7 +34,9 @@ pub mod clock;
 pub mod coordinator;
 pub mod harness;
 pub mod proto;
+pub mod shard;
 pub mod transport;
 
 pub use clock::EmuClock;
 pub use harness::{emulate, EmulationConfig, EmulationReport, TransportKind};
+pub use shard::{merge_rates, run_shard, run_sharded_coordinator, ShardFailover, ShardedScheduler};

@@ -72,6 +72,33 @@ pub enum Message {
         /// New rates; flows absent from the list pause.
         rates: Vec<RateAssignment>,
     },
+    /// One shard coordinator's slice of the global schedule: the rates
+    /// for the flows whose CoFlows the shard owns (sharded mode only;
+    /// shard → reconciler).
+    ShardSchedule {
+        /// The reporting shard's index.
+        shard: u32,
+        /// The reconciliation epoch this slice answers.
+        epoch: u64,
+        /// Rates for the shard's owned flows.
+        rates: Vec<RateAssignment>,
+    },
+    /// Reconciliation-round barrier from the reconciler to every shard
+    /// coordinator: compute a schedule for the view as of `now_ns` and
+    /// answer with a [`Message::ShardSchedule`] tagged `epoch`.
+    Reconcile {
+        /// The reconciliation epoch being opened.
+        epoch: u64,
+        /// The reconciler's emulated time, nanoseconds — shards build
+        /// their views at this instant so every replica sees the same
+        /// arrival frontier.
+        now_ns: u64,
+        /// When set, the shard must discard its scheduler state and
+        /// rebuild from the latest stats (failover reconciliation: a
+        /// restarted shard forces every peer to re-derive state, the
+        /// sharded equivalent of the §5 single-coordinator restart).
+        rebuild: bool,
+    },
     /// Orderly shutdown (harness → everyone).
     Shutdown,
 }
@@ -106,11 +133,36 @@ const T_HELLO: u8 = 1;
 const T_STATS: u8 = 2;
 const T_SCHEDULE: u8 = 3;
 const T_SHUTDOWN: u8 = 4;
+const T_SHARD_SCHEDULE: u8 = 5;
+const T_RECONCILE: u8 = 6;
 
 impl Message {
+    /// Exact frame-body length (everything after the 4-byte prefix)
+    /// this message encodes to. Cheap — no buffer is built — so senders
+    /// can reject oversized messages before allocating anything.
+    pub fn encoded_len(&self) -> usize {
+        2 + match self {
+            Message::Hello { .. } => 4,
+            Message::Stats { flows, .. } => 16 + 13 * flows.len(),
+            Message::Schedule { rates, .. } => 12 + 12 * rates.len(),
+            Message::ShardSchedule { rates, .. } => 16 + 12 * rates.len(),
+            Message::Reconcile { .. } => 17,
+            Message::Shutdown => 0,
+        }
+    }
+
     /// Encodes into a length-prefixed frame.
-    pub fn encode(&self) -> Bytes {
-        let mut body = BytesMut::with_capacity(64);
+    ///
+    /// Fails with [`ProtoError::Oversized`] when the body would exceed
+    /// [`MAX_FRAME`] — the receiver's `decode_stream` would reject such
+    /// a frame mid-stream anyway, so the failure belongs on the sender,
+    /// where the message (and its flow count) is still in context.
+    pub fn encode(&self) -> Result<Bytes, ProtoError> {
+        let body_len = self.encoded_len();
+        if body_len > MAX_FRAME {
+            return Err(ProtoError::Oversized(body_len));
+        }
+        let mut body = BytesMut::with_capacity(body_len);
         body.put_u8(VERSION);
         match self {
             Message::Hello { node } => {
@@ -141,14 +193,39 @@ impl Message {
                     body.put_u64(r.rate);
                 }
             }
+            Message::ShardSchedule {
+                shard,
+                epoch,
+                rates,
+            } => {
+                body.put_u8(T_SHARD_SCHEDULE);
+                body.put_u32(*shard);
+                body.put_u64(*epoch);
+                body.put_u32(rates.len() as u32);
+                for r in rates {
+                    body.put_u32(r.flow);
+                    body.put_u64(r.rate);
+                }
+            }
+            Message::Reconcile {
+                epoch,
+                now_ns,
+                rebuild,
+            } => {
+                body.put_u8(T_RECONCILE);
+                body.put_u64(*epoch);
+                body.put_u64(*now_ns);
+                body.put_u8(u8::from(*rebuild));
+            }
             Message::Shutdown => {
                 body.put_u8(T_SHUTDOWN);
             }
         }
+        debug_assert_eq!(body.len(), body_len, "encoded_len out of sync");
         let mut frame = BytesMut::with_capacity(4 + body.len());
         frame.put_u32(body.len() as u32);
         frame.extend_from_slice(&body);
-        frame.freeze()
+        Ok(frame.freeze())
     }
 
     /// Decodes one frame *body* (everything after the length prefix).
@@ -218,6 +295,38 @@ impl Message {
                 }
                 Ok(Message::Schedule { epoch, rates })
             }
+            T_SHARD_SCHEDULE => {
+                need(&body, 16)?;
+                let shard = body.get_u32();
+                let epoch = body.get_u64();
+                let n = body.get_u32() as usize;
+                if n > MAX_FRAME / 12 {
+                    return Err(ProtoError::Oversized(n));
+                }
+                need(&body, n * 12)?;
+                let mut rates = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let flow = body.get_u32();
+                    let rate = body.get_u64();
+                    rates.push(RateAssignment { flow, rate });
+                }
+                Ok(Message::ShardSchedule {
+                    shard,
+                    epoch,
+                    rates,
+                })
+            }
+            T_RECONCILE => {
+                need(&body, 17)?;
+                let epoch = body.get_u64();
+                let now_ns = body.get_u64();
+                let rebuild = body.get_u8() != 0;
+                Ok(Message::Reconcile {
+                    epoch,
+                    now_ns,
+                    rebuild,
+                })
+            }
             T_SHUTDOWN => Ok(Message::Shutdown),
             other => Err(ProtoError::BadType(other)),
         }
@@ -247,7 +356,12 @@ mod tests {
     use super::*;
 
     fn roundtrip(m: Message) {
-        let frame = m.encode();
+        let frame = m.encode().unwrap();
+        assert_eq!(
+            frame.len(),
+            4 + m.encoded_len(),
+            "encoded_len must match the actual frame"
+        );
         let mut buf = BytesMut::from(&frame[..]);
         let got = Message::decode_stream(&mut buf).unwrap().unwrap();
         assert_eq!(got, m);
@@ -258,6 +372,24 @@ mod tests {
     fn all_messages_roundtrip() {
         roundtrip(Message::Hello { node: 7 });
         roundtrip(Message::Shutdown);
+        roundtrip(Message::ShardSchedule {
+            shard: 2,
+            epoch: 11,
+            rates: vec![RateAssignment {
+                flow: 4,
+                rate: 2_000,
+            }],
+        });
+        roundtrip(Message::Reconcile {
+            epoch: 9,
+            now_ns: 77_000,
+            rebuild: true,
+        });
+        roundtrip(Message::Reconcile {
+            epoch: 10,
+            now_ns: 78_000,
+            rebuild: false,
+        });
         roundtrip(Message::Stats {
             node: 3,
             now_ns: 123_456_789,
@@ -305,9 +437,37 @@ mod tests {
     }
 
     #[test]
+    fn oversized_messages_fail_at_encode_time() {
+        // A Stats report that would exceed MAX_FRAME must be rejected by
+        // the *sender*, with the offending size, not abort the
+        // receiver's stream mid-decode.
+        let flows = vec![
+            FlowStat {
+                flow: 0,
+                sent: 0,
+                finished: false,
+                ready: true,
+            };
+            MAX_FRAME / 13 + 1
+        ];
+        let m = Message::Stats {
+            node: 0,
+            now_ns: 0,
+            flows,
+        };
+        assert!(m.encoded_len() > MAX_FRAME);
+        assert!(matches!(m.encode(), Err(ProtoError::Oversized(_))));
+
+        // Schedule pushes are bounded the same way.
+        let rates = vec![RateAssignment { flow: 0, rate: 0 }; MAX_FRAME / 12 + 1];
+        let m = Message::Schedule { epoch: 1, rates };
+        assert!(matches!(m.encode(), Err(ProtoError::Oversized(_))));
+    }
+
+    #[test]
     fn streaming_decode_handles_partial_and_multiple_frames() {
-        let a = Message::Hello { node: 1 }.encode();
-        let b = Message::Shutdown.encode();
+        let a = Message::Hello { node: 1 }.encode().unwrap();
+        let b = Message::Shutdown.encode().unwrap();
         let mut stream = BytesMut::new();
         stream.extend_from_slice(&a);
         stream.extend_from_slice(&b);

@@ -1,0 +1,604 @@
+//! Multi-coordinator sharding with deterministic reconciliation.
+//!
+//! The ROADMAP's scalability rung past a single coordinator: CoFlows
+//! are hashed across K coordinator **shards** (`saath_core::view::
+//! shard_of`), each shard runs the full scheduling policy as a
+//! *replica* over the complete cluster view, and a per-δ
+//! **reconciliation round** merges the shards' owned slices into one
+//! consistent rate assignment before it is pushed to the agents.
+//!
+//! ## Why replicas, not partitions
+//!
+//! Saath's decisions are global — the contention matrix couples every
+//! CoFlow that shares a port, so a shard scheduling only *its* CoFlows
+//! against only *its* ports would produce different (worse) schedules
+//! than the single coordinator, breaking the acceptance bar of
+//! byte-identical records. Instead each shard deterministically
+//! recomputes the full schedule and emits only the slice it owns;
+//! because every replica sees the same stats waves in the same δ
+//! cadence, the slices are disjoint and their union *is* the global
+//! schedule. Sharding therefore does not divide the scheduling compute
+//! (the `parallel` feature divides compute *within* a replica); it
+//! divides the failure domain — any K−1 shards can die and the
+//! reconciler keeps pushing consistent schedules from the survivors'
+//! last slices, and a restarted shard resynchronises from a single
+//! stats wave (§5's stateless-rebuild property, now per shard).
+//!
+//! ## Reconciliation order
+//!
+//! The reconciler flattens the slices, sorts by flow id (a
+//! deterministic total order, mirroring the stale-revalidating serial
+//! merge the `parallel` feature uses), and clamps each rate to the
+//! remaining capacity of the flow's two ports. When replicas agree the
+//! union is exactly one feasible schedule and no clamp fires; clamping
+//! only shapes the transient where replicas diverge (one missed a
+//! stats wave, or one just restarted), where it restores feasibility
+//! without coordination.
+
+use crate::clock::EmuClock;
+use crate::coordinator::{CoflowRegistry, CoordinatorConfig, CoordinatorReport, ObsState};
+use crate::proto::{Message, RateAssignment};
+use crate::transport::{Transport, TransportError};
+use saath_core::view::{shard_of, ClusterView, CoflowScheduler, CoflowView, Schedule};
+use saath_fabric::PortBank;
+use saath_simcore::{FlowId, PortId, Rate, Time};
+use saath_telemetry::{Counter, Telemetry};
+
+/// Merges shard slices into one feasible schedule: entries are sorted
+/// by flow id (the deterministic total order) and each rate is clamped
+/// to the remaining capacity of the flow's two ports. Returns the
+/// number of clamped entries — zero whenever the slices came from
+/// agreeing replicas.
+pub fn merge_rates(
+    entries: &mut [(FlowId, Rate, PortId, PortId)],
+    bank: &mut PortBank,
+    out: &mut Schedule,
+) -> u64 {
+    entries.sort_unstable_by_key(|(f, ..)| *f);
+    let mut clamps = 0u64;
+    for &(flow, rate, src, dst) in entries.iter() {
+        let give = rate.min(bank.remaining(src)).min(bank.remaining(dst));
+        if give < rate {
+            clamps += 1;
+        }
+        if !give.is_zero() {
+            bank.allocate(src, give);
+            bank.allocate(dst, give);
+            out.set(flow, give);
+        }
+    }
+    clamps
+}
+
+/// A [`CoflowScheduler`] that runs K policy replicas and merges their
+/// owned slices — the simulator-domain model of the sharded
+/// coordinator, used to prove record-equivalence deterministically
+/// (the runtime path asserts completion, not byte-equality, because
+/// wall-clock timestamps jitter).
+pub struct ShardedScheduler {
+    replicas: Vec<Box<dyn CoflowScheduler>>,
+    make: Box<dyn Fn() -> Box<dyn CoflowScheduler>>,
+    /// Recreate every replica at this time — the simulator-domain
+    /// failover drill (a shard restart forces a global rebuild so the
+    /// replicas stay identical; see [`run_sharded_coordinator`]).
+    restart_at: Option<Time>,
+    restarted: bool,
+    scratch: PortBank,
+    slice: Schedule,
+    entries: Vec<(FlowId, Rate, PortId, PortId)>,
+}
+
+impl ShardedScheduler {
+    /// K replicas of the policy `make` builds.
+    pub fn new(
+        k: usize,
+        make: impl Fn() -> Box<dyn CoflowScheduler> + 'static,
+    ) -> ShardedScheduler {
+        assert!(k > 0, "need at least one shard");
+        ShardedScheduler {
+            replicas: (0..k).map(|_| make()).collect(),
+            make: Box::new(make),
+            restart_at: None,
+            restarted: false,
+            scratch: PortBank::uniform(1, Rate(1)),
+            slice: Schedule::default(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Like [`ShardedScheduler::new`] but recreates *all* replicas on
+    /// the first round at or after `at` (failover drill).
+    pub fn with_restart(
+        k: usize,
+        make: impl Fn() -> Box<dyn CoflowScheduler> + 'static,
+        at: Time,
+    ) -> ShardedScheduler {
+        let mut s = ShardedScheduler::new(k, make);
+        s.restart_at = Some(at);
+        s
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.replicas.len()
+    }
+}
+
+impl CoflowScheduler for ShardedScheduler {
+    fn name(&self) -> &'static str {
+        self.replicas[0].name()
+    }
+
+    fn requires_clairvoyance(&self) -> bool {
+        self.replicas[0].requires_clairvoyance()
+    }
+
+    fn compute(&mut self, view: &ClusterView<'_>, bank: &mut PortBank, out: &mut Schedule) {
+        let k = self.replicas.len();
+        // Failover drill: rebuild every replica, then compute this
+        // round with `changed: None` — a fresh policy has no incremental
+        // state, so a change *hint* would under-refresh it.
+        let mut rebuilt = false;
+        if let Some(t) = self.restart_at {
+            if !self.restarted && view.now >= t {
+                self.replicas = (0..k).map(|_| (self.make)()).collect();
+                self.restarted = true;
+                rebuilt = true;
+            }
+        }
+        let view = ClusterView {
+            now: view.now,
+            num_nodes: view.num_nodes,
+            coflows: view.coflows,
+            changed: if rebuilt { None } else { view.changed },
+        };
+
+        // Each replica computes the full schedule on a scratch bank and
+        // contributes only the flows of CoFlows it owns.
+        self.entries.clear();
+        for (i, replica) in self.replicas.iter_mut().enumerate() {
+            self.scratch.clone_reset_from(bank);
+            self.slice.clear();
+            replica.compute(&view, &mut self.scratch, &mut self.slice);
+            for cf in view.coflows {
+                if shard_of(cf.id, k) != i {
+                    continue;
+                }
+                for f in &cf.flows {
+                    let r = self.slice.rate_of(f.id);
+                    if !r.is_zero() {
+                        let e = f.endpoints(view.num_nodes);
+                        self.entries.push((f.id, r, e.src, e.dst));
+                    }
+                }
+            }
+        }
+        let clamps = merge_rates(&mut self.entries, bank, out);
+        debug_assert_eq!(clamps, 0, "agreeing replicas must merge without clamping");
+    }
+
+    fn mech_counters(&self) -> Option<&saath_telemetry::MechCounters> {
+        self.replicas[0].mech_counters()
+    }
+
+    fn queue_occupancy(&self) -> Option<&[usize]> {
+        self.replicas[0].queue_occupancy()
+    }
+}
+
+/// `(uplink, downlink)` of every registered flow, indexed by flow id.
+fn flow_endpoints(registry: &CoflowRegistry) -> Vec<(PortId, PortId)> {
+    let mut eps = vec![(PortId(0), PortId(0)); registry.total_flows];
+    for e in &registry.entries {
+        for (fid, src, dst, ..) in &e.flows {
+            eps[*fid as usize] = (
+                PortId::uplink(*src),
+                PortId::downlink(*dst, registry.num_nodes),
+            );
+        }
+    }
+    eps
+}
+
+/// Owning shard of every registered flow, indexed by flow id.
+fn flow_owners(registry: &CoflowRegistry, shards: usize) -> Vec<u32> {
+    let mut owners = vec![0u32; registry.total_flows];
+    for e in &registry.entries {
+        let s = shard_of(e.id, shards) as u32;
+        for (fid, ..) in &e.flows {
+            owners[*fid as usize] = s;
+        }
+    }
+    owners
+}
+
+/// Runs one coordinator shard: a full policy replica driven in
+/// lockstep by the reconciler's [`Message::Reconcile`] barriers.
+/// Between barriers it folds in the stats reports the reconciler
+/// forwards; on each barrier it computes the full schedule at the
+/// barrier's timestamp and replies with the slice of CoFlows it owns.
+/// Returns the number of reconciliation rounds it computed.
+pub fn run_shard(
+    shard: usize,
+    shards: usize,
+    registry: &CoflowRegistry,
+    make_sched: &(dyn Fn() -> Box<dyn CoflowScheduler> + Sync),
+    mut link: Box<dyn Transport>,
+    clairvoyant: bool,
+) -> Result<u64, TransportError> {
+    let mut sched = make_sched();
+    let mut state = ObsState::new(registry);
+    let mut views: Vec<CoflowView> = Vec::new();
+    let mut bank = PortBank::uniform(registry.num_nodes, registry.port_rate);
+    let mut out = Schedule::default();
+    let owners = flow_owners(registry, shards);
+    let mut rounds = 0u64;
+    loop {
+        match link.recv_timeout(std::time::Duration::from_millis(50)) {
+            Ok(Some(Message::Stats { now_ns, flows, .. })) => {
+                state.ingest(&flows, Time(now_ns));
+            }
+            Ok(Some(Message::Reconcile {
+                epoch,
+                now_ns,
+                rebuild,
+            })) => {
+                if rebuild {
+                    // Global rebuild: every replica recreates its policy
+                    // together so they stay identical (policies carry
+                    // cross-round state — deadlines, contention — that
+                    // a lone fresh replica would lack).
+                    sched = make_sched();
+                }
+                let now = Time(now_ns);
+                state.sweep(registry, now);
+                state.build_views(registry, now, clairvoyant, &mut views);
+                out.clear();
+                if !views.is_empty() {
+                    bank.reset_round();
+                    let view = ClusterView {
+                        now,
+                        num_nodes: registry.num_nodes,
+                        coflows: &views,
+                        changed: None,
+                    };
+                    sched.compute(&view, &mut bank, &mut out);
+                }
+                rounds += 1;
+                let rates: Vec<RateAssignment> = out
+                    .rates
+                    .iter()
+                    .filter(|(f, _)| owners[f.0 as usize] == shard as u32)
+                    .map(|(f, r)| RateAssignment {
+                        flow: f.0,
+                        rate: r.as_u64(),
+                    })
+                    .collect();
+                link.send(&Message::ShardSchedule {
+                    shard: shard as u32,
+                    epoch,
+                    rates,
+                })?;
+            }
+            Ok(Some(Message::Shutdown)) => return Ok(rounds),
+            Ok(Some(_)) | Ok(None) => {}
+            Err(TransportError::Disconnected) => return Ok(rounds),
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Kill-and-respawn drill for one shard: at simulated time `at` the
+/// reconciler shuts the shard's link down and swaps in `spare` — a
+/// pre-connected link to a standby replica of the same shard — then
+/// broadcasts a global rebuild on the next barrier.
+pub struct ShardFailover {
+    /// Which shard to restart.
+    pub shard: usize,
+    /// When (simulated time).
+    pub at: Time,
+    /// Link to the standby replica that takes over.
+    pub spare: Box<dyn Transport>,
+}
+
+/// The reconciler: drains agent stats, forwards them to every shard,
+/// issues a per-δ [`Message::Reconcile`] barrier, merges the shards'
+/// slices in deterministic flow-id order with port-capacity clamping,
+/// and pushes the merged schedule to the agents. A shard that misses a
+/// barrier contributes its previous slice (the agents would keep
+/// complying with it anyway); a shard restart swaps in the spare link
+/// and forces a global rebuild.
+///
+/// Owns completion bookkeeping (the records), exactly like
+/// [`crate::coordinator::run_coordinator`], and terminates the same
+/// way: shutdown broadcast once every registered CoFlow completes, or
+/// on the wall-clock watchdog.
+#[allow(clippy::too_many_arguments)]
+pub fn run_sharded_coordinator(
+    registry: &CoflowRegistry,
+    agents: &mut [Box<dyn Transport>],
+    mut shard_links: Vec<Box<dyn Transport>>,
+    mut failover: Option<ShardFailover>,
+    clock: &EmuClock,
+    cfg: &CoordinatorConfig,
+    mut tele: Option<&mut Telemetry>,
+) -> CoordinatorReport {
+    let shards = shard_links.len();
+    assert!(shards >= 1, "sharded coordinator needs at least one shard");
+    let mut state = ObsState::new(registry);
+    let mut epochs: u64 = 0;
+    let mut restarted = false;
+    let mut pending_rebuild = false;
+    let mut last_slices: Vec<Vec<RateAssignment>> = vec![Vec::new(); shards];
+    let mut bank = PortBank::uniform(registry.num_nodes, registry.port_rate);
+    let mut out = Schedule::default();
+    let mut entries: Vec<(FlowId, Rate, PortId, PortId)> = Vec::new();
+    let endpoints = flow_endpoints(registry);
+    let started_wall = std::time::Instant::now();
+    let delta_wall = clock.to_wall(cfg.delta);
+    // Budget for collecting shard replies: a couple of δ intervals, so
+    // a healthy shard always makes it and a dead one costs bounded time
+    // before its previous slice is reused.
+    let reply_budget = delta_wall.max(std::time::Duration::from_millis(5)) * 2;
+
+    let shutdown_all = |agents: &mut [Box<dyn Transport>],
+                        links: &mut [Box<dyn Transport>],
+                        failover: &mut Option<ShardFailover>| {
+        for a in agents.iter_mut() {
+            let _ = a.send(&Message::Shutdown);
+        }
+        for l in links.iter_mut() {
+            let _ = l.send(&Message::Shutdown);
+        }
+        // An unused spare's standby replica must also be released.
+        if let Some(f) = failover.take() {
+            let mut spare = f.spare;
+            let _ = spare.send(&Message::Shutdown);
+        }
+    };
+
+    loop {
+        if started_wall.elapsed() > cfg.wall_deadline {
+            shutdown_all(agents, &mut shard_links, &mut failover);
+            return CoordinatorReport {
+                records: state.into_sorted_records(),
+                epochs,
+                timed_out: true,
+                restarted,
+            };
+        }
+
+        // Failover drill: kill the shard's link, swap in the standby.
+        if let Some(f) = &failover {
+            if clock.now() >= f.at {
+                let f = failover.take().expect("checked above");
+                let _ = shard_links[f.shard].send(&Message::Shutdown);
+                shard_links[f.shard] = f.spare;
+                // The standby replica is fresh; force every other
+                // replica to rebuild too so they stay identical.
+                pending_rebuild = true;
+                restarted = true;
+                if saath_telemetry::enabled() {
+                    if let Some(t) = tele.as_deref_mut() {
+                        t.incr(Counter::CoordShardRebuilds);
+                    }
+                }
+            }
+        }
+
+        // Drain agent stats: ingest for completion bookkeeping and
+        // forward verbatim to every shard (each replica sees the same
+        // waves, which is what keeps their schedules identical).
+        let now = clock.now();
+        let t_round = tele.as_ref().map(|_| std::time::Instant::now());
+        for a in agents.iter_mut() {
+            loop {
+                match a.recv_timeout(std::time::Duration::ZERO) {
+                    Ok(Some(Message::Stats {
+                        node,
+                        now_ns,
+                        flows,
+                    })) => {
+                        if saath_telemetry::enabled() {
+                            if let Some(t) = tele.as_deref_mut() {
+                                t.incr(Counter::CoordStatsMsgs);
+                            }
+                        }
+                        state.ingest(&flows, now);
+                        let fwd = Message::Stats {
+                            node,
+                            now_ns,
+                            flows,
+                        };
+                        for l in shard_links.iter_mut() {
+                            let _ = l.send(&fwd);
+                        }
+                    }
+                    Ok(Some(_)) | Ok(None) => break,
+                    Err(TransportError::Disconnected) => break,
+                    Err(_) => break,
+                }
+            }
+        }
+
+        if state.sweep(registry, now) {
+            shutdown_all(agents, &mut shard_links, &mut failover);
+            return CoordinatorReport {
+                records: state.into_sorted_records(),
+                epochs,
+                timed_out: false,
+                restarted,
+            };
+        }
+
+        if state.has_active(registry, now) {
+            // Barrier: every shard computes at the same timestamp.
+            let barrier = Message::Reconcile {
+                epoch: epochs + 1,
+                now_ns: now.as_nanos(),
+                rebuild: pending_rebuild,
+            };
+            pending_rebuild = false;
+            for l in shard_links.iter_mut() {
+                let _ = l.send(&barrier);
+            }
+
+            // Collect one slice per shard, discarding stale replies
+            // from rounds that previously timed out.
+            let deadline = std::time::Instant::now() + reply_budget;
+            let mut got: Vec<Option<Vec<RateAssignment>>> = (0..shards).map(|_| None).collect();
+            for l in shard_links.iter_mut() {
+                loop {
+                    let left = deadline.saturating_duration_since(std::time::Instant::now());
+                    match l.recv_timeout(left) {
+                        Ok(Some(Message::ShardSchedule {
+                            shard,
+                            epoch,
+                            rates,
+                        })) => {
+                            if epoch == epochs + 1 {
+                                got[shard as usize] = Some(rates);
+                                break;
+                            }
+                            // Stale — keep draining within the budget.
+                        }
+                        Ok(Some(_)) | Ok(None) => break,
+                        Err(_) => break,
+                    }
+                }
+            }
+            epochs += 1;
+
+            // Merge: fresh slices replace the cache; a missing shard
+            // falls back to its previous slice (the agents would keep
+            // complying with it regardless — this just keeps the merged
+            // push consistent with that reality).
+            entries.clear();
+            for (i, slice) in got.into_iter().enumerate() {
+                match slice {
+                    Some(rates) => {
+                        if saath_telemetry::enabled() {
+                            if let Some(t) = tele.as_deref_mut() {
+                                t.incr(Counter::CoordShardSlices);
+                            }
+                        }
+                        last_slices[i] = rates;
+                    }
+                    None => {
+                        if saath_telemetry::enabled() {
+                            if let Some(t) = tele.as_deref_mut() {
+                                t.incr(Counter::CoordShardFallbacks);
+                            }
+                        }
+                    }
+                }
+                for r in &last_slices[i] {
+                    let (src, dst) = endpoints[r.flow as usize];
+                    entries.push((FlowId(r.flow), Rate(r.rate), src, dst));
+                }
+            }
+            bank.reset_round();
+            out.clear();
+            let clamps = merge_rates(&mut entries, &mut bank, &mut out);
+            if saath_telemetry::enabled() {
+                if let Some(t) = tele.as_deref_mut() {
+                    t.add(Counter::CoordMergeClamps, clamps);
+                }
+            }
+
+            let push = Message::Schedule {
+                epoch: epochs,
+                rates: out
+                    .rates
+                    .iter()
+                    .map(|(f, r)| RateAssignment {
+                        flow: f.0,
+                        rate: r.as_u64(),
+                    })
+                    .collect(),
+            };
+            for a in agents.iter_mut() {
+                let _ = a.send(&push);
+                if saath_telemetry::enabled() {
+                    if let Some(t) = tele.as_deref_mut() {
+                        t.incr(Counter::CoordScheduleMsgs);
+                    }
+                }
+            }
+            if saath_telemetry::enabled() {
+                if let Some(t) = tele.as_deref_mut() {
+                    t.incr(Counter::CoordEpochs);
+                }
+            }
+        }
+        if saath_telemetry::enabled() {
+            if let Some(t) = tele.as_deref_mut() {
+                if let Some(started) = t_round {
+                    t.sync_round_ns.observe(started.elapsed().as_nanos() as u64);
+                }
+            }
+        }
+
+        std::thread::sleep(delta_wall);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saath_core::Saath;
+    use saath_simcore::NodeId;
+
+    #[test]
+    fn merge_is_identity_on_a_feasible_union() {
+        let mut bank = PortBank::uniform(4, Rate(100));
+        let up0 = PortId::uplink(NodeId(0));
+        let dn2 = PortId::downlink(NodeId(2), 4);
+        let up1 = PortId::uplink(NodeId(1));
+        let dn3 = PortId::downlink(NodeId(3), 4);
+        // Disjoint slices arriving out of order, jointly feasible.
+        let mut entries = vec![
+            (FlowId(7), Rate(60), up1, dn3),
+            (FlowId(2), Rate(100), up0, dn2),
+            (FlowId(9), Rate(40), up1, dn3),
+        ];
+        let mut out = Schedule::default();
+        let clamps = merge_rates(&mut entries, &mut bank, &mut out);
+        assert_eq!(clamps, 0);
+        assert_eq!(
+            out.rates,
+            vec![
+                (FlowId(2), Rate(100)),
+                (FlowId(7), Rate(60)),
+                (FlowId(9), Rate(40)),
+            ],
+            "sorted by flow id, rates untouched"
+        );
+    }
+
+    #[test]
+    fn merge_clamps_conflicting_claims_deterministically() {
+        let mut bank = PortBank::uniform(2, Rate(100));
+        let up0 = PortId::uplink(NodeId(0));
+        let dn1 = PortId::downlink(NodeId(1), 2);
+        // Two diverged replicas both claimed the same uplink in full.
+        let mut entries = vec![
+            (FlowId(5), Rate(100), up0, dn1),
+            (FlowId(1), Rate(100), up0, dn1),
+        ];
+        let mut out = Schedule::default();
+        let clamps = merge_rates(&mut entries, &mut bank, &mut out);
+        // Lowest flow id wins the capacity; the later claim clamps to 0.
+        assert_eq!(clamps, 1);
+        assert_eq!(out.rates, vec![(FlowId(1), Rate(100))]);
+        assert_eq!(out.rate_of(FlowId(5)), Rate::ZERO);
+    }
+
+    #[test]
+    fn sharded_scheduler_reports_replica_zero() {
+        let s = ShardedScheduler::new(3, || Box::new(Saath::with_defaults()));
+        assert_eq!(s.shards(), 3);
+        assert_eq!(s.name(), Saath::with_defaults().name());
+        assert!(!s.requires_clairvoyance());
+    }
+}

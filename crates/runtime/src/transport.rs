@@ -10,9 +10,9 @@
 use crate::proto::{Message, ProtoError};
 use bytes::BytesMut;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
-use std::io::{Read, Write};
+use std::io::{ErrorKind, Read, Write};
 use std::net::TcpStream;
-use std::time::Duration as WallDuration;
+use std::time::{Duration as WallDuration, Instant};
 
 /// A transport failure.
 #[derive(Debug)]
@@ -69,8 +69,28 @@ pub fn inproc_pair(capacity: usize) -> (InProcTransport, InProcTransport) {
     )
 }
 
+/// Whether an I/O error kind means "the peer is gone" rather than a
+/// transient fault. `BrokenPipe` is what a closed socket surfaces on
+/// write; `ConnectionReset` / `ConnectionAborted` are the same death
+/// seen from the read side (or a RST) — all three must route to
+/// [`TransportError::Disconnected`] so the failover path treats a dead
+/// peer uniformly instead of bubbling a generic I/O error.
+fn is_disconnect(kind: ErrorKind) -> bool {
+    matches!(
+        kind,
+        ErrorKind::BrokenPipe | ErrorKind::ConnectionReset | ErrorKind::ConnectionAborted
+    )
+}
+
 impl Transport for InProcTransport {
     fn send(&mut self, m: &Message) -> Result<(), TransportError> {
+        // Mirror the framed path's sender-side size check so oversize
+        // bugs surface identically under both transports.
+        if m.encoded_len() > crate::proto::MAX_FRAME {
+            return Err(TransportError::Proto(ProtoError::Oversized(
+                m.encoded_len(),
+            )));
+        }
         self.tx
             .send(m.clone())
             .map_err(|_| TransportError::Disconnected)
@@ -110,9 +130,9 @@ impl TcpTransport {
 
 impl Transport for TcpTransport {
     fn send(&mut self, m: &Message) -> Result<(), TransportError> {
-        let frame = m.encode();
+        let frame = m.encode()?;
         self.stream.write_all(&frame).map_err(|e| {
-            if e.kind() == std::io::ErrorKind::BrokenPipe {
+            if is_disconnect(e.kind()) {
                 TransportError::Disconnected
             } else {
                 TransportError::Io(e)
@@ -125,11 +145,20 @@ impl Transport for TcpTransport {
         if let Some(m) = Message::decode_stream(&mut self.buf)? {
             return Ok(Some(m));
         }
-        self.stream
-            .set_read_timeout(Some(timeout.max(WallDuration::from_micros(1))))
-            .map_err(TransportError::Io)?;
+        // One deadline for the whole call. A partial frame re-enters the
+        // read loop with only the *remaining* budget armed, so a peer
+        // trickling bytes (one per timeout) cannot hold the caller past
+        // its deadline — each partial read used to re-arm the full
+        // timeout, stretching a t-deadline wait to frame_len × t.
+        let deadline = Instant::now() + timeout;
         let mut chunk = [0u8; 4096];
         loop {
+            // Arm the *remaining* budget (min 1 µs so a zero timeout
+            // still performs exactly one non-blocking-ish poll).
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            self.stream
+                .set_read_timeout(Some(remaining.max(WallDuration::from_micros(1))))
+                .map_err(TransportError::Io)?;
             match self.stream.read(&mut chunk) {
                 Ok(0) => return Err(TransportError::Disconnected),
                 Ok(n) => {
@@ -137,16 +166,17 @@ impl Transport for TcpTransport {
                     if let Some(m) = Message::decode_stream(&mut self.buf)? {
                         return Ok(Some(m));
                     }
-                    // Partial frame: keep reading within the timeout
-                    // (approximation: we re-arm the full timeout, which
-                    // only ever waits *longer*, never spuriously fails).
+                    // Partial frame: keep reading, but only within what
+                    // is left of the deadline; the incomplete frame
+                    // stays buffered for the next call to finish.
+                    if Instant::now() >= deadline {
+                        return Ok(None);
+                    }
                 }
-                Err(e)
-                    if e.kind() == std::io::ErrorKind::WouldBlock
-                        || e.kind() == std::io::ErrorKind::TimedOut =>
-                {
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
                     return Ok(None);
                 }
+                Err(e) if is_disconnect(e.kind()) => return Err(TransportError::Disconnected),
                 Err(e) => return Err(TransportError::Io(e)),
             }
         }
@@ -246,6 +276,91 @@ mod tests {
             assert_eq!(got, m);
         }
         server.join().unwrap();
+    }
+
+    /// A peer trickling one byte per delay must not stretch
+    /// `recv_timeout` past its deadline: the remaining budget shrinks on
+    /// every partial read instead of re-arming in full. The message must
+    /// still assemble across calls once all bytes arrive.
+    #[test]
+    fn tcp_partial_frames_respect_the_deadline() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let msg = Message::Stats {
+            node: 5,
+            now_ns: 1_234,
+            flows: vec![FlowStat {
+                flow: 9,
+                sent: 77,
+                finished: false,
+                ready: true,
+            }],
+        };
+        let frame = msg.encode().unwrap();
+        let n_bytes = frame.len();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            // One byte every 10 ms: the whole frame takes ~n×10 ms,
+            // far beyond any single 40 ms recv budget below.
+            for b in frame.iter() {
+                stream.write_all(&[*b]).unwrap();
+                stream.flush().unwrap();
+                std::thread::sleep(WallDuration::from_millis(10));
+            }
+            // Hold the socket open until the client is done reading.
+            std::thread::sleep(WallDuration::from_millis(400));
+        });
+
+        let mut client = TcpTransport::connect(&addr.to_string()).unwrap();
+        let budget = WallDuration::from_millis(40);
+        let mut got = None;
+        let mut calls = 0u32;
+        while got.is_none() && calls < 100 {
+            let t0 = Instant::now();
+            got = client.recv_timeout(budget).unwrap();
+            let waited = t0.elapsed();
+            calls += 1;
+            // The old code re-armed the full timeout per byte, waiting
+            // up to n_bytes × budget. 3× slack absorbs scheduler jitter
+            // while still catching any per-byte re-arm regression.
+            assert!(
+                waited < budget * 3,
+                "recv_timeout blocked {waited:?} (budget {budget:?}, frame {n_bytes} bytes)"
+            );
+        }
+        assert_eq!(got, Some(msg), "frame never assembled across calls");
+        assert!(
+            calls > 1,
+            "frame arrived in one call — trickle server not trickling?"
+        );
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn disconnect_error_kinds_are_unified() {
+        // All three "peer is gone" kinds map to Disconnected; everything
+        // else stays a plain I/O error for the caller to report.
+        assert!(is_disconnect(ErrorKind::BrokenPipe));
+        assert!(is_disconnect(ErrorKind::ConnectionReset));
+        assert!(is_disconnect(ErrorKind::ConnectionAborted));
+        assert!(!is_disconnect(ErrorKind::WouldBlock));
+        assert!(!is_disconnect(ErrorKind::PermissionDenied));
+    }
+
+    #[test]
+    fn oversized_send_fails_on_the_sender() {
+        let (mut a, _b) = inproc_pair(4);
+        let rates = vec![
+            crate::proto::RateAssignment { flow: 0, rate: 0 };
+            crate::proto::MAX_FRAME / 12 + 1
+        ];
+        let err = a
+            .send(&Message::Schedule { epoch: 1, rates })
+            .expect_err("oversized send must fail");
+        assert!(matches!(
+            err,
+            TransportError::Proto(ProtoError::Oversized(_))
+        ));
     }
 
     #[test]

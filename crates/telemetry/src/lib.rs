@@ -69,10 +69,20 @@ pub enum Counter {
     CoordScheduleMsgs,
     /// Coordinator sync rounds (δ epochs) completed.
     CoordEpochs,
+    /// Shard schedule slices received by the reconciler.
+    CoordShardSlices,
+    /// Reconciliation rounds where a shard's slice was missing and its
+    /// previous slice was reused (agents comply with the old schedule).
+    CoordShardFallbacks,
+    /// Rate assignments clamped by the reconciler's port-capacity merge
+    /// (zero when shard replicas agree, i.e. in steady state).
+    CoordMergeClamps,
+    /// Global rebuild broadcasts after a shard restart.
+    CoordShardRebuilds,
 }
 
 /// All counters, in display order.
-pub const COUNTERS: [Counter; 10] = [
+pub const COUNTERS: [Counter; 14] = [
     Counter::HeapPush,
     Counter::HeapPopCurrent,
     Counter::HeapPopStale,
@@ -83,6 +93,10 @@ pub const COUNTERS: [Counter; 10] = [
     Counter::CoordStatsMsgs,
     Counter::CoordScheduleMsgs,
     Counter::CoordEpochs,
+    Counter::CoordShardSlices,
+    Counter::CoordShardFallbacks,
+    Counter::CoordMergeClamps,
+    Counter::CoordShardRebuilds,
 ];
 
 impl Counter {
@@ -99,6 +113,10 @@ impl Counter {
             Counter::CoordStatsMsgs => "coord_stats_msgs",
             Counter::CoordScheduleMsgs => "coord_schedule_msgs",
             Counter::CoordEpochs => "coord_epochs",
+            Counter::CoordShardSlices => "coord_shard_slices",
+            Counter::CoordShardFallbacks => "coord_shard_fallbacks",
+            Counter::CoordMergeClamps => "coord_merge_clamps",
+            Counter::CoordShardRebuilds => "coord_shard_rebuilds",
         }
     }
 }

@@ -179,7 +179,7 @@ proptest! {
                 .map(|(flow, sent, finished, ready)| FlowStat { flow, sent, finished, ready })
                 .collect(),
         };
-        let mut buf = bytes::BytesMut::from(&m.encode()[..]);
+        let mut buf = bytes::BytesMut::from(&m.encode().unwrap()[..]);
         let got = Message::decode_stream(&mut buf).unwrap().unwrap();
         prop_assert_eq!(got, m);
         prop_assert!(buf.is_empty());
