@@ -6,7 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use saath_core::view::{ClusterView, CoflowScheduler, CoflowView, FlowView, Schedule};
-use saath_core::{Aalo, OfflineScheduler, Saath, UcTcp};
+use saath_core::{Aalo, OfflineScheduler, Saath, SaathConfig, UcTcp};
 use saath_fabric::PortBank;
 use saath_simcore::{Bytes, CoflowId, DetRng, FlowId, NodeId, Rate, Time};
 
@@ -127,6 +127,60 @@ fn bench_round(c: &mut Criterion) {
     group.finish();
 }
 
+/// The steady-state round — the common case the incremental order book
+/// and contention tracker optimize: nothing changed since the previous
+/// round (`changed: Some(&[])`), so the incremental scheduler reuses
+/// cached queues, delta-updates `k_c` (no-op), and emits the
+/// materialized order without re-sorting, while the full-recompute
+/// configuration rebuilds and re-sorts everything from scratch.
+fn bench_steady_state(c: &mut Criterion) {
+    let mut group = c.benchmark_group("steady_state_round");
+    for &n in &[200usize, 1000] {
+        let views = synth_views(n, false);
+        let cases: [(&str, SaathConfig, bool); 2] = [
+            ("incremental", SaathConfig::default(), true),
+            (
+                "full_recompute",
+                SaathConfig {
+                    incremental_contention: false,
+                    incremental_order: false,
+                    ..SaathConfig::default()
+                },
+                false,
+            ),
+        ];
+        for (label, cfg, hinted) in cases {
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                let mut sched = Saath::new(cfg.clone());
+                let mut bank = PortBank::uniform(NODES, Rate::gbps(1));
+                let mut out = Schedule::default();
+                // Warm round (no hint): seeds the book, tracker, and
+                // queue/deadline state the steady rounds reuse.
+                let warm = ClusterView {
+                    now: Time::ZERO,
+                    num_nodes: NODES,
+                    coflows: &views,
+                    changed: None,
+                };
+                sched.compute(&warm, &mut bank, &mut out);
+                let empty: [CoflowId; 0] = [];
+                b.iter(|| {
+                    bank.reset_round();
+                    out.clear();
+                    let view = ClusterView {
+                        now: Time::ZERO,
+                        num_nodes: NODES,
+                        coflows: &views,
+                        changed: hinted.then_some(&empty[..]),
+                    };
+                    sched.compute(&view, &mut bank, &mut out);
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
 /// The contention computation (k_c) in isolation — the LCoF-specific
 /// part of Table 2's ordering column.
 fn bench_contention(c: &mut Criterion) {
@@ -160,5 +214,5 @@ fn bench_contention(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_round, bench_contention);
+criterion_group!(benches, bench_round, bench_steady_state, bench_contention);
 criterion_main!(benches);

@@ -1014,10 +1014,12 @@ struct ScaleRun {
 /// **Scalability sweep** (Fig 9's scale axis, §5.4) — not a CCT figure:
 /// rounds/sec of the full replay loop as cluster size and flow count
 /// grow from 150 nodes × 10k flows to 1k nodes × 100k flows, comparing
-/// the per-round `contention_into` full rebuild against the
-/// incremental [`ContentionTracker`] delta update, with per-phase
-/// scheduler timings for both. Asserts the two modes produce
-/// byte-identical records at every point. Writes
+/// the per-round full recomputation (contention rebuild + LCoF
+/// re-sort) against the incremental mode ([`ContentionTracker`] delta
+/// update + `OrderBook` repositioning), with per-phase scheduler
+/// timings for both. Asserts the two modes produce byte-identical
+/// records at every point; `small` smoke runs additionally pin the
+/// records to the O(state)-per-step reference simulation loop. Writes
 /// `BENCH_scalability.json` (skipped for `small` smoke runs); with
 /// `json`, returns the JSON document instead of the rendered table.
 ///
@@ -1051,6 +1053,7 @@ pub fn scale(lab: &Lab, json: bool, small: bool, shards: usize) -> String {
     let run_mode = |trace: &saath_workload::Trace, incremental: bool| -> ScaleRun {
         let mut sched = saath_core::Saath::new(SaathConfig {
             incremental_contention: incremental,
+            incremental_order: incremental,
             ..SaathConfig::default()
         });
         let t = Instant::now();
@@ -1098,7 +1101,7 @@ pub fn scale(lab: &Lab, json: bool, small: bool, shards: usize) -> String {
     };
 
     let mut t = Table::new(
-        "Scalability sweep — rounds/sec, full-rebuild vs incremental contention",
+        "Scalability sweep — rounds/sec, full recompute vs incremental contention + order",
         &[
             "nodes",
             "flows",
@@ -1107,6 +1110,7 @@ pub fn scale(lab: &Lab, json: bool, small: bool, shards: usize) -> String {
             "incr r/s",
             "speedup",
             "k_c ms (reb → inc)",
+            "order ms (reb → inc)",
         ],
     );
     let mut point_docs = Vec::new();
@@ -1117,9 +1121,21 @@ pub fn scale(lab: &Lab, json: bool, small: bool, shards: usize) -> String {
         let incremental = run_mode(&trace, true);
         assert_eq!(
             rebuild.records, incremental.records,
-            "incremental contention changed the schedule at {nodes} nodes"
+            "incremental contention/order changed the schedule at {nodes} nodes"
         );
         assert_eq!(rebuild.rounds, incremental.rounds);
+        if small {
+            // Smoke runs additionally pin both modes to the original
+            // O(state)-per-step reference loop: a third, independent
+            // implementation that must produce the exact same records.
+            let mut sched = saath_core::Saath::with_defaults();
+            let refr = saath_simulator::simulate_reference(&trace, &mut sched, &cfg, &dynamics)
+                .expect("scale-sweep reference run failed");
+            assert_eq!(
+                refr.records, incremental.records,
+                "scheduling records diverged from the reference loop at {nodes} nodes"
+            );
+        }
         let speedup = incremental.rounds_per_sec / rebuild.rounds_per_sec.max(1e-9);
         t.row(&[
             nodes.to_string(),
@@ -1131,6 +1147,10 @@ pub fn scale(lab: &Lab, json: bool, small: bool, shards: usize) -> String {
             format!(
                 "{:.1} → {:.1}",
                 rebuild.contention_ms, incremental.contention_ms
+            ),
+            format!(
+                "{:.1} → {:.1}",
+                rebuild.ordering_ms, incremental.ordering_ms
             ),
         ]);
         point_docs.push(format!(

@@ -4,22 +4,34 @@
 
 use crate::view::{ClusterView, CoflowView};
 use saath_fabric::FlowEndpoints;
-use saath_simcore::CoflowId;
-use std::collections::HashMap;
+use saath_simcore::{CoflowId, FastHashMap};
 
 /// Reusable buffers for one scheduling round.
 ///
-/// Every per-round temporary the schedulers need — the port → CoFlow
-/// incidence map and stamp array behind [`contention_into`], endpoint
-/// lists, gang-rate scratch — lives here and is recycled across rounds,
-/// so the steady-state scheduling loop performs no heap allocation.
-/// One arena per scheduler instance; threading it through
+/// Every per-round temporary the schedulers need — the CSR port →
+/// CoFlow incidence slab and stamp array behind [`contention_into`],
+/// endpoint lists, gang-rate scratch — lives here and is recycled
+/// across rounds, so the steady-state scheduling loop performs no heap
+/// allocation. One arena per scheduler instance; threading it through
 /// [`contention_into`] / [`endpoints_into`] replaces the allocating
 /// [`contention`] / [`endpoints_of`] in hot paths.
+///
+/// The incidence map is a flat CSR triple (`port_start`, `port_cursor`,
+/// `port_data`) rather than the former `Vec<Vec<u32>>`: port `p`'s
+/// CoFlows live in `port_data[port_start[p]..port_cursor[p]]`, so the
+/// contention scan walks one dense `u32` slab instead of chasing a
+/// pointer per port.
 #[derive(Default)]
 pub struct RoundArena {
-    /// port → indices (into `view.coflows`) of CoFlows touching it.
-    port_coflows: Vec<Vec<u32>>,
+    /// CSR slab offsets: port `p`'s slice begins at `port_start[p]`
+    /// (length `num_ports + 1`; `port_start[num_ports]` is the slab
+    /// size upper bound).
+    port_start: Vec<u32>,
+    /// CSR fill cursors: port `p`'s slice ends at `port_cursor[p]`
+    /// (≤ `port_start[p + 1]`; the gap is dedup slack).
+    port_cursor: Vec<u32>,
+    /// Flattened incidence lists: indices into `view.coflows`.
+    port_data: Vec<u32>,
     /// CoFlow-indexed stamp array for contention dedup.
     stamp: Vec<u32>,
     /// Per-port flow counts for `gang_rate_with`.
@@ -54,23 +66,41 @@ pub fn contention(view: &ClusterView<'_>) -> Vec<u32> {
 /// drawn from `arena` — the allocation-free form for hot loops.
 pub fn contention_into(view: &ClusterView<'_>, arena: &mut RoundArena, k: &mut Vec<u32>) {
     let num_ports = 2 * view.num_nodes;
-    // port → indices (into view.coflows) of coflows touching it.
-    let port_coflows = &mut arena.port_coflows;
-    if port_coflows.len() < num_ports {
-        port_coflows.resize_with(num_ports, Vec::new);
+    // Pass 1: count endpoint touches per port — an upper bound on the
+    // deduplicated incidence count (the fill pass leaves slack unused),
+    // accumulated shifted by one so the prefix sum lands in place.
+    let start = &mut arena.port_start;
+    start.clear();
+    start.resize(num_ports + 1, 0);
+    for c in view.coflows.iter() {
+        for f in c.unfinished() {
+            let e = f.endpoints(view.num_nodes);
+            start[e.src.index() + 1] += 1;
+            start[e.dst.index() + 1] += 1;
+        }
     }
-    for list in port_coflows.iter_mut() {
-        list.clear();
+    for p in 0..num_ports {
+        start[p + 1] += start[p];
     }
+
+    // Pass 2: fill the CSR slab. CoFlows are processed one at a time,
+    // so duplicates by the same CoFlow on a port are always adjacent: a
+    // tail check against the cursor suffices to keep each port slice a
+    // set, in the same first-touch order the nested-Vec build produced.
+    let data = &mut arena.port_data;
+    data.clear();
+    data.resize(start[num_ports] as usize, 0);
+    let cursor = &mut arena.port_cursor;
+    cursor.clear();
+    cursor.extend_from_slice(&start[..num_ports]);
     for (ci, c) in view.coflows.iter().enumerate() {
         for f in c.unfinished() {
             let e = f.endpoints(view.num_nodes);
             for p in [e.src.index(), e.dst.index()] {
-                // CoFlows are processed one at a time, so duplicates by
-                // the same CoFlow on a port are always adjacent: a tail
-                // check suffices to keep each incidence list a set.
-                if port_coflows[p].last() != Some(&(ci as u32)) {
-                    port_coflows[p].push(ci as u32);
+                let cur = cursor[p] as usize;
+                if cur == start[p] as usize || data[cur - 1] != ci as u32 {
+                    data[cur] = ci as u32;
+                    cursor[p] = cur as u32 + 1;
                 }
             }
         }
@@ -86,7 +116,7 @@ pub fn contention_into(view: &ClusterView<'_>, arena: &mut RoundArena, k: &mut V
         for f in c.unfinished() {
             let e = f.endpoints(view.num_nodes);
             for p in [e.src.index(), e.dst.index()] {
-                for &other in &port_coflows[p] {
+                for &other in &data[start[p] as usize..cursor[p] as usize] {
                     if other != ci as u32 && stamp[other as usize] != ci as u32 {
                         stamp[other as usize] = ci as u32;
                         count += 1;
@@ -140,15 +170,15 @@ pub struct ContentionTracker {
     /// rebuild (ports index into `port_members`).
     num_nodes: usize,
     /// CoFlow → sorted port indices of its unfinished flows.
-    footprints: HashMap<CoflowId, Vec<u32>>,
+    footprints: FastHashMap<CoflowId, Vec<u32>>,
     /// port → CoFlows whose footprint contains it (unordered).
     port_members: Vec<Vec<CoflowId>>,
     /// Ordered CoFlow pair → number of shared footprint ports (> 0).
-    pairs: HashMap<(u32, u32), u32>,
+    pairs: FastHashMap<(u32, u32), u32>,
     /// CoFlow → contention `k_c`.
-    k: HashMap<CoflowId, u32>,
+    k: FastHashMap<CoflowId, u32>,
     /// id → index into the current view, rebuilt each call.
-    index: HashMap<CoflowId, u32>,
+    index: FastHashMap<CoflowId, u32>,
     /// Fresh-footprint scratch for the merge walk.
     scratch: Vec<u32>,
     /// Departed-id scratch.
@@ -352,8 +382,8 @@ fn pair_key(a: CoflowId, b: CoflowId) -> (u32, u32) {
 }
 
 fn pair_inc(
-    pairs: &mut HashMap<(u32, u32), u32>,
-    k: &mut HashMap<CoflowId, u32>,
+    pairs: &mut FastHashMap<(u32, u32), u32>,
+    k: &mut FastHashMap<CoflowId, u32>,
     a: CoflowId,
     b: CoflowId,
 ) {
@@ -367,8 +397,8 @@ fn pair_inc(
 }
 
 fn pair_dec(
-    pairs: &mut HashMap<(u32, u32), u32>,
-    k: &mut HashMap<CoflowId, u32>,
+    pairs: &mut FastHashMap<(u32, u32), u32>,
+    k: &mut FastHashMap<CoflowId, u32>,
     a: CoflowId,
     b: CoflowId,
 ) {

@@ -34,6 +34,7 @@ pub mod aalo;
 pub mod common;
 pub mod config;
 pub mod offline;
+pub mod order;
 pub mod saath;
 pub mod timing;
 pub mod uctcp;

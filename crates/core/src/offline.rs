@@ -24,7 +24,9 @@
 use crate::common::ContentionTracker;
 use crate::timing::SchedTimings;
 use crate::view::{ClusterView, CoflowScheduler, CoflowView, Schedule};
-use saath_fabric::{bottleneck_time, greedy_fill_into, madd_rates_into, FlowEndpoints, PortBank};
+use saath_fabric::{
+    bottleneck_time_with, greedy_fill_into, madd_rates_with, FlowEndpoints, MaddScratch, PortBank,
+};
 use saath_simcore::{Bytes, Duration, Rate};
 use std::time::Instant;
 
@@ -71,6 +73,8 @@ pub struct OfflineScheduler {
     /// Scratch bank for Γ-on-nominal-capacity keys, refreshed via
     /// [`PortBank::clone_reset_from`] instead of a per-CoFlow clone.
     scratch_bank: Option<PortBank>,
+    /// Per-port accumulation scratch for MADD (Γ + rate clamping).
+    madd: MaddScratch,
 }
 
 impl OfflineScheduler {
@@ -88,6 +92,7 @@ impl OfflineScheduler {
             rem: Vec::new(),
             rates: Vec::new(),
             scratch_bank: None,
+            madd: MaddScratch::default(),
         }
     }
 
@@ -130,14 +135,15 @@ impl OfflineScheduler {
                 keys_rest = rest;
                 s.spawn(move || {
                     let mut scratch_bank: Option<PortBank> = None;
+                    let mut madd = MaddScratch::default();
                     let mut eps: Vec<FlowEndpoints> = Vec::new();
                     let mut rem: Vec<Bytes> = Vec::new();
                     for (j, key) in keys_chunk.iter_mut().enumerate() {
                         let ci = start + j;
                         let c = &view.coflows[ci];
                         remaining_into(c, view.num_nodes, &mut eps, &mut rem);
-                        let t = gamma_on_fresh_bank(&mut scratch_bank, bank, &eps, &rem).as_nanos()
-                            as u128;
+                        let t = gamma_on_fresh_bank(&mut scratch_bank, &mut madd, bank, &eps, &rem)
+                            .as_nanos() as u128;
                         *key = if lwtf { t * k[ci] as u128 } else { t };
                     }
                 });
@@ -230,9 +236,14 @@ impl CoflowScheduler for OfflineScheduler {
                     let lwtf = self.policy == OfflinePolicy::Lwtf;
                     for (ci, c) in view.coflows.iter().enumerate() {
                         remaining_into(c, view.num_nodes, &mut self.eps, &mut self.rem);
-                        let t =
-                            gamma_on_fresh_bank(&mut self.scratch_bank, bank, &self.eps, &self.rem)
-                                .as_nanos() as u128;
+                        let t = gamma_on_fresh_bank(
+                            &mut self.scratch_bank,
+                            &mut self.madd,
+                            bank,
+                            &self.eps,
+                            &self.rem,
+                        )
+                        .as_nanos() as u128;
                         self.keys
                             .push(if lwtf { t * self.k[ci] as u128 } else { t });
                     }
@@ -255,7 +266,7 @@ impl CoflowScheduler for OfflineScheduler {
             if self.eps.is_empty() {
                 continue;
             }
-            if madd_rates_into(bank, &self.eps, &self.rem, &mut self.rates)
+            if madd_rates_with(bank, &self.eps, &self.rem, &mut self.madd, &mut self.rates)
                 && self.rates.iter().any(|r| !r.is_zero())
             {
                 for (e, &r) in self.eps.iter().zip(self.rates.iter()) {
@@ -295,6 +306,7 @@ impl CoflowScheduler for OfflineScheduler {
 /// computation allocates nothing in steady state.
 fn gamma_on_fresh_bank(
     scratch: &mut Option<PortBank>,
+    madd: &mut MaddScratch,
     bank: &PortBank,
     eps: &[FlowEndpoints],
     rem: &[Bytes],
@@ -310,7 +322,7 @@ fn gamma_on_fresh_bank(
             slot.insert(fresh)
         }
     };
-    bottleneck_time(fresh, eps, rem)
+    bottleneck_time_with(fresh, eps, rem, madd)
 }
 
 #[cfg(test)]

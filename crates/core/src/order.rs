@@ -1,0 +1,253 @@
+//! Incrementally maintained LCoF ordering (the *order book*).
+//!
+//! Saath's global scan order is a total order over live CoFlows keyed
+//! by `(queue, !expired, k_c, arrival, id)` (see `Saath::compute`).
+//! Historically every round re-sorted the full CoFlow list even though
+//! in steady state almost nothing moves: queues change only when a
+//! flow crosses a byte threshold, `k_c` only when a footprint changes,
+//! and expiry only when a deadline passes. The [`OrderBook`] keeps the
+//! order materialized across rounds and repositions *only* the
+//! CoFlows whose key components changed — the same
+//! incremental-with-oracle pattern as `ContentionTracker`: the full
+//! re-sort remains the executable specification, debug-asserted
+//! against every round.
+//!
+//! ## Structure
+//!
+//! CoFlows are bucketed by their coarse *class* `(queue, !expired)`
+//! (an ordered map, so classes emit in priority order; `!expired`
+//! sorts expired CoFlows first within a queue, D5) and within a class
+//! by the ordered sub-key `(k_c, arrival, id)`. The `id` tiebreaker
+//! makes the key total, so emitted order is *identical* to the full
+//! sort — not merely equivalent. A side map carries each CoFlow's
+//! current key and its slot (index) in this round's view, refreshed on
+//! every upsert; repositioning costs two tree operations only when the
+//! key actually changed.
+
+use saath_simcore::{CoflowId, FastHashMap, Time};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Coarse ordering class: `(queue, !expired)`. `false < true`, so
+/// within a queue the expired CoFlows come first.
+pub type OrderClass = (usize, bool);
+
+/// Intra-class ordering key: `(k_c` — or 0 with LCoF off — `, arrival)`.
+/// The [`CoflowId`] appended by the book makes the full key total.
+pub type OrderSub = (u32, Time);
+
+#[derive(Clone, Copy)]
+struct Entry {
+    class: OrderClass,
+    sub: OrderSub,
+    /// Index into this round's `view.coflows`, refreshed every upsert.
+    slot: u32,
+}
+
+/// The materialized LCoF order. See the module docs.
+#[derive(Default)]
+pub struct OrderBook {
+    /// class → ordered members `(k, arrival, id)`.
+    buckets: BTreeMap<OrderClass, BTreeSet<(u32, Time, CoflowId)>>,
+    /// Every booked CoFlow's current key and view slot.
+    entries: FastHashMap<CoflowId, Entry>,
+}
+
+impl OrderBook {
+    /// An empty book.
+    pub fn new() -> OrderBook {
+        OrderBook::default()
+    }
+
+    /// Number of booked CoFlows.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the book is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops all state (used when the configuration's ordering inputs
+    /// change shape, e.g. in tests).
+    pub fn clear(&mut self) {
+        self.buckets.clear();
+        self.entries.clear();
+    }
+
+    /// Inserts `id` or repositions it under a new key, and refreshes
+    /// its view slot either way. Returns `true` when the ordering key
+    /// changed (one tree removal + insertion); `false` for the
+    /// steady-state slot-only refresh, which touches no tree node.
+    pub fn upsert(&mut self, id: CoflowId, class: OrderClass, sub: OrderSub, slot: u32) -> bool {
+        if let Some(e) = self.entries.get_mut(&id) {
+            if e.class == class && e.sub == sub {
+                e.slot = slot;
+                return false;
+            }
+            let (old_class, old_sub) = (e.class, e.sub);
+            e.class = class;
+            e.sub = sub;
+            e.slot = slot;
+            let bucket = self
+                .buckets
+                .get_mut(&old_class)
+                .expect("booked entry without a bucket");
+            let removed = bucket.remove(&(old_sub.0, old_sub.1, id));
+            debug_assert!(removed, "booked entry missing from its bucket");
+            if bucket.is_empty() {
+                self.buckets.remove(&old_class);
+            }
+        } else {
+            self.entries.insert(id, Entry { class, sub, slot });
+        }
+        let inserted = self
+            .buckets
+            .entry(class)
+            .or_default()
+            .insert((sub.0, sub.1, id));
+        debug_assert!(inserted, "duplicate CoflowId in bucket");
+        true
+    }
+
+    /// Removes a departed CoFlow. Returns whether it was booked.
+    pub fn remove(&mut self, id: CoflowId) -> bool {
+        let Some(e) = self.entries.remove(&id) else {
+            return false;
+        };
+        let bucket = self
+            .buckets
+            .get_mut(&e.class)
+            .expect("booked entry without a bucket");
+        let removed = bucket.remove(&(e.sub.0, e.sub.1, id));
+        debug_assert!(removed, "booked entry missing from its bucket");
+        if bucket.is_empty() {
+            self.buckets.remove(&e.class);
+        }
+        true
+    }
+
+    /// Writes the view slots of every booked CoFlow into `out`
+    /// (cleared first) in full `(queue, !expired, k, arrival, id)`
+    /// order — byte-identical to sorting the slots by that key.
+    pub fn emit_into(&self, out: &mut Vec<usize>) {
+        out.clear();
+        out.reserve(self.entries.len());
+        for bucket in self.buckets.values() {
+            for &(_, _, id) in bucket {
+                out.push(self.entries[&id].slot as usize);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn emit(book: &OrderBook) -> Vec<usize> {
+        let mut out = Vec::new();
+        book.emit_into(&mut out);
+        out
+    }
+
+    #[test]
+    fn emits_in_total_key_order() {
+        let mut book = OrderBook::new();
+        // slot == id for readability. Keys chosen so every component
+        // participates in the order at least once.
+        let rows: [(u32, OrderClass, OrderSub); 6] = [
+            (0, (1, true), (0, Time(5))),  // queue 1
+            (1, (0, true), (2, Time(0))),  // queue 0, k 2
+            (2, (0, true), (1, Time(9))),  // queue 0, k 1
+            (3, (0, false), (7, Time(3))), // queue 0, expired → first
+            (4, (0, true), (2, Time(0))),  // ties with 1 → id breaks
+            (5, (1, false), (0, Time(0))), // queue 1, expired
+        ];
+        for &(id, class, sub) in &rows {
+            assert!(book.upsert(CoflowId(id), class, sub, id));
+        }
+        assert_eq!(emit(&book), vec![3, 2, 1, 4, 5, 0]);
+        assert_eq!(book.len(), 6);
+    }
+
+    #[test]
+    fn steady_state_refresh_touches_no_tree() {
+        let mut book = OrderBook::new();
+        assert!(book.upsert(CoflowId(7), (0, true), (3, Time(1)), 0));
+        // Same key, new slot: no rekey, but the slot must be refreshed.
+        assert!(!book.upsert(CoflowId(7), (0, true), (3, Time(1)), 4));
+        assert_eq!(emit(&book), vec![4]);
+    }
+
+    #[test]
+    fn rekey_repositions_and_empties_old_bucket() {
+        let mut book = OrderBook::new();
+        book.upsert(CoflowId(1), (0, true), (5, Time(0)), 1);
+        book.upsert(CoflowId(2), (1, true), (0, Time(0)), 2);
+        // CoFlow 1 is demoted to queue 2: its old class bucket empties.
+        assert!(book.upsert(CoflowId(1), (2, true), (5, Time(0)), 1));
+        assert_eq!(emit(&book), vec![2, 1]);
+        // And back up, ahead of CoFlow 2 via a smaller k.
+        assert!(book.upsert(CoflowId(1), (1, true), (0, Time(0)), 1));
+        // Tie on (class, k, arrival) → id 1 < 2.
+        assert_eq!(emit(&book), vec![1, 2]);
+    }
+
+    #[test]
+    fn remove_departed() {
+        let mut book = OrderBook::new();
+        book.upsert(CoflowId(1), (0, true), (0, Time(0)), 0);
+        book.upsert(CoflowId(2), (0, true), (1, Time(0)), 1);
+        assert!(book.remove(CoflowId(1)));
+        assert!(!book.remove(CoflowId(1)), "double remove is a no-op");
+        assert_eq!(emit(&book), vec![1]);
+        assert!(book.remove(CoflowId(2)));
+        assert!(book.is_empty());
+    }
+
+    /// Random churn: the book must always emit exactly what a full
+    /// re-sort of the live set produces.
+    #[test]
+    fn matches_full_sort_under_random_churn() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(0x0b00c);
+        let mut book = OrderBook::new();
+        let mut live: Vec<(CoflowId, OrderClass, OrderSub)> = Vec::new();
+        let mut next_id = 0u32;
+        for _ in 0..300 {
+            // Arrivals.
+            while live.is_empty() || rng.gen_bool(0.4) {
+                let row = (
+                    CoflowId(next_id),
+                    (rng.gen_range(0..4usize), rng.gen_bool(0.8)),
+                    (rng.gen_range(0..5u32), Time(rng.gen_range(0..10))),
+                );
+                live.push(row);
+                next_id += 1;
+            }
+            // Rekeys.
+            for row in live.iter_mut() {
+                if rng.gen_bool(0.3) {
+                    row.1 = (rng.gen_range(0..4usize), rng.gen_bool(0.8));
+                    row.2 = (rng.gen_range(0..5u32), row.2 .1);
+                }
+            }
+            // Departures.
+            if live.len() > 2 && rng.gen_bool(0.3) {
+                let gone = live.swap_remove(rng.gen_range(0..live.len()));
+                book.remove(gone.0);
+            }
+            // Upsert everything with its current slot, emit, compare.
+            for (slot, &(id, class, sub)) in live.iter().enumerate() {
+                book.upsert(id, class, sub, slot as u32);
+            }
+            let mut want: Vec<usize> = (0..live.len()).collect();
+            want.sort_by_key(|&i| {
+                let (id, class, sub) = live[i];
+                (class, sub.0, sub.1, id)
+            });
+            assert_eq!(emit(&book), want);
+        }
+    }
+}

@@ -28,12 +28,12 @@
 
 use crate::common::{contention_into, endpoints_into, ContentionTracker, RoundArena};
 use crate::config::QueueConfig;
+use crate::order::OrderBook;
 use crate::timing::SchedTimings;
 use crate::view::{ClusterView, CoflowScheduler, CoflowView, Schedule};
 use saath_fabric::{gang_allocate, gang_rate_with, greedy_fill_into, FlowEndpoints, PortBank};
-use saath_simcore::{Bytes, CoflowId, Rate, Time};
+use saath_simcore::{Bytes, CoflowId, FastHashMap, FastHashSet, Rate, Time};
 use saath_telemetry::MechCounters;
-use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
 /// Saath configuration. [`SaathConfig::default`] is the full paper
@@ -71,6 +71,16 @@ pub struct SaathConfig {
     /// debug builds assert equality every round. Off reproduces the
     /// original full-rebuild cost for benchmarking.
     pub incremental_contention: bool,
+    /// Maintain the LCoF order incrementally across rounds in an
+    /// [`OrderBook`] instead of re-sorting every CoFlow every round
+    /// (§5.4 scalability): CoFlows are bucketed by `(queue, expired)`
+    /// class and repositioned only when an ordering-key component
+    /// changes, with unchanged CoFlows (per the [`ClusterView::changed`]
+    /// hint) also reusing their cached queue assignment. Identical
+    /// results either way — the full re-sort stays the oracle and debug
+    /// builds assert equality every round. Off reproduces the original
+    /// full re-sort cost for benchmarking.
+    pub incremental_order: bool,
     /// Number of shards for the parallel gang-probe phase; `0` = one
     /// per available core. Only read in `parallel`-feature builds; the
     /// schedule is byte-identical for every shard count (speculative
@@ -91,6 +101,7 @@ impl Default for SaathConfig {
             dynamics_srtf: true,
             skew_aware_thresholds: false,
             incremental_contention: true,
+            incremental_order: true,
             probe_shards: 0,
         }
     }
@@ -129,7 +140,7 @@ struct CoflowState {
 /// The Saath global scheduler. See the module docs.
 pub struct Saath {
     cfg: SaathConfig,
-    state: HashMap<CoflowId, CoflowState>,
+    state: FastHashMap<CoflowId, CoflowState>,
     /// Per-round overhead samples (Table 2).
     pub timings: SchedTimings,
     /// Shared scratch (contention incidence map, gang-rate counters),
@@ -137,6 +148,14 @@ pub struct Saath {
     arena: RoundArena,
     /// Incremental `k_c` state, fed by the `ClusterView::changed` hint.
     tracker: ContentionTracker,
+    /// Incrementally maintained LCoF order (see [`OrderBook`]); only
+    /// populated when `cfg.incremental_order`.
+    book: OrderBook,
+    /// Scratch: the round's `changed` hint as a set, for queue caching.
+    changed_set: FastHashSet<CoflowId>,
+    /// Scratch: ids garbage-collected from `state` this round, relayed
+    /// to the order book.
+    gone: Vec<CoflowId>,
     /// Per-round buffers, recycled across rounds (see `compute`).
     queues: Vec<usize>,
     occupancy: Vec<usize>,
@@ -146,7 +165,7 @@ pub struct Saath {
     missed: Vec<usize>,
     eps: Vec<FlowEndpoints>,
     wc_rates: Vec<Rate>,
-    live: HashSet<CoflowId>,
+    live: FastHashSet<CoflowId>,
     /// Speculative probe results, indexed by order position (parallel
     /// builds only): endpoints, readiness, and the gang rate computed
     /// against the pre-admission bank snapshot.
@@ -172,10 +191,13 @@ impl Saath {
     pub fn new(cfg: SaathConfig) -> Saath {
         Saath {
             cfg,
-            state: HashMap::new(),
+            state: FastHashMap::default(),
             timings: SchedTimings::default(),
             arena: RoundArena::new(),
             tracker: ContentionTracker::new(),
+            book: OrderBook::new(),
+            changed_set: FastHashSet::default(),
+            gone: Vec::new(),
             queues: Vec::new(),
             occupancy: Vec::new(),
             k: Vec::new(),
@@ -184,7 +206,7 @@ impl Saath {
             missed: Vec::new(),
             eps: Vec::new(),
             wc_rates: Vec::new(),
-            live: HashSet::new(),
+            live: FastHashSet::default(),
             #[cfg(feature = "parallel")]
             spec_eps: Vec::new(),
             #[cfg(feature = "parallel")]
@@ -447,15 +469,54 @@ impl CoflowScheduler for Saath {
         // live-id set. (Guarding on `state.len() > n` leaks stale
         // entries whenever departures are matched by same-round
         // arrivals, since the map never shrinks below the view size.)
+        // Departures are relayed to the order book, which mirrors the
+        // state map's membership exactly.
         self.live.clear();
         self.live.extend(view.coflows.iter().map(|c| c.id));
         let live = &self.live;
-        self.state.retain(|id, _| live.contains(id));
+        let gone = &mut self.gone;
+        gone.clear();
+        self.state.retain(|id, _| {
+            let keep = live.contains(id);
+            if !keep {
+                gone.push(*id);
+            }
+            keep
+        });
+        for gi in 0..self.gone.len() {
+            self.book.remove(self.gone[gi]);
+        }
 
-        // New queue assignment for everyone.
+        // New queue assignment for everyone. With the incremental order
+        // on and a usable `changed` hint, CoFlows the hint excludes have
+        // byte-identical view contents ([`ClusterView::changed`]'s
+        // contract), so their cached queue is reused instead of
+        // re-deriving it from every flow — debug-asserted against the
+        // full computation.
         self.queues.clear();
-        self.queues
-            .extend(view.coflows.iter().map(|c| queue_for(&self.cfg, c)));
+        let cache_queues = self.cfg.incremental_order && view.changed.is_some();
+        if cache_queues {
+            self.changed_set.clear();
+            self.changed_set
+                .extend(view.changed.unwrap_or(&[]).iter().copied());
+            for c in view.coflows.iter() {
+                let q = match self.state.get(&c.id) {
+                    Some(s) if !self.changed_set.contains(&c.id) => {
+                        debug_assert_eq!(
+                            s.queue,
+                            queue_for(&self.cfg, c),
+                            "cached queue diverged for a CoFlow outside the changed hint"
+                        );
+                        s.queue
+                    }
+                    _ => queue_for(&self.cfg, c),
+                };
+                self.queues.push(q);
+            }
+        } else {
+            self.queues
+                .extend(view.coflows.iter().map(|c| queue_for(&self.cfg, c)));
+        }
 
         // Queue occupancy under the *new* assignment, for fresh deadlines.
         self.occupancy.clear();
@@ -532,8 +593,6 @@ impl CoflowScheduler for Saath {
         // Global scan order: queue asc (strict priority), expired
         // deadlines first within the queue, then LCoF (or FIFO), then
         // arrival, then id for full determinism.
-        self.order.clear();
-        self.order.extend(0..n);
         self.expired.clear();
         self.expired.extend(view.coflows.iter().map(|c| {
             self.cfg.starvation_avoidance
@@ -568,17 +627,54 @@ impl CoflowScheduler for Saath {
                 view.coflows[i].id,
             )
         };
-        if saath_telemetry::enabled() {
-            // Same stable sort, same keys — but through a comparator so
-            // the D1 comparison work is measurable.
-            let mut cmps = 0u64;
-            self.order.sort_by(|&a, &b| {
-                cmps += 1;
-                sort_key(a).cmp(&sort_key(b))
-            });
-            self.mech.lcof_comparisons += cmps;
+        if self.cfg.incremental_order {
+            // Reposition only the CoFlows whose key components moved;
+            // steady-state rounds refresh slots without touching a tree
+            // node, and the emit walk replaces the O(n log n) re-sort.
+            let mut rekeys = 0u64;
+            for (i, c) in view.coflows.iter().enumerate() {
+                let class = (queues[i], !expired[i]);
+                let sub = (if lcof { k[i] } else { 0 }, c.arrival);
+                if self.book.upsert(c.id, class, sub, i as u32) {
+                    rekeys += 1;
+                }
+            }
+            self.book.emit_into(&mut self.order);
+            if saath_telemetry::enabled() {
+                self.mech.order_rekeys += rekeys;
+                self.mech.order_resorts_avoided += 1;
+                // A rekey is one tree removal + insertion, ~log2(n)
+                // comparisons each: a deterministic estimate so the D1
+                // comparison counter stays meaningful on this path.
+                let lg = (usize::BITS - n.leading_zeros()) as u64;
+                self.mech.lcof_comparisons += rekeys * 2 * lg;
+            }
+            // The full re-sort stays the executable specification:
+            // every debug round proves the book emits exactly it.
+            #[cfg(debug_assertions)]
+            {
+                let mut oracle: Vec<usize> = (0..n).collect();
+                oracle.sort_by_key(|&i| sort_key(i));
+                assert_eq!(
+                    self.order, oracle,
+                    "incremental order diverged from the full re-sort oracle"
+                );
+            }
         } else {
-            self.order.sort_by_key(|&i| sort_key(i));
+            self.order.clear();
+            self.order.extend(0..n);
+            if saath_telemetry::enabled() {
+                // Same stable sort, same keys — but through a comparator
+                // so the D1 comparison work is measurable.
+                let mut cmps = 0u64;
+                self.order.sort_by(|&a, &b| {
+                    cmps += 1;
+                    sort_key(a).cmp(&sort_key(b))
+                });
+                self.mech.lcof_comparisons += cmps;
+            } else {
+                self.order.sort_by_key(|&i| sort_key(i));
+            }
         }
         if self.expired.iter().any(|&e| e) {
             self.starvation_kicks += 1;
@@ -1028,6 +1124,132 @@ mod tests {
 
         let even = cv(1, 0, vec![fv(3, 0, 4, 1_000_000), fv(4, 1, 5, 1_000_000)]);
         assert_eq!(default.queue_of(&even), skew.queue_of(&even));
+    }
+
+    /// Satellite for the incremental order book: 200 rounds of random
+    /// churn (arrivals, byte growth across queue thresholds, finishes,
+    /// readiness flips, restarts, departures, and hour-scale time jumps
+    /// that expire deadlines) driven through two schedulers — the
+    /// incremental one fed exact `changed` hints, and the legacy
+    /// full-re-sort one fed `changed: None` — must produce identical
+    /// schedules every round. Debug builds additionally exercise the
+    /// in-scheduler oracles (order, contention, cached queues) on every
+    /// one of those rounds.
+    #[test]
+    fn incremental_order_matches_full_resort_under_churn() {
+        use rand::{Rng, SeedableRng};
+        for lcof in [true, false] {
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(0x0b00c + lcof as u64);
+            let mut inc = Saath::new(SaathConfig {
+                lcof,
+                ..Default::default()
+            });
+            let mut full = Saath::new(SaathConfig {
+                lcof,
+                incremental_order: false,
+                incremental_contention: false,
+                ..Default::default()
+            });
+            let num_nodes = 12usize;
+            let mut coflows: Vec<CoflowView> = Vec::new();
+            let mut next_cf = 0u32;
+            let mut next_flow = 0u32;
+            let mut now = Time::ZERO;
+            for round in 0..200 {
+                let mut changed: Vec<CoflowId> = Vec::new();
+                // Arrivals.
+                while coflows.len() < 3 || rng.gen_bool(0.3) {
+                    let width = rng.gen_range(1..6usize);
+                    let flows: Vec<FlowView> = (0..width)
+                        .map(|_| {
+                            let f = fv(
+                                next_flow,
+                                rng.gen_range(0..num_nodes as u32),
+                                rng.gen_range(0..num_nodes as u32),
+                                0,
+                            );
+                            next_flow += 1;
+                            f
+                        })
+                        .collect();
+                    coflows.push(CoflowView {
+                        id: CoflowId(next_cf),
+                        arrival: now,
+                        flows,
+                        restarted: false,
+                    });
+                    changed.push(CoflowId(next_cf));
+                    next_cf += 1;
+                }
+                // Byte growth (drives D3 queue transitions), finishes
+                // (shrinks footprints → k deltas), readiness flips, and
+                // §4.3 restart markers. Every mutation lands in the hint.
+                for c in coflows.iter_mut() {
+                    if rng.gen_bool(0.5) {
+                        let fi = rng.gen_range(0..c.flows.len());
+                        c.flows[fi].sent =
+                            Bytes(c.flows[fi].sent.as_u64() + rng.gen_range(0..4_000_000u64));
+                        changed.push(c.id);
+                    }
+                    if rng.gen_bool(0.25) {
+                        let fi = rng.gen_range(0..c.flows.len());
+                        c.flows[fi].finished = true;
+                        changed.push(c.id);
+                    }
+                    if rng.gen_bool(0.15) {
+                        let fi = rng.gen_range(0..c.flows.len());
+                        c.flows[fi].ready = !c.flows[fi].ready;
+                        changed.push(c.id);
+                    }
+                    if rng.gen_bool(0.05) {
+                        c.restarted = !c.restarted;
+                        changed.push(c.id);
+                    }
+                }
+                // Departures: drained CoFlows usually leave; occasionally
+                // one is yanked mid-transfer (failure/abort path).
+                coflows.retain(|c| {
+                    let drained = c.flows.iter().all(|f| f.finished);
+                    !(drained && rng.gen_bool(0.8) || rng.gen_bool(0.05))
+                });
+                // Mostly small steps; occasional hour jumps expire D5
+                // deadlines for CoFlows *outside* the hint (allowed: the
+                // expiry class is re-derived fresh every round).
+                now = if rng.gen_bool(0.1) {
+                    now.saturating_add(saath_simcore::Duration::from_secs(3600))
+                } else {
+                    now.saturating_add(saath_simcore::Duration::from_millis(8))
+                };
+                let out_inc = {
+                    let view = ClusterView {
+                        now,
+                        num_nodes,
+                        coflows: &coflows,
+                        changed: Some(&changed),
+                    };
+                    let mut bank = PortBank::uniform(num_nodes, GBPS);
+                    let mut out = Schedule::default();
+                    inc.compute(&view, &mut bank, &mut out);
+                    out
+                };
+                let out_full = {
+                    let view = ClusterView {
+                        now,
+                        num_nodes,
+                        coflows: &coflows,
+                        changed: None,
+                    };
+                    let mut bank = PortBank::uniform(num_nodes, GBPS);
+                    let mut out = Schedule::default();
+                    full.compute(&view, &mut bank, &mut out);
+                    out
+                };
+                assert_eq!(
+                    out_inc, out_full,
+                    "schedules diverged at round {round} (lcof={lcof})"
+                );
+            }
+        }
     }
 
     /// Timings accumulate one sample set per round.

@@ -60,16 +60,19 @@ impl SchedTimings {
     }
 
     /// `(average, p90)` of a sample column, in milliseconds.
+    ///
+    /// The P90 is `saath_metrics::stats::percentile` — one nearest-rank
+    /// definition for the whole workspace, so Table 2 here and the
+    /// sweep reports can never silently diverge (and its NaN handling
+    /// applies in both places).
     pub fn avg_p90_ms(samples: &[StdDuration]) -> (f64, f64) {
         if samples.is_empty() {
             return (0.0, 0.0);
         }
         let ms: Vec<f64> = samples.iter().map(|d| d.as_secs_f64() * 1e3).collect();
         let avg = ms.iter().sum::<f64>() / ms.len() as f64;
-        let mut sorted = ms;
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let rank = ((0.9 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-        (avg, sorted[rank - 1])
+        let p90 = saath_metrics::stats::percentile(&ms, 90.0).unwrap_or(0.0);
+        (avg, p90)
     }
 
     /// Convenience summary: `(avg_ms, p90_ms)` for the total column.

@@ -117,17 +117,20 @@ pub struct ClusterView<'a> {
     pub num_nodes: usize,
     /// Active (not yet complete) CoFlows.
     pub coflows: &'a [CoflowView],
-    /// Change hint from the driver: ids of CoFlows whose *port
-    /// footprint* (the set of ports carrying unfinished flows) may have
-    /// changed since the previous round this scheduler saw, plus ids
-    /// that departed. Must be a superset of actual changes — extra ids
-    /// cost time, missing ids cost correctness. `None` means "assume
-    /// everything changed" and is always safe; drivers without dirty
-    /// tracking (tests, the reference loop) pass `None`.
+    /// Change hint from the driver: ids of CoFlows whose view contents
+    /// (*any* field of the [`CoflowView`] or its flows — footprint,
+    /// `sent` bytes, readiness, `restarted`) may have changed since the
+    /// previous round this scheduler saw, plus ids that departed. Must
+    /// be a superset of actual changes — extra ids cost time, missing
+    /// ids cost correctness: schedulers cache per-CoFlow derivations
+    /// (contention footprints, queue assignments, ordering keys) for
+    /// ids outside the hint. `None` means "assume everything changed"
+    /// and is always safe; drivers without dirty tracking (tests, the
+    /// reference loop) pass `None`.
     ///
-    /// Pure progress (`sent` growing) never changes a footprint, so the
-    /// simulator's dirty set — which marks arrival, finish, readiness,
-    /// and failure-reset — satisfies the contract.
+    /// The simulator's dirty set satisfies the contract: it marks
+    /// arrival, byte progress, finish, readiness, straggler
+    /// start/end, and failure-reset.
     pub changed: Option<&'a [CoflowId]>,
 }
 

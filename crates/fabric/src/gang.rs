@@ -66,15 +66,19 @@ pub fn gang_rate_with(
             scratch[p.index()] += 1;
         }
     }
-    let mut rate = Rate(u64::MAX);
+    // Bulk read off the remaining slab: claim = remaining / own-flow
+    // count, min over touched ports (`Rate::div_even` is plain floor
+    // division, inlined here on the raw u64s).
+    let rem = bank.remaining_slab();
+    let mut rate = u64::MAX;
     for &p in touched.iter() {
-        let claim = bank.remaining(p).div_even(scratch[p.index()] as usize);
+        let claim = rem[p.index()] / scratch[p.index()] as u64;
         rate = rate.min(claim);
     }
     for &p in touched.iter() {
         scratch[p.index()] = 0;
     }
-    rate
+    Rate(rate)
 }
 
 /// Allocates `rate` to every flow of a gang-admitted CoFlow, drawing

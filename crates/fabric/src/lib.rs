@@ -36,6 +36,9 @@ pub mod port;
 pub use gang::{
     gang_allocate, gang_rate, gang_rate_with, greedy_fill, greedy_fill_into, FlowEndpoints,
 };
-pub use madd::{bottleneck_time, madd_rates, madd_rates_into};
+pub use madd::{
+    bottleneck_time, bottleneck_time_with, madd_rates, madd_rates_into, madd_rates_with,
+    MaddScratch,
+};
 pub use maxmin::{max_min_fair, max_min_fair_into, MaxMinScratch};
 pub use port::PortBank;

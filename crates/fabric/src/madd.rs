@@ -11,6 +11,18 @@ use crate::gang::FlowEndpoints;
 use crate::port::PortBank;
 use saath_simcore::{Bytes, Duration, PortId, Rate};
 
+/// Reusable per-port accumulation for [`bottleneck_time_with`] /
+/// [`madd_rates_with`]: a port-indexed `u64` slab plus the list of
+/// ports touched (in first-touch order), replacing the former
+/// `Vec<(PortId, u64)>` whose `find()` made every accumulation
+/// `O(ports touched)`. The slab is zeroed on entry and exit, so one
+/// scratch serves any number of CoFlows per round.
+#[derive(Default)]
+pub struct MaddScratch {
+    slab: Vec<u64>,
+    touched: Vec<PortId>,
+}
+
 /// The bottleneck completion time Γ of a CoFlow under the *remaining*
 /// port capacities in `bank`: the maximum over ports of
 /// `total remaining bytes at the port / remaining capacity`.
@@ -20,29 +32,67 @@ use saath_simcore::{Bytes, Duration, PortId, Rate};
 ///
 /// `remaining[i]` is the remaining volume of `flows[i]`.
 pub fn bottleneck_time(bank: &PortBank, flows: &[FlowEndpoints], remaining: &[Bytes]) -> Duration {
+    bottleneck_time_with(bank, flows, remaining, &mut MaddScratch::default())
+}
+
+/// [`bottleneck_time`] with caller-provided scratch — the
+/// allocation-free form for hot scheduling loops.
+pub fn bottleneck_time_with(
+    bank: &PortBank,
+    flows: &[FlowEndpoints],
+    remaining: &[Bytes],
+    scratch: &mut MaddScratch,
+) -> Duration {
     debug_assert_eq!(flows.len(), remaining.len());
-    // Accumulate per-port demand sparsely.
-    let mut demand: Vec<(PortId, u64)> = Vec::with_capacity(flows.len() * 2);
-    for (f, rem) in flows.iter().zip(remaining) {
-        for p in [f.src, f.dst] {
-            match demand.iter_mut().find(|(q, _)| *q == p) {
-                Some((_, d)) => *d += rem.as_u64(),
-                None => demand.push((p, rem.as_u64())),
-            }
-        }
-    }
+    accumulate(scratch, bank.num_ports(), flows, |i| remaining[i].as_u64());
+    let caps = bank.remaining_slab();
     let mut gamma = Duration::ZERO;
-    for (p, d) in demand {
-        if d == 0 {
-            continue;
-        }
-        let cap = bank.remaining(p);
-        let t = saath_simcore::units::transfer_time(Bytes(d), cap);
+    for &p in &scratch.touched {
+        let d = scratch.slab[p.index()];
+        let t = saath_simcore::units::transfer_time(Bytes(d), Rate(caps[p.index()]));
         if t > gamma {
             gamma = t;
         }
     }
+    drain(scratch);
     gamma
+}
+
+/// Accumulates `value(i)` onto both ports of `flows[i]` in the scratch
+/// slab; ports enter `touched` on their first nonzero contribution, so
+/// zero-valued flows (drained, zero-rate) never surface — exactly the
+/// entries the Γ/clamp scans would skip anyway.
+fn accumulate(
+    scratch: &mut MaddScratch,
+    num_ports: usize,
+    flows: &[FlowEndpoints],
+    value: impl Fn(usize) -> u64,
+) {
+    if scratch.slab.len() < num_ports {
+        scratch.slab.resize(num_ports, 0);
+    }
+    debug_assert!(scratch.slab.iter().all(|&d| d == 0), "slab not drained");
+    scratch.touched.clear();
+    for (i, f) in flows.iter().enumerate() {
+        let v = value(i);
+        if v == 0 {
+            continue;
+        }
+        for p in [f.src, f.dst] {
+            let d = &mut scratch.slab[p.index()];
+            if *d == 0 {
+                scratch.touched.push(p);
+            }
+            *d += v;
+        }
+    }
+}
+
+/// Re-zeroes the slab via the touched list (cheaper than a full clear).
+fn drain(scratch: &mut MaddScratch) {
+    for &p in &scratch.touched {
+        scratch.slab[p.index()] = 0;
+    }
 }
 
 /// Per-flow MADD rates: each flow gets `remaining / Γ`, so every flow
@@ -71,8 +121,20 @@ pub fn madd_rates_into(
     remaining: &[Bytes],
     out: &mut Vec<Rate>,
 ) -> bool {
+    madd_rates_with(bank, flows, remaining, &mut MaddScratch::default(), out)
+}
+
+/// [`madd_rates_into`] with caller-provided scratch — the fully
+/// allocation-free form for hot scheduling loops.
+pub fn madd_rates_with(
+    bank: &PortBank,
+    flows: &[FlowEndpoints],
+    remaining: &[Bytes],
+    scratch: &mut MaddScratch,
+    out: &mut Vec<Rate>,
+) -> bool {
     out.clear();
-    let gamma = bottleneck_time(bank, flows, remaining);
+    let gamma = bottleneck_time_with(bank, flows, remaining, scratch);
     if gamma.is_infinite() {
         return false;
     }
@@ -90,29 +152,28 @@ pub fn madd_rates_into(
     // Clamp to feasibility: rounding up each flow can oversubscribe a
     // port by a few B/s; scale the whole CoFlow's rates down to the most
     // violated port's ratio if needed (keeps rates proportional, which
-    // is the MADD invariant).
-    let mut used: Vec<(PortId, u64)> = Vec::new();
-    for (f, r) in flows.iter().zip(rates.iter()) {
-        for p in [f.src, f.dst] {
-            match used.iter_mut().find(|(q, _)| *q == p) {
-                Some((_, u)) => *u += r.as_u64(),
-                None => used.push((p, r.as_u64())),
-            }
-        }
-    }
+    // is the MADD invariant). Only ports with positive accumulated rate
+    // can violate, so the slab's nonzero-only touched list suffices;
+    // among equally-violated ports the chosen (cap, used) pair may
+    // differ from the historical sparse scan, but equal ratios floor to
+    // equal scaled rates, keeping the output byte-identical.
+    accumulate(scratch, bank.num_ports(), flows, |i| rates[i].as_u64());
+    let caps = bank.remaining_slab();
     let mut scale: Option<(u64, u64)> = None; // (num, den) = smallest cap/used ratio
-    for (p, u) in &used {
-        let cap = bank.remaining(*p).as_u64();
-        if *u > cap {
+    for &p in &scratch.touched {
+        let u = scratch.slab[p.index()];
+        let cap = caps[p.index()];
+        if u > cap {
             let tighter = match scale {
                 None => true,
-                Some((n0, d0)) => (cap as u128) * (d0 as u128) < (n0 as u128) * (*u as u128),
+                Some((n0, d0)) => (cap as u128) * (d0 as u128) < (n0 as u128) * (u as u128),
             };
             if tighter {
-                scale = Some((cap, *u));
+                scale = Some((cap, u));
             }
         }
     }
+    drain(scratch);
     if let Some((num, den)) = scale {
         for r in rates.iter_mut() {
             *r = r.mul_ratio(num, den);

@@ -13,6 +13,16 @@
 //! `remaining capacity / unfixed flow count`, fixes its flows, and
 //! charges the other ports. With `P` ports and `F` flows it runs in
 //! `O(P² + P·F)`, which is tiny at the paper's scale (≤300 ports).
+//!
+//! ## Tie-breaking (load-bearing, do not change casually)
+//!
+//! When several ports share the smallest fair share, the **lowest port
+//! index wins**: the scan walks ports in ascending index and `s <=
+//! share` keeps the incumbent. With integer division the bottleneck
+//! choice *can* change the final rates (fixing at port `a` first may
+//! leave a one-quantum-larger share at port `b` than the other order
+//! would), so this rule is part of the byte-determinism contract —
+//! locked by `ties_pick_the_lowest_port_index` below.
 
 use crate::gang::FlowEndpoints;
 use crate::port::PortBank;
@@ -20,11 +30,23 @@ use saath_simcore::Rate;
 
 /// Reusable per-port/per-flow bookkeeping for [`max_min_fair_into`], so
 /// repeated rounds allocate nothing.
+///
+/// Structure-of-arrays layout: flat `u32` src/dst port indices per flow
+/// plus `u64` capacity/count slabs per port, and a compacted list of
+/// still-unfixed flow indices — the fix-and-charge loop touches only
+/// dense integer arrays, so it autovectorizes and skips already-fixed
+/// flows entirely (the former `Vec<bool>` sidecar made every pass
+/// re-scan all flows).
 #[derive(Default)]
 pub struct MaxMinScratch {
     cap: Vec<u64>,
     count: Vec<u64>,
-    fixed: Vec<bool>,
+    srcs: Vec<u32>,
+    dsts: Vec<u32>,
+    /// Indices of flows not yet fixed, in ascending order (retain keeps
+    /// relative order, so the charge sequence matches the historical
+    /// all-flows scan exactly).
+    active: Vec<u32>,
     /// Cumulative progressive-filling iterations (one per bottleneck
     /// fixed) across every call that used this scratch. Only maintained
     /// with the `telemetry` feature; always 0 otherwise.
@@ -58,23 +80,35 @@ pub fn max_min_fair_into(
         return;
     }
 
-    // Per-port bookkeeping.
-    let cap = &mut scratch.cap;
+    // Per-port and per-flow slabs (see MaxMinScratch).
+    let MaxMinScratch {
+        cap,
+        count,
+        srcs,
+        dsts,
+        active,
+        iterations,
+    } = scratch;
     cap.clear();
-    cap.extend((0..np).map(|i| bank.remaining(saath_simcore::PortId(i as u32)).as_u64()));
-    let count = &mut scratch.count;
+    cap.extend_from_slice(bank.remaining_slab());
     count.clear();
     count.resize(np, 0);
-    let fixed = &mut scratch.fixed;
-    fixed.clear();
-    fixed.resize(flows.len(), false);
+    srcs.clear();
+    dsts.clear();
     for f in flows {
-        count[f.src.index()] += 1;
-        count[f.dst.index()] += 1;
+        srcs.push(f.src.index() as u32);
+        dsts.push(f.dst.index() as u32);
     }
+    for (&s, &d) in srcs.iter().zip(dsts.iter()) {
+        count[s as usize] += 1;
+        count[d as usize] += 1;
+    }
+    active.clear();
+    active.extend(0..flows.len() as u32);
 
     loop {
         // Find the tightest port among those with unfixed flows.
+        // Ascending scan; ties keep the lowest index (module docs).
         let mut best: Option<(usize, u64)> = None; // (port, fair share)
         for p in 0..np {
             if count[p] == 0 {
@@ -90,24 +124,26 @@ pub fn max_min_fair_into(
             break;
         };
         if saath_telemetry::enabled() {
-            scratch.iterations += 1;
+            *iterations += 1;
         }
 
-        // Fix every unfixed flow crossing the bottleneck at `level` and
-        // charge its other port.
-        for (i, f) in flows.iter().enumerate() {
-            if fixed[i] {
-                continue;
+        // Fix every unfixed flow crossing the bottleneck at `level`,
+        // charge its ports, and compact it out of the active list.
+        let b = bottleneck as u32;
+        active.retain(|&i| {
+            let (s, d) = (srcs[i as usize], dsts[i as usize]);
+            if s != b && d != b {
+                return true;
             }
-            if f.src.index() == bottleneck || f.dst.index() == bottleneck {
-                fixed[i] = true;
-                rates[i] = Rate(level);
-                for p in [f.src.index(), f.dst.index()] {
-                    cap[p] -= level.min(cap[p]);
-                    count[p] -= 1;
-                }
+            rates[i as usize] = Rate(level);
+            for p in [s as usize, d as usize] {
+                // Explicit saturation: the bottleneck's own remainder
+                // (integer division) must floor at zero, not wrap.
+                cap[p] = cap[p].saturating_sub(level);
+                count[p] -= 1;
             }
-        }
+            false
+        });
         // The bottleneck may retain a sub-`count` remainder from integer
         // division; it has no unfixed flows left, so it is inert now.
     }
@@ -157,6 +193,24 @@ mod tests {
         let flows = [fe(0, 0, 2, 4), fe(1, 0, 3, 4)];
         let rates = max_min_fair(&bank, &flows);
         assert_eq!(rates, vec![Rate(30), Rate(70)]);
+    }
+
+    /// Locks the documented tie-break: when two ports offer the same
+    /// integer fair share, the lowest-indexed one is fixed first. The
+    /// choice is observable — here up0 (101 across A, B → share 50)
+    /// ties with down2 (50 for A alone → share 50). Fixing up0 first
+    /// pins B at 50; fixing down2 first would leave B the 51 remainder.
+    #[test]
+    fn ties_pick_the_lowest_port_index() {
+        let mut bank = PortBank::uniform(4, Rate(101));
+        bank.set_capacity(PortId::downlink(NodeId(2), 4), Rate(50));
+        let flows = [fe(0, 0, 2, 4), fe(1, 0, 3, 4)];
+        let rates = max_min_fair(&bank, &flows);
+        assert_eq!(
+            rates,
+            vec![Rate(50), Rate(50)],
+            "tie must resolve to port 0 (up0), fixing both flows at 50"
+        );
     }
 
     #[test]

@@ -10,12 +10,21 @@ use serde::{Deserialize, Serialize};
 /// Capacities can differ per port — that is how straggling or degraded
 /// nodes are modelled (§4.3): a straggler's ports keep working at a
 /// fraction of their nominal rate.
+///
+/// Internally both vectors are raw `u64` slabs (structure-of-arrays)
+/// rather than `Vec<Rate>`: the allocators' inner loops
+/// ([`max_min_fair_into`], MADD, gang rates) bulk-read them, and plain
+/// integer slabs let those loops autovectorize. `Rate` is a transparent
+/// `u64` newtype, so the serialized form is unchanged. The typed
+/// [`Rate`] API stays the only mutation path.
+///
+/// [`max_min_fair_into`]: crate::maxmin::max_min_fair_into
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct PortBank {
     num_nodes: usize,
     nominal: Rate,
-    capacity: Vec<Rate>,
-    remaining: Vec<Rate>,
+    capacity: Vec<u64>,
+    remaining: Vec<u64>,
 }
 
 impl PortBank {
@@ -24,8 +33,8 @@ impl PortBank {
         PortBank {
             num_nodes,
             nominal: uniform,
-            capacity: vec![uniform; 2 * num_nodes],
-            remaining: vec![uniform; 2 * num_nodes],
+            capacity: vec![uniform.as_u64(); 2 * num_nodes],
+            remaining: vec![uniform.as_u64(); 2 * num_nodes],
         }
     }
 
@@ -50,16 +59,16 @@ impl PortBank {
 
     /// Nominal capacity of a port.
     pub fn capacity(&self, p: PortId) -> Rate {
-        self.capacity[p.index()]
+        Rate(self.capacity[p.index()])
     }
 
     /// Sets the nominal capacity of a port (straggler/failure
     /// injection). Also clamps the remaining capacity down to the new
     /// value so an in-flight round cannot over-allocate.
     pub fn set_capacity(&mut self, p: PortId, cap: Rate) {
-        self.capacity[p.index()] = cap;
-        if self.remaining[p.index()] > cap {
-            self.remaining[p.index()] = cap;
+        self.capacity[p.index()] = cap.as_u64();
+        if self.remaining[p.index()] > cap.as_u64() {
+            self.remaining[p.index()] = cap.as_u64();
         }
     }
 
@@ -69,8 +78,8 @@ impl PortBank {
     pub fn scale_node(&mut self, node: NodeId, num: u64, den: u64) {
         let up = PortId::uplink(node);
         let down = PortId::downlink(node, self.num_nodes);
-        let new_up = self.capacity[up.index()].mul_ratio(num, den);
-        let new_down = self.capacity[down.index()].mul_ratio(num, den);
+        let new_up = Rate(self.capacity[up.index()]).mul_ratio(num, den);
+        let new_down = Rate(self.capacity[down.index()]).mul_ratio(num, den);
         self.set_capacity(up, new_up);
         self.set_capacity(down, new_down);
     }
@@ -83,12 +92,25 @@ impl PortBank {
 
     /// Remaining (un-allocated) capacity of a port in this round.
     pub fn remaining(&self, p: PortId) -> Rate {
-        self.remaining[p.index()]
+        Rate(self.remaining[p.index()])
+    }
+
+    /// The full remaining-capacity slab, indexed by raw port index —
+    /// the read-only bulk view the allocator inner loops iterate so
+    /// they vectorize. Units are `Rate` (bytes/second).
+    pub fn remaining_slab(&self) -> &[u64] {
+        &self.remaining
+    }
+
+    /// The full capacity slab, indexed by raw port index (bulk
+    /// read-only view; units are `Rate`).
+    pub fn capacity_slab(&self) -> &[u64] {
+        &self.capacity
     }
 
     /// Whether the port still has any spare capacity.
     pub fn has_spare(&self, p: PortId) -> bool {
-        !self.remaining[p.index()].is_zero()
+        self.remaining[p.index()] != 0
     }
 
     /// Draws `r` from the port's remaining capacity.
@@ -98,11 +120,11 @@ impl PortBank {
     /// hand out more than a port has.
     pub fn allocate(&mut self, p: PortId, r: Rate) {
         debug_assert!(
-            r <= self.remaining[p.index()],
+            r.as_u64() <= self.remaining[p.index()],
             "over-allocating {r} on {p} (remaining {})",
-            self.remaining[p.index()]
+            Rate(self.remaining[p.index()])
         );
-        self.remaining[p.index()] = self.remaining[p.index()].saturating_sub(r);
+        self.remaining[p.index()] = self.remaining[p.index()].saturating_sub(r.as_u64());
     }
 
     /// Starts a new scheduling round: remaining := capacity everywhere.
@@ -123,8 +145,8 @@ impl PortBank {
 
     /// Sum of allocated rate across all ports (diagnostics).
     pub fn total_allocated(&self) -> Rate {
-        let cap: u64 = self.capacity.iter().map(|r| r.as_u64()).sum();
-        let rem: u64 = self.remaining.iter().map(|r| r.as_u64()).sum();
+        let cap: u64 = self.capacity.iter().sum();
+        let rem: u64 = self.remaining.iter().sum();
         Rate(cap - rem)
     }
 
@@ -135,7 +157,7 @@ impl PortBank {
         self.capacity
             .iter()
             .zip(self.remaining.iter())
-            .filter(|(c, r)| !c.is_zero() && r.is_zero())
+            .filter(|(&c, &r)| c != 0 && r == 0)
             .count()
     }
 
@@ -143,11 +165,11 @@ impl PortBank {
     /// × 1000), 0 on an all-dead fabric. Integer-valued so the round
     /// trace stays byte-deterministic.
     pub fn utilization_permille(&self) -> u64 {
-        let cap: u64 = self.capacity.iter().map(|r| r.as_u64()).sum();
+        let cap: u64 = self.capacity.iter().sum();
         if cap == 0 {
             return 0;
         }
-        let rem: u64 = self.remaining.iter().map(|r| r.as_u64()).sum();
+        let rem: u64 = self.remaining.iter().sum();
         (cap - rem) * 1000 / cap
     }
 
@@ -191,6 +213,22 @@ mod tests {
         assert_eq!(bank.remaining(p), Rate(100));
         assert_eq!(bank.saturated_ports(), 0);
         assert_eq!(bank.utilization_permille(), 0);
+    }
+
+    /// The raw slabs expose exactly what the typed API reports, in
+    /// port-index order.
+    #[test]
+    fn slabs_mirror_typed_accessors() {
+        let mut bank = PortBank::uniform(2, Rate(100));
+        bank.set_capacity(PortId(2), Rate(40));
+        bank.allocate(PortId(0), Rate(25));
+        assert_eq!(bank.capacity_slab(), &[100, 100, 40, 100]);
+        assert_eq!(bank.remaining_slab(), &[75, 100, 40, 100]);
+        for p in 0..bank.num_ports() {
+            let p = PortId(p as u32);
+            assert_eq!(bank.capacity(p).as_u64(), bank.capacity_slab()[p.index()]);
+            assert_eq!(bank.remaining(p).as_u64(), bank.remaining_slab()[p.index()]);
+        }
     }
 
     #[test]

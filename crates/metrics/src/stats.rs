@@ -6,16 +6,17 @@
 //! coflowsim-era evaluations computed their numbers.
 
 /// Nearest-rank percentile (`p` in `[0, 100]`) of `samples`.
-/// Returns `None` on an empty slice. Not-a-number samples are rejected
-/// by debug assertion (they cannot be ordered meaningfully).
+/// Returns `None` on an empty slice. Not-a-number samples are skipped
+/// (they cannot be ordered meaningfully); if *every* sample is NaN the
+/// result is `None`. A release-mode sweep must never abort because one
+/// wall-clock division produced a NaN.
 pub fn percentile(samples: &[f64], p: f64) -> Option<f64> {
-    if samples.is_empty() {
+    debug_assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+    let mut sorted: Vec<f64> = samples.iter().copied().filter(|x| !x.is_nan()).collect();
+    if sorted.is_empty() {
         return None;
     }
-    debug_assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
-    debug_assert!(samples.iter().all(|x| !x.is_nan()), "NaN sample");
-    let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+    sorted.sort_by(f64::total_cmp);
     if p <= 0.0 {
         return Some(sorted[0]);
     }
@@ -46,9 +47,10 @@ pub fn stddev(samples: &[f64]) -> Option<f64> {
 /// `(value, cumulative fraction)` points of the empirical CDF — one per
 /// sample, suitable for plotting or for reading off "X % of CoFlows had
 /// deviation under Y".
+/// NaN samples are skipped, mirroring [`percentile`].
 pub fn cdf_points(samples: &[f64]) -> Vec<(f64, f64)> {
-    let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+    let mut sorted: Vec<f64> = samples.iter().copied().filter(|x| !x.is_nan()).collect();
+    sorted.sort_by(f64::total_cmp);
     let n = sorted.len() as f64;
     sorted
         .iter()
@@ -81,6 +83,22 @@ mod tests {
         assert_eq!(percentile(&v, 100.0), Some(50.0));
         assert_eq!(percentile(&[], 50.0), None);
         assert_eq!(median(&[3.0]), Some(3.0));
+    }
+
+    /// One bad wall-clock sample must not kill a sweep report: NaN
+    /// samples are dropped, all-NaN input yields `None` / empty output,
+    /// and the surviving samples produce the usual answers.
+    #[test]
+    fn nan_samples_are_skipped_not_fatal() {
+        let v = [2.0, f64::NAN, 1.0, 3.0, f64::NAN];
+        assert_eq!(percentile(&v, 50.0), Some(2.0));
+        assert_eq!(percentile(&v, 100.0), Some(3.0));
+        assert_eq!(percentile(&[f64::NAN, f64::NAN], 50.0), None);
+        let pts = cdf_points(&v);
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[0].0, 1.0);
+        assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-12);
+        assert!(cdf_points(&[f64::NAN]).is_empty());
     }
 
     #[test]

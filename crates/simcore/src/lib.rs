@@ -28,6 +28,8 @@
 //!   (the coordinator's δ interval lives on this grid).
 //! * [`units`] — [`Bytes`] and [`Rate`] plus exact transfer arithmetic.
 //! * [`event`] — a deterministic event queue with stable tie-breaking.
+//! * [`fasthash`] — a non-cryptographic hasher ([`FastHashMap`] /
+//!   [`FastHashSet`]) for the schedulers' internal integer-keyed maps.
 //! * [`rng`] — named, seed-derived random streams so adding a new
 //!   consumer never perturbs existing ones.
 //! * [`ids`] — typed identifiers shared across the workspace
@@ -37,12 +39,14 @@
 #![forbid(unsafe_code)]
 
 pub mod event;
+pub mod fasthash;
 pub mod ids;
 pub mod rng;
 pub mod time;
 pub mod units;
 
 pub use event::EventQueue;
+pub use fasthash::{FastHashMap, FastHashSet};
 pub use ids::{CoflowId, FlowId, JobId, NodeId, PortId};
 pub use rng::DetRng;
 pub use time::{Duration, Time};

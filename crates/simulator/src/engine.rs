@@ -395,10 +395,13 @@ pub fn simulate_with_telemetry(
     let mut round_stamp: u64 = 0;
     // CoFlow ids drained from the dirty set this round — handed to the
     // scheduler as the `ClusterView::changed` hint so incremental
-    // contention tracking can delta-update instead of rebuilding. The
-    // dirty set marks arrival, finish, readiness, and failure resets,
-    // which is a superset of port-footprint changes (pure progress
-    // never moves a footprint), satisfying the hint contract.
+    // contention tracking and order maintenance can delta-update
+    // instead of rebuilding. The hint contract (see `ClusterView`)
+    // covers *any* view-content change — footprints, `sent` bytes,
+    // readiness, restarts — because schedulers also cache queue
+    // assignments and ordering keys. The dirty set marks arrival, byte
+    // progress, finish, readiness, straggler start/end, and failure
+    // resets, satisfying that contract.
     let mut changed_ids: Vec<CoflowId> = Vec::new();
 
     loop {

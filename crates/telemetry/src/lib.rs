@@ -204,12 +204,18 @@ pub struct MechCounters {
     /// Speculative gang probes recomputed in the parallel merge because
     /// an earlier admission drew down one of the CoFlow's ports.
     pub probe_revalidations: u64,
+    /// CoFlows whose LCoF ordering key changed and were re-slotted in
+    /// the incremental order book (one remove + insert each).
+    pub order_rekeys: u64,
+    /// Rounds where the incremental order book emitted the LCoF order
+    /// without a full re-sort.
+    pub order_resorts_avoided: u64,
 }
 
 impl MechCounters {
     /// `(name, value)` rows in display order, for table rendering
     /// without the renderer knowing the fields.
-    pub fn rows(&self) -> [(&'static str, u64); 13] {
+    pub fn rows(&self) -> [(&'static str, u64); 15] {
         [
             ("queue_transitions", self.queue_transitions),
             ("deadline_expiries", self.deadline_expiries),
@@ -227,6 +233,8 @@ impl MechCounters {
                 self.contention_rebuilds_avoided,
             ),
             ("probe_revalidations", self.probe_revalidations),
+            ("order_rekeys", self.order_rekeys),
+            ("order_resorts_avoided", self.order_resorts_avoided),
         ]
     }
 }
@@ -447,6 +455,6 @@ mod tests {
         assert_eq!(rows.len(), COUNTERS.len());
         assert!(rows.iter().all(|(n, _)| !n.is_empty()));
         let mech = MechCounters::default().rows();
-        assert_eq!(mech.len(), 13);
+        assert_eq!(mech.len(), 15);
     }
 }
