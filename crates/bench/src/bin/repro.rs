@@ -7,7 +7,8 @@
 //!   fig2 fig3 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 table2 dynamics
 //!   epoch          engine wall-clock baseline (writes BENCH_epoch_loop.json;
 //!                  with --trace PATH, streams the coflow-benchmark file and
-//!                  writes BENCH_epoch_fb_trace.json instead)
+//!                  writes BENCH_epoch_fb_trace.json instead; with --small,
+//!                  runs the lab's small FB trace and writes no BENCH file)
 //!   scale          Fig 9-style scalability sweep: rounds/sec at 150→1k nodes
 //!                  × 10k→100k flows, full-rebuild vs incremental contention
 //!                  (writes BENCH_scalability.json; rebuild with
@@ -18,6 +19,13 @@
 //!                  and deterministic JSONL round traces in results/
 //!   gen-trace      write a full-size FB-like trace in coflow-benchmark format
 //!                  to --out PATH (offline stand-in for the published trace)
+//!   verify PATH    stream a recorded event log through the O(1)-memory
+//!                  hash-chain verifier; exits 1 (naming the first bad
+//!                  round) if the chain is broken
+//!   diff A B       differential harness: binary-search two logs' chained
+//!                  digests to the first divergent round and print the
+//!                  minimal field-level diff of that round's schedule;
+//!                  exits 1 when a divergence is found
 //!   all            run everything
 //!
 //! options:
@@ -32,6 +40,16 @@
 //!   --small        use small traces (smoke test, seconds instead of minutes)
 //!   --json         epoch/scale only: print the BENCH JSON document instead
 //!                  of the table
+//!   --log PATH     epoch/scale only: record a hash-chained event log of an
+//!                  extra untimed replay (records asserted identical to the
+//!                  timed run) to PATH
+//!   --snapshot-every N
+//!                  with --log: serialize a full engine snapshot into the
+//!                  log every N rounds (0, the default, disables snapshots)
+//!   --resume-from PATH
+//!                  epoch/scale only: resume the untimed replay from the
+//!                  last snapshot in a previously recorded log; the
+//!                  continuation chains to the same digest as a full run
 //! ```
 //!
 //! CSV artifacts land in `results/`.
@@ -47,7 +65,7 @@ fn arg_value(args: &[String], key: &str) -> Option<String> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let what = args.first().cloned().unwrap_or_else(|| {
-        eprintln!("usage: repro <fig2|fig3|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|fig17|table2|dynamics|epoch|scale|trace|gen-trace|all> [--seed N] [--panel P] [--trace PATH] [--out PATH] [--scale N] [--nodes N] [--shards K] [--small] [--json]");
+        eprintln!("usage: repro <fig2|fig3|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|fig17|table2|dynamics|epoch|scale|trace|gen-trace|verify|diff|all> [--seed N] [--panel P] [--trace PATH] [--out PATH] [--scale N] [--nodes N] [--shards K] [--small] [--json] [--log PATH] [--snapshot-every N] [--resume-from PATH]");
         std::process::exit(2);
     });
     let seed: u64 = arg_value(&args, "--seed")
@@ -66,6 +84,52 @@ fn main() {
         .max(1);
     let small = args.iter().any(|a| a == "--small");
     let json = args.iter().any(|a| a == "--json");
+    let log_opts = figs::LogOptions {
+        log: arg_value(&args, "--log").map(std::path::PathBuf::from),
+        snapshot_every: arg_value(&args, "--snapshot-every")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0),
+        resume_from: arg_value(&args, "--resume-from").map(std::path::PathBuf::from),
+    };
+
+    // Log-file subcommands need no Lab (no trace generation): handle
+    // them before the lab is built, like `gen-trace` below.
+    if what == "verify" {
+        let path = args.get(1).cloned().unwrap_or_else(|| {
+            eprintln!("usage: repro verify <log>");
+            std::process::exit(2);
+        });
+        match figs::verify_log(std::path::Path::new(&path)) {
+            Ok(summary) => println!("{summary}"),
+            Err(e) => {
+                eprintln!("verification FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    if what == "diff" {
+        let (a, b) = match (args.get(1), args.get(2)) {
+            (Some(a), Some(b)) => (a.clone(), b.clone()),
+            _ => {
+                eprintln!("usage: repro diff <log-a> <log-b>");
+                std::process::exit(2);
+            }
+        };
+        match figs::diff_cmd(std::path::Path::new(&a), std::path::Path::new(&b)) {
+            Ok((report, diverged)) => {
+                println!("{report}");
+                if diverged {
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("diff failed: {e}");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
 
     let mut lab = if small {
         Lab::small(seed)
@@ -104,8 +168,8 @@ fn main() {
             "fig17" => Some(figs::fig17(lab)),
             "table2" => Some(figs::table2(lab)),
             "dynamics" => Some(figs::dynamics(lab)),
-            "epoch" => Some(figs::epoch(lab, json)),
-            "scale" => Some(figs::scale(lab, json, small, shards)),
+            "epoch" => Some(figs::epoch(lab, json, small, &log_opts)),
+            "scale" => Some(figs::scale(lab, json, small, shards, &log_opts)),
             "trace" => Some(figs::trace_diag(lab, small)),
             _ => None,
         }

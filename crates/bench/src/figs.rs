@@ -782,6 +782,177 @@ fn grown_fb_trace(seed: u64) -> saath_workload::Trace {
     trace
 }
 
+/// Event-log options for `repro epoch` / `repro scale` (`--log PATH`,
+/// `--snapshot-every N`, `--resume-from PATH`). When active, the
+/// baseline gains one extra *untimed* replay that records the
+/// hash-chained event log (and resumes from a prior log's last
+/// snapshot), so the timed runs never carry logging overhead.
+pub struct LogOptions {
+    /// Write the replay's event log to this path.
+    pub log: Option<std::path::PathBuf>,
+    /// Snapshot cadence in rounds (0 disables snapshots).
+    pub snapshot_every: u64,
+    /// Resume from the last snapshot of this previously recorded log.
+    pub resume_from: Option<std::path::PathBuf>,
+}
+
+impl LogOptions {
+    /// No logging, no snapshots, no resume — epoch/scale behave exactly
+    /// as before the event log existed.
+    pub fn none() -> Self {
+        LogOptions {
+            log: None,
+            snapshot_every: 0,
+            resume_from: None,
+        }
+    }
+
+    fn active(&self) -> bool {
+        self.log.is_some() || self.resume_from.is_some()
+    }
+}
+
+/// The extra untimed replay behind `--log` / `--resume-from`: replays
+/// `trace` under a fresh default Saath with the event-log sink attached,
+/// chain-verifies the recorded bytes, asserts the records byte-match
+/// `expect` (the timed benchmark run), and reports the log telemetry
+/// counters. Panics on any mismatch — a benchmark whose log diverges
+/// from its own timed run is a bug, not a degraded result.
+fn logged_replay(
+    trace: &saath_workload::Trace,
+    cfg: &saath_simulator::SimConfig,
+    dynamics: &saath_workload::DynamicsSpec,
+    opts: &LogOptions,
+    expect: &[CoflowRecord],
+) -> String {
+    use saath_core::CoflowScheduler as _;
+    use saath_eventlog::{index_log, verify, ChainDigest, EventLogWriter, LogHeader};
+    use saath_simulator::{simulate_resumable, ReplayHooks};
+    use saath_telemetry::Counter;
+
+    // Resume point, if requested: the prior log's last snapshot that
+    // still has rounds after it (a cadence hitting the final round
+    // exactly would otherwise make the continuation trivially empty),
+    // falling back to the very last one.
+    let snap = opts.resume_from.as_ref().map(|path| {
+        let bytes = std::fs::read(path)
+            .unwrap_or_else(|e| panic!("--resume-from: cannot read {}: {e}", path.display()));
+        let idx = index_log(&bytes).unwrap_or_else(|e| {
+            panic!("--resume-from: {} is not an event log: {e}", path.display())
+        });
+        let total = idx.rounds.last().map(|r| r.round + 1);
+        idx.snapshots
+            .iter()
+            .rev()
+            .find(|s| Some(s.round) < total)
+            .or_else(|| idx.last_snapshot())
+            .cloned()
+            .unwrap_or_else(|| {
+                panic!(
+                    "--resume-from: {} holds no snapshot (record it with --snapshot-every N)",
+                    path.display()
+                )
+            })
+    });
+    let (start_round, start_digest) = snap
+        .as_ref()
+        .map(|s| (s.round, s.digest))
+        .unwrap_or((0, ChainDigest::ZERO));
+
+    let mut sched = saath_core::Saath::with_defaults();
+    let header = LogHeader {
+        num_nodes: trace.num_nodes as u64,
+        port_rate: trace.port_rate.as_u64(),
+        delta_ns: cfg.delta.as_nanos(),
+        scheduler: sched.name().into(),
+        trace_digest: ChainDigest::ZERO,
+        start_round,
+        start_digest,
+    };
+    let mut w = EventLogWriter::new(Vec::new(), &header).expect("event-log header write failed");
+    let mut tele = saath_telemetry::Telemetry::new();
+    let out = simulate_resumable(
+        trace,
+        &mut sched,
+        cfg,
+        dynamics,
+        Some(&mut tele),
+        ReplayHooks {
+            sink: Some(&mut w),
+            snapshot_every: opts.snapshot_every,
+            resume_from: snap.as_ref().map(|s| s.blob.as_slice()),
+        },
+    )
+    .unwrap_or_else(|e| panic!("logged replay failed: {e}"));
+    assert_eq!(
+        out.records, expect,
+        "logged/resumed replay diverged from the timed benchmark run"
+    );
+
+    let bytes = w.into_inner().expect("event-log flush failed");
+    let summary = verify(&bytes[..]).expect("freshly recorded log failed chain verification");
+    tele.incr(Counter::LogChainVerifies);
+    let mut line = format!(
+        "event log: rounds {}..{} ({} new), {} snapshot(s), {} B, chain {}, \
+         records identical to the timed run",
+        summary.start_round,
+        summary.start_round + summary.rounds,
+        summary.rounds,
+        summary.snapshots,
+        bytes.len(),
+        summary.digest.to_hex(),
+    );
+    if let Some(path) = &opts.log {
+        match std::fs::write(path, &bytes) {
+            Ok(()) => line.push_str(&format!("\nevent log written to {}", path.display())),
+            Err(e) => line.push_str(&format!(
+                "\nwarning: could not write event log {}: {e}",
+                path.display()
+            )),
+        }
+    }
+    if saath_telemetry::enabled() {
+        line.push_str(&format!(
+            "\nlog counters: log_rounds_appended={} log_bytes_written={} \
+             log_snapshots={} log_chain_verifies={}",
+            tele.counter(Counter::LogRoundsAppended),
+            tele.counter(Counter::LogBytesWritten),
+            tele.counter(Counter::LogSnapshots),
+            tele.counter(Counter::LogChainVerifies),
+        ));
+    }
+    line
+}
+
+/// **verify** — streams a recorded event log through the O(1)-memory
+/// chain verifier and returns the summary line; a broken chain (or bad
+/// framing / I/O) comes back as `Err` so the CLI can exit nonzero.
+pub fn verify_log(path: &std::path::Path) -> Result<String, String> {
+    let s = saath_eventlog::verify_path(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(format!(
+        "{}: OK — rounds {}..{} ({} round(s)), {} snapshot(s), chain digest {}",
+        path.display(),
+        s.start_round,
+        s.start_round + s.rounds,
+        s.rounds,
+        s.snapshots,
+        s.digest.to_hex(),
+    ))
+}
+
+/// **diff** — the differential harness: aligns two recorded logs,
+/// binary-searches the chained digests to the first divergent round,
+/// and renders the minimal field-level diff of that round's schedule.
+/// Returns the report plus whether a divergence was found (CLI exit
+/// status).
+pub fn diff_cmd(a: &std::path::Path, b: &std::path::Path) -> Result<(String, bool), String> {
+    let ab = std::fs::read(a).map_err(|e| format!("cannot read {}: {e}", a.display()))?;
+    let bb = std::fs::read(b).map_err(|e| format!("cannot read {}: {e}", b.display()))?;
+    let d = saath_eventlog::diff_logs(&ab, &bb).map_err(|e| e.to_string())?;
+    let report = format!("A = {}\nB = {}\n{}", a.display(), b.display(), d.render());
+    Ok((report, d.first_divergent_round.is_some()))
+}
+
 /// **Epoch loop** — not a paper figure: the wall-clock baseline of the
 /// incremental simulation engine against the recompute-everything
 /// reference loop it replaced, on an FB-like workload grown to ≥ 10k
@@ -796,22 +967,27 @@ fn grown_fb_trace(seed: u64) -> saath_workload::Trace {
 /// to `BENCH_epoch_fb_trace.json` — a second, trace-driven baseline.
 /// (The published Facebook trace is not redistributable here; `repro
 /// gen-trace` writes a full-size stand-in in the same format.)
-pub fn epoch(lab: &Lab, json: bool) -> String {
+pub fn epoch(lab: &Lab, json: bool, small: bool, log: &LogOptions) -> String {
     use saath_simulator::{simulate, simulate_reference, simulate_with_telemetry, SimConfig};
     use saath_workload::DynamicsSpec;
     use std::time::Instant;
 
+    // `small` runs the lab's FB trace instead of the grown ≥ 10k-flow
+    // workload (CI smoke, like `scale --small`) and skips the BENCH
+    // file so smoke numbers never overwrite a recorded baseline.
     let (trace, source, bench_file) = if lab.fb_is_real() {
         (
             lab.trace(Workload::Fb).clone(),
             "coflow-benchmark-file",
-            "BENCH_epoch_fb_trace.json",
+            Some("BENCH_epoch_fb_trace.json"),
         )
+    } else if small {
+        (lab.trace(Workload::Fb).clone(), "lab-small-fb", None)
     } else {
         (
             grown_fb_trace(lab.seed()),
             "generator-grown-fb",
-            "BENCH_epoch_loop.json",
+            Some("BENCH_epoch_loop.json"),
         )
     };
     let flows = flow_count(&trace);
@@ -872,6 +1048,16 @@ pub fn epoch(lab: &Lab, json: bool) -> String {
     let stale_ratio = tele.stale_pop_ratio();
     let mean_dirty = tele.dirty_set.mean();
 
+    // `--log` / `--resume-from`: one more untimed replay, recording the
+    // hash-chained event log and pinning its records to the timed run.
+    // Reported on stderr so `--json` stdout stays a clean document.
+    if log.active() {
+        eprintln!(
+            "{}",
+            logged_replay(&trace, &cfg, &dynamics, log, &inc.records)
+        );
+    }
+
     // The vendored serde stub cannot serialize, so the baseline is
     // formatted by hand — it is a flat object of scalars.
     let json_doc = format!(
@@ -902,8 +1088,10 @@ pub fn epoch(lab: &Lab, json: bool) -> String {
         compactions = tele.counter(saath_telemetry::Counter::HeapCompactions),
         max_heap = tele.heap_len.max,
     );
-    if let Err(e) = std::fs::write(bench_file, &json_doc) {
-        eprintln!("warning: could not write {bench_file}: {e}");
+    if let Some(bench_file) = bench_file {
+        if let Err(e) = std::fs::write(bench_file, &json_doc) {
+            eprintln!("warning: could not write {bench_file}: {e}");
+        }
     }
     if json {
         return json_doc;
@@ -1032,7 +1220,7 @@ struct ScaleRun {
 /// the sweep's first point for K ∈ {1, 2, 4} ∩ [1, `shards`], asserting
 /// byte-identical records at every K and reporting the reconciliation
 /// overhead (K replicas of the policy + the flow-id-ordered merge).
-pub fn scale(lab: &Lab, json: bool, small: bool, shards: usize) -> String {
+pub fn scale(lab: &Lab, json: bool, small: bool, shards: usize, log: &LogOptions) -> String {
     use saath_simulator::{simulate, SimConfig};
     use saath_workload::DynamicsSpec;
     use std::time::Instant;
@@ -1114,11 +1302,20 @@ pub fn scale(lab: &Lab, json: bool, small: bool, shards: usize) -> String {
         ],
     );
     let mut point_docs = Vec::new();
-    for &(nodes, target_flows) in points {
+    for (pi, &(nodes, target_flows)) in points.iter().enumerate() {
         let trace = grown_trace_at(lab.seed(), nodes, target_flows);
         let flows = flow_count(&trace);
         let rebuild = run_mode(&trace, false);
         let incremental = run_mode(&trace, true);
+        if pi == 0 && log.active() {
+            // `--log` / `--resume-from` record the sweep's first point
+            // (the one a prior invocation with the same seed also ran),
+            // untimed, pinned to the timed incremental records.
+            eprintln!(
+                "{}",
+                logged_replay(&trace, &cfg, &dynamics, log, &incremental.records)
+            );
+        }
         assert_eq!(
             rebuild.records, incremental.records,
             "incremental contention/order changed the schedule at {nodes} nodes"

@@ -739,6 +739,107 @@ impl CoflowScheduler for Saath {
     fn queue_occupancy(&self) -> Option<&[usize]> {
         Some(&self.occupancy)
     }
+
+    /// Saath's only *historical* state is the per-CoFlow queue/deadline
+    /// map: a deadline depends on when the CoFlow entered its current
+    /// queue and the occupancy at that instant, which a resumed run
+    /// never observed. Everything else (contention tracker, order book,
+    /// arenas) is a pure function of the view and rebuilds on the
+    /// `changed: None` round that follows a resume. `starvation_kicks`
+    /// and the mech counters are appended so telemetry totals stay
+    /// continuous across a resume; they never feed scheduling decisions.
+    fn save_state(&self, out: &mut Vec<u8>) {
+        out.push(1u8); // format version
+        out.extend_from_slice(&self.starvation_kicks.to_le_bytes());
+        let rows = self.mech.rows();
+        out.extend_from_slice(&(rows.len() as u64).to_le_bytes());
+        for (_, v) in rows {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        // FastHashMap iteration order is arbitrary: sort by id so the
+        // blob (and thus the snapshot digest) is deterministic.
+        let mut entries: Vec<(CoflowId, CoflowState)> =
+            self.state.iter().map(|(id, st)| (*id, *st)).collect();
+        entries.sort_by_key(|(id, _)| *id);
+        out.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+        for (id, st) in entries {
+            out.extend_from_slice(&id.0.to_le_bytes());
+            out.extend_from_slice(&(st.queue as u64).to_le_bytes());
+            out.extend_from_slice(&st.deadline.as_nanos().to_le_bytes());
+            out.push(st.expiry_counted as u8);
+        }
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut rd = bytes;
+        let mut get = |n: usize| -> Result<Vec<u8>, String> {
+            if rd.len() < n {
+                return Err("saath state blob truncated".into());
+            }
+            let (head, tail) = rd.split_at(n);
+            rd = tail;
+            Ok(head.to_vec())
+        };
+        let version = get(1)?[0];
+        if version != 1 {
+            return Err(format!("unknown saath state version {version}"));
+        }
+        let u64_of = |b: Vec<u8>| u64::from_le_bytes(b.as_slice().try_into().unwrap());
+        self.starvation_kicks = u64_of(get(8)?);
+        let n_mech = u64_of(get(8)?);
+        if n_mech != self.mech.rows().len() as u64 {
+            return Err(format!(
+                "saath state has {n_mech} mech counters, this build has {}",
+                self.mech.rows().len()
+            ));
+        }
+        let mut mech_vals = [0u64; 15];
+        for v in mech_vals.iter_mut() {
+            *v = u64_of(get(8)?);
+        }
+        let m = &mut self.mech;
+        [
+            &mut m.queue_transitions,
+            &mut m.deadline_expiries,
+            &mut m.starvation_rescues,
+            &mut m.gang_admissions,
+            &mut m.gang_rejections,
+            &mut m.unready_skips,
+            &mut m.wc_backfills,
+            &mut m.lcof_comparisons,
+            &mut m.madd_evals,
+            &mut m.contention_deltas,
+            &mut m.contention_rebuilds,
+            &mut m.contention_rebuilds_avoided,
+            &mut m.probe_revalidations,
+            &mut m.order_rekeys,
+            &mut m.order_resorts_avoided,
+        ]
+        .into_iter()
+        .zip(mech_vals)
+        .for_each(|(slot, v)| *slot = v);
+        let n_state = u64_of(get(8)?) as usize;
+        self.state.clear();
+        self.state.reserve(n_state);
+        for _ in 0..n_state {
+            let id = CoflowId(u32::from_le_bytes(get(4)?.as_slice().try_into().unwrap()));
+            let queue = u64_of(get(8)?) as usize;
+            let deadline = Time(u64_of(get(8)?));
+            let expiry_counted = get(1)?[0] != 0;
+            self.state.insert(
+                id,
+                CoflowState {
+                    queue,
+                    deadline,
+                    expiry_counted,
+                },
+            );
+        }
+        if !rd.is_empty() {
+            return Err(format!("{} trailing bytes in saath state blob", rd.len()));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

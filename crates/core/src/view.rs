@@ -227,6 +227,39 @@ pub trait CoflowScheduler {
     fn queue_occupancy(&self) -> Option<&[usize]> {
         None
     }
+
+    /// Serializes the scheduler state a snapshot must persist to make a
+    /// resumed run byte-identical to the uninterrupted one.
+    ///
+    /// Only *historical* state belongs here — state that is a function
+    /// of rounds the resumed run never saw (e.g. Saath's per-CoFlow
+    /// queue deadlines, which depend on when each CoFlow entered its
+    /// queue). Caches that are pure functions of the current view
+    /// (contention tables, order books) must NOT be saved: the engine
+    /// passes `changed: None` on the first post-resume round, and the
+    /// hint contract obliges every implementation to rebuild them.
+    ///
+    /// The default writes nothing — correct for stateless-or-derivable
+    /// policies (Aalo, the baselines).
+    fn save_state(&self, _out: &mut Vec<u8>) {}
+
+    /// Restores state captured by [`save_state`] on a freshly
+    /// constructed scheduler of the same policy. The default accepts
+    /// only an empty blob, so pairing a stateful snapshot with a
+    /// stateless policy fails loudly instead of silently diverging.
+    ///
+    /// [`save_state`]: CoflowScheduler::save_state
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        if bytes.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "scheduler '{}' carries no persistent state but the snapshot has {} bytes of it",
+                self.name(),
+                bytes.len()
+            ))
+        }
+    }
 }
 
 #[cfg(test)]

@@ -115,6 +115,42 @@ impl<E> EventQueue<E> {
     pub fn clear(&mut self) {
         self.heap.clear();
     }
+
+    /// The next sequence number this queue would assign — part of the
+    /// queue's deterministic state (FIFO tie-breaking depends on it),
+    /// so snapshots must capture and restore it.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Every pending entry as `(fire_time, seq, payload)`, sorted by
+    /// `(fire_time, seq)` — i.e. in pop order. The heap's internal
+    /// array layout is insertion-history dependent, so this sorted view
+    /// is the queue's canonical serializable form.
+    pub fn entries(&self) -> Vec<(Time, u64, &E)> {
+        let mut v: Vec<(Time, u64, &E)> = self
+            .heap
+            .iter()
+            .map(|e| (e.at, e.seq, &e.payload))
+            .collect();
+        v.sort_by_key(|&(at, seq, _)| (at, seq));
+        v
+    }
+
+    /// Rebuilds a queue from entries captured by [`entries`] and the
+    /// matching [`next_seq`]. Pop order depends only on the `(at, seq)`
+    /// keys, so the restored queue is behaviorally identical to the
+    /// original regardless of internal heap layout.
+    ///
+    /// [`entries`]: EventQueue::entries
+    /// [`next_seq`]: EventQueue::next_seq
+    pub fn from_entries(entries: impl IntoIterator<Item = (Time, u64, E)>, next_seq: u64) -> Self {
+        let heap: BinaryHeap<Entry<E>> = entries
+            .into_iter()
+            .map(|(at, seq, payload)| Entry { at, seq, payload })
+            .collect();
+        EventQueue { heap, next_seq }
+    }
 }
 
 impl<E> Default for EventQueue<E> {
@@ -164,6 +200,22 @@ mod tests {
         // preserved even for events pushed after a reset.
         q.push(Time(5), ());
         assert_eq!(q.pop(), Some((Time(5), ())));
+    }
+
+    #[test]
+    fn entries_roundtrip_preserves_pop_order() {
+        let mut q = EventQueue::new();
+        q.push(Time(30), 1);
+        q.push(Time(10), 2);
+        q.push(Time(30), 3);
+        q.pop(); // consume "2" so seq state is mid-stream
+        let snap: Vec<(Time, u64, i32)> = q.entries().iter().map(|&(t, s, p)| (t, s, *p)).collect();
+        assert_eq!(snap, vec![(Time(30), 0, 1), (Time(30), 2, 3)]);
+        let mut r = EventQueue::from_entries(snap, q.next_seq());
+        assert_eq!(r.next_seq(), 3);
+        r.push(Time(30), 4); // gets seq 3: fires after the restored ties
+        let order: Vec<i32> = std::iter::from_fn(|| r.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 3, 4]);
     }
 
     proptest! {

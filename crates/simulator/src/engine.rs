@@ -31,12 +31,15 @@ use std::collections::BinaryHeap;
 use std::time::Instant;
 
 use saath_core::view::{ClusterView, CoflowScheduler, CoflowView, FlowView, Schedule};
+use saath_eventlog::{RateEntry, RoundRecord, RoundSink};
 use saath_fabric::PortBank;
 use saath_metrics::CoflowRecord;
 use saath_simcore::units::{bytes_in, transfer_time};
 use saath_simcore::{Bytes, CoflowId, Duration, EventQueue, FlowId, NodeId, Rate, Time};
 use saath_telemetry::{Counter, RoundSnapshot, Telemetry};
 use saath_workload::{DynamicsEvent, DynamicsSpec, Trace};
+
+use crate::snapshot;
 
 /// Bumps a counter on an `Option<&mut Telemetry>`; compiles to nothing
 /// when the `telemetry` feature is off.
@@ -91,6 +94,11 @@ pub enum SimError {
     /// The round safety valve tripped (almost certainly a livelocked
     /// scheduler handing out zero rates forever).
     RoundLimit(u64),
+    /// Appending to the event log failed (I/O or framing).
+    Log(String),
+    /// A snapshot could not be taken, or a resume blob could not be
+    /// applied (shape mismatch, wrong scheduler, truncation).
+    Snapshot(String),
 }
 
 impl std::fmt::Display for SimError {
@@ -104,6 +112,8 @@ impl std::fmt::Display for SimError {
                 )
             }
             SimError::RoundLimit(n) => write!(f, "round limit {n} exceeded"),
+            SimError::Log(e) => write!(f, "event log: {e}"),
+            SimError::Snapshot(e) => write!(f, "snapshot: {e}"),
         }
     }
 }
@@ -137,36 +147,36 @@ impl SimOutput {
     }
 }
 
-struct SimFlow {
-    coflow: usize,
-    src: NodeId,
-    dst: NodeId,
-    size: Bytes,
-    sent: Bytes,
-    rate: Rate,
-    ready_at: Time,
-    finished_at: Option<Time>,
+pub(crate) struct SimFlow {
+    pub(crate) coflow: usize,
+    pub(crate) src: NodeId,
+    pub(crate) dst: NodeId,
+    pub(crate) size: Bytes,
+    pub(crate) sent: Bytes,
+    pub(crate) rate: Rate,
+    pub(crate) ready_at: Time,
+    pub(crate) finished_at: Option<Time>,
     /// Predicted absolute completion under the current rate;
     /// `Time::NEVER` while paused or finished. Maintained only by the
     /// incremental loop (the reference loop recomputes it by scanning).
-    pred: Time,
+    pub(crate) pred: Time,
 }
 
-struct SimCoflow {
-    released: Option<Time>,
-    finished: Option<Time>,
-    first_flow: usize,
-    num_flows: usize,
+pub(crate) struct SimCoflow {
+    pub(crate) released: Option<Time>,
+    pub(crate) finished: Option<Time>,
+    pub(crate) first_flow: usize,
+    pub(crate) num_flows: usize,
     /// Flows not yet finished; the incremental loop's O(1) stand-in for
     /// the reference loop's all-flows-done scan.
-    unfinished: usize,
-    deps_left: usize,
-    dependents: Vec<usize>,
-    restarted: bool,
-    view_slot: usize, // usize::MAX when inactive
+    pub(crate) unfinished: usize,
+    pub(crate) deps_left: usize,
+    pub(crate) dependents: Vec<usize>,
+    pub(crate) restarted: bool,
+    pub(crate) view_slot: usize, // usize::MAX when inactive
 }
 
-enum DynAction {
+pub(crate) enum DynAction {
     StraggleStart {
         node: NodeId,
         num: u64,
@@ -183,7 +193,7 @@ enum DynAction {
 
 /// Flattens the trace into dense flow/coflow tables with reversed
 /// dependency edges (shared by both engine loops).
-fn flatten(trace: &Trace) -> (Vec<SimFlow>, Vec<SimCoflow>) {
+pub(crate) fn flatten(trace: &Trace) -> (Vec<SimFlow>, Vec<SimCoflow>) {
     let n_coflows = trace.coflows.len();
     let mut flows: Vec<SimFlow> = Vec::with_capacity(trace.num_flows());
     let mut coflows: Vec<SimCoflow> = Vec::with_capacity(n_coflows);
@@ -272,7 +282,7 @@ fn event_sources(
 
 /// Builds the [`CoflowView`] pushed into the active set when a CoFlow
 /// is released at time `t` (shared by both loops).
-fn make_view(
+pub(crate) fn make_view(
     trace: &Trace,
     ci: usize,
     first_flow: usize,
@@ -309,6 +319,34 @@ fn mark_dirty(dirty: &mut [bool], dirty_list: &mut Vec<usize>, ci: usize) {
     }
 }
 
+/// Replay persistence hooks: an optional event-log sink, a snapshot
+/// cadence, and an optional snapshot blob to resume from.
+///
+/// With a `sink`, every scheduling round appends one canonical
+/// [`RoundRecord`] and (at the cadence) one engine snapshot. With
+/// `resume_from`, the engine restores the blob's state and continues —
+/// producing round records and CoFlow records byte-identical to the
+/// uninterrupted run's suffix.
+#[derive(Default)]
+pub struct ReplayHooks<'a> {
+    /// Where round records and snapshots go; `None` disables logging.
+    pub sink: Option<&'a mut dyn RoundSink>,
+    /// Snapshot every this many scheduling rounds; `0` disables
+    /// snapshots. Cadence does not perturb the simulation, so logs
+    /// written at different cadences chain to identical digests.
+    pub snapshot_every: u64,
+    /// A snapshot blob (from [`crate::snapshot`] via the log) to resume
+    /// from instead of starting at time zero.
+    pub resume_from: Option<&'a [u8]>,
+}
+
+impl ReplayHooks<'_> {
+    /// No logging, no snapshots, no resume — plain simulation.
+    pub fn none() -> Self {
+        ReplayHooks::default()
+    }
+}
+
 /// Replays `trace` under `sched`, returning per-CoFlow records.
 ///
 /// This is the incremental epoch loop; it produces byte-identical
@@ -338,7 +376,30 @@ pub fn simulate_with_telemetry(
     sched: &mut dyn CoflowScheduler,
     cfg: &SimConfig,
     dynamics: &DynamicsSpec,
+    tele: Option<&mut Telemetry>,
+) -> Result<SimOutput, SimError> {
+    simulate_resumable(trace, sched, cfg, dynamics, tele, ReplayHooks::none())
+}
+
+/// [`simulate_with_telemetry`] plus persistence: event logging, periodic
+/// snapshots, and resume-from-snapshot (see [`ReplayHooks`]).
+///
+/// Resume semantics: the blob restores the engine to the top of the
+/// epoch loop exactly as it stood when the snapshot was taken. The first
+/// post-resume round hands the scheduler `changed: None` — the hint
+/// contract's "assume everything changed" — so schedulers rebuild their
+/// view-derived caches from the cold state; only genuinely historical
+/// scheduler state travels in the blob (`CoflowScheduler::save_state`).
+/// The continuation's round records and CoFlow records are
+/// byte-identical to the uninterrupted run's, which
+/// `tests/snapshot_resume.rs` asserts at every boundary.
+pub fn simulate_resumable(
+    trace: &Trace,
+    sched: &mut dyn CoflowScheduler,
+    cfg: &SimConfig,
+    dynamics: &DynamicsSpec,
     mut tele: Option<&mut Telemetry>,
+    mut hooks: ReplayHooks<'_>,
 ) -> Result<SimOutput, SimError> {
     trace
         .validate()
@@ -404,7 +465,115 @@ pub fn simulate_with_telemetry(
     // resets, satisfying that contract.
     let mut changed_ids: Vec<CoflowId> = Vec::new();
 
+    // ---- Resume from a snapshot blob, if asked ----
+    // `resumed_cold` forces `changed: None` on the first post-resume
+    // compute; `last_snapshot` stops an immediate re-snapshot at the
+    // restored round count.
+    let mut resumed_cold = false;
+    let mut last_snapshot: u64 = 0;
+    if let Some(blob) = hooks.resume_from {
+        let st = snapshot::apply(blob, trace, cfg, sched).map_err(SimError::Snapshot)?;
+        now = st.now;
+        rounds = st.rounds;
+        flows = st.flows;
+        coflows = st.coflows;
+        arrivals = st.arrivals;
+        dyn_events = st.dyn_events;
+        ready_events = st.ready_events;
+        views = st.views;
+        view_owner = st.view_owner;
+        bank = st.bank;
+        straggled = st.straggled;
+        flowing = st.flowing;
+        dirty = st.dirty;
+        dirty_list = st.dirty_list;
+        // The completion heap is not serialized: rebuild it with exactly
+        // one current entry per flowing flow. A binary heap's pop order
+        // depends only on its key multiset, and the lazy-deletion loop
+        // makes stale/dead entries unobservable, so this matches the
+        // uninterrupted run's popped minima exactly (the same argument
+        // as the compaction pass below).
+        for &fi in &flowing {
+            let f = &flows[fi];
+            if f.finished_at.is_none() && !f.rate.is_zero() && !f.pred.is_never() {
+                completions.push(Reverse((f.pred, fi as u32)));
+            }
+        }
+        // Records of CoFlows that finished before the snapshot: rebuilt
+        // from the restored tables. Push order differs from the original
+        // run's, but the final sort-by-id normalizes it.
+        for (ci, sc) in coflows.iter().enumerate() {
+            if let Some(finish) = sc.finished {
+                let released = sc.released.expect("finished before release");
+                let spec = &trace.coflows[ci];
+                records.push(CoflowRecord {
+                    id: spec.id,
+                    job: spec.job,
+                    arrival: spec.arrival,
+                    released,
+                    finish,
+                    width: spec.flows.len(),
+                    total_bytes: spec.total_size(),
+                    flow_fcts: (0..sc.num_flows)
+                        .map(|k| {
+                            flows[sc.first_flow + k]
+                                .finished_at
+                                .unwrap()
+                                .since(released)
+                        })
+                        .collect(),
+                    flow_sizes: spec.flows.iter().map(|f| f.size).collect(),
+                });
+            }
+        }
+        resumed_cold = true;
+        last_snapshot = rounds;
+    }
+
     loop {
+        // ---- 0. Snapshot at the cadence ----
+        // Taken at the top of the loop: `now` is the instant the
+        // previous iteration advanced to, and every event due at `now`
+        // is still queued — exactly the state `apply` re-enters.
+        if hooks.snapshot_every > 0
+            && rounds > 0
+            && rounds.is_multiple_of(hooks.snapshot_every)
+            && last_snapshot != rounds
+        {
+            last_snapshot = rounds;
+            if let Some(sink) = hooks.sink.as_deref_mut() {
+                let blob = snapshot::encode(
+                    &snapshot::SnapshotView {
+                        now,
+                        rounds,
+                        flows: &flows,
+                        coflows: &coflows,
+                        arrivals: &arrivals,
+                        dyn_events: &dyn_events,
+                        ready_events: &ready_events,
+                        views: &views,
+                        view_owner: &view_owner,
+                        bank: &bank,
+                        straggled: &straggled,
+                        flowing: &flowing,
+                        dirty_list: &dirty_list,
+                    },
+                    trace,
+                    cfg,
+                    &*sched,
+                );
+                let n = sink
+                    .append_snapshot(rounds, &blob)
+                    .map_err(|e| SimError::Snapshot(e.to_string()))?;
+                if saath_telemetry::enabled() {
+                    if let Some(t) = tele.as_deref_mut() {
+                        t.incr(Counter::LogSnapshots);
+                        t.add(Counter::LogBytesWritten, n);
+                    }
+                }
+            }
+        }
+
         // ---- 1. Drain everything due at `now` ----
         while let Some((t, ci)) = arrivals.pop_due(now) {
             let t = t.max(now);
@@ -540,13 +709,25 @@ pub fn simulate_with_telemetry(
             bank.reset_round();
             schedule.clear();
             {
+                // First round after a resume: the scheduler's
+                // view-derived caches are cold, so hand it the hint
+                // contract's "assume everything changed". Output is
+                // identical either way (the incremental paths are
+                // oracle-checked against full rebuilds every round);
+                // only the rebuild cost differs, once.
+                let changed = if resumed_cold {
+                    None
+                } else {
+                    Some(changed_ids.as_slice())
+                };
                 let view = ClusterView {
                     now,
                     num_nodes,
                     coflows: &views,
-                    changed: Some(&changed_ids),
+                    changed,
                 };
                 sched.compute(&view, &mut bank, &mut schedule);
+                resumed_cold = false;
             }
             // Apply as a diff: zero only flows that lost their rate,
             // set only flows whose rate actually changed.
@@ -582,6 +763,42 @@ pub fn simulate_with_telemetry(
             }
             #[cfg(debug_assertions)]
             check_feasibility(&flows, &bank, num_nodes);
+
+            // Append this round to the event log. Entries carry the
+            // flow's endpoints so the differ can name ports without the
+            // trace; zero rates are dropped (paused flows are absent by
+            // convention) and the writer canonicalizes entry order, so
+            // sharded and single-coordinator runs log identical bytes.
+            if let Some(sink) = hooks.sink.as_deref_mut() {
+                let rec = RoundRecord {
+                    round: rounds - 1,
+                    now_ns: now.as_nanos(),
+                    active: views.len() as u32,
+                    entries: schedule
+                        .rates
+                        .iter()
+                        .filter(|&&(_, rate)| !rate.is_zero())
+                        .map(|&(fid, rate)| {
+                            let f = &flows[fid.index()];
+                            RateEntry {
+                                flow: fid.0,
+                                src: f.src.0,
+                                dst: f.dst.0,
+                                rate: rate.as_u64(),
+                            }
+                        })
+                        .collect(),
+                };
+                let n = sink
+                    .append_round(&rec)
+                    .map_err(|e| SimError::Log(e.to_string()))?;
+                if saath_telemetry::enabled() {
+                    if let Some(t) = tele.as_deref_mut() {
+                        t.incr(Counter::LogRoundsAppended);
+                        t.add(Counter::LogBytesWritten, n);
+                    }
+                }
+            }
 
             if saath_telemetry::enabled() {
                 if let Some(t) = tele.as_deref_mut() {

@@ -32,8 +32,10 @@
 
 pub mod engine;
 pub mod policy;
+pub(crate) mod snapshot;
 
 pub use engine::{
-    simulate, simulate_reference, simulate_with_telemetry, SimConfig, SimError, SimOutput,
+    simulate, simulate_reference, simulate_resumable, simulate_with_telemetry, ReplayHooks,
+    SimConfig, SimError, SimOutput,
 };
 pub use policy::{run_policy, Policy};

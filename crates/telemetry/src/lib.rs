@@ -79,10 +79,18 @@ pub enum Counter {
     CoordMergeClamps,
     /// Global rebuild broadcasts after a shard restart.
     CoordShardRebuilds,
+    /// Round records appended to an event log.
+    LogRoundsAppended,
+    /// Bytes written to an event log (frames + header).
+    LogBytesWritten,
+    /// Engine snapshots framed into an event log.
+    LogSnapshots,
+    /// Full chain-verification passes completed over a log.
+    LogChainVerifies,
 }
 
 /// All counters, in display order.
-pub const COUNTERS: [Counter; 14] = [
+pub const COUNTERS: [Counter; 18] = [
     Counter::HeapPush,
     Counter::HeapPopCurrent,
     Counter::HeapPopStale,
@@ -97,6 +105,10 @@ pub const COUNTERS: [Counter; 14] = [
     Counter::CoordShardFallbacks,
     Counter::CoordMergeClamps,
     Counter::CoordShardRebuilds,
+    Counter::LogRoundsAppended,
+    Counter::LogBytesWritten,
+    Counter::LogSnapshots,
+    Counter::LogChainVerifies,
 ];
 
 impl Counter {
@@ -117,6 +129,10 @@ impl Counter {
             Counter::CoordShardFallbacks => "coord_shard_fallbacks",
             Counter::CoordMergeClamps => "coord_merge_clamps",
             Counter::CoordShardRebuilds => "coord_shard_rebuilds",
+            Counter::LogRoundsAppended => "log_rounds_appended",
+            Counter::LogBytesWritten => "log_bytes_written",
+            Counter::LogSnapshots => "log_snapshots",
+            Counter::LogChainVerifies => "log_chain_verifies",
         }
     }
 }

@@ -33,6 +33,7 @@
 //! | [`runtime`] | `saath-runtime` | distributed coordinator/agents runtime |
 //! | [`metrics`] | `saath-metrics` | CCT statistics, bins, tables |
 //! | [`telemetry`] | `saath-telemetry` | zero-overhead counters, mechanism stats, JSONL round traces |
+//! | [`eventlog`] | `saath-eventlog` | hash-chained event logs, engine snapshots, first-divergence diffing |
 //!
 //! ## Quickstart
 //!
@@ -56,6 +57,7 @@
 #![forbid(unsafe_code)]
 
 pub use saath_core as core;
+pub use saath_eventlog as eventlog;
 pub use saath_fabric as fabric;
 pub use saath_metrics as metrics;
 pub use saath_runtime as runtime;

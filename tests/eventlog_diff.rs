@@ -1,0 +1,191 @@
+//! The differential harness end-to-end: event logs from equivalent runs
+//! (sharded K ∈ {2, 4} coordinators vs single) must report *no
+//! divergence*, and a run intentionally perturbed at round r must be
+//! pinned to exactly round r with a field diff naming the flow and its
+//! ports.
+
+use saath::core::view::{ClusterView, CoflowScheduler, Schedule};
+use saath::eventlog::{diff_logs, verify, ChainDigest, EventLogWriter, LogHeader};
+use saath::fabric::PortBank;
+use saath::prelude::*;
+use saath::runtime::ShardedScheduler;
+use saath::simulator::{simulate_resumable, ReplayHooks};
+use saath::workload::gen;
+
+fn trace() -> Trace {
+    gen::generate(&gen::small(71, 14, 24))
+}
+
+fn header_for(trace: &Trace, scheduler: &str) -> LogHeader {
+    LogHeader {
+        num_nodes: trace.num_nodes as u64,
+        port_rate: trace.port_rate.as_u64(),
+        delta_ns: SimConfig::default().delta.as_nanos(),
+        scheduler: scheduler.into(),
+        trace_digest: ChainDigest::ZERO,
+        start_round: 0,
+        start_digest: ChainDigest::ZERO,
+    }
+}
+
+fn log_run(trace: &Trace, sched: &mut dyn CoflowScheduler) -> Vec<u8> {
+    let mut w = EventLogWriter::new(Vec::new(), &header_for(trace, sched.name())).unwrap();
+    simulate_resumable(
+        trace,
+        sched,
+        &SimConfig::default(),
+        &DynamicsSpec::none(),
+        None,
+        ReplayHooks {
+            sink: Some(&mut w),
+            snapshot_every: 0,
+            resume_from: None,
+        },
+    )
+    .unwrap();
+    w.into_inner().unwrap()
+}
+
+#[test]
+fn sharded_coordinators_log_no_divergence() {
+    let trace = trace();
+    let single = log_run(&trace, &mut Saath::with_defaults());
+    for k in [2usize, 4] {
+        let mut sharded = ShardedScheduler::new(k, || Box::new(Saath::with_defaults()));
+        let sharded_log = log_run(&trace, &mut sharded);
+        let d = diff_logs(&single, &sharded_log).unwrap();
+        assert_eq!(
+            d.first_divergent_round,
+            None,
+            "K = {k} shards diverged from single coordinator: {}",
+            d.render()
+        );
+        assert!(d.compared > 0);
+        assert_eq!(d.only_in_a, 0);
+        assert_eq!(d.only_in_b, 0);
+        // Belt and braces: identical chains end on identical digests.
+        assert_eq!(
+            verify(&single[..]).unwrap().digest,
+            verify(&sharded_log[..]).unwrap().digest
+        );
+    }
+}
+
+/// Wraps a scheduler and halves one granted rate at one chosen round —
+/// the "one flipped rate" fault the differ must localize. Lowering a
+/// rate keeps every port feasible, so the run stays valid; it just
+/// evolves differently from the perturbed round on.
+struct PerturbAt {
+    inner: Saath,
+    at_round: u64,
+    round: u64,
+    /// What was perturbed: (flow id, original rate), for the assertion.
+    hit: Option<(u32, u64)>,
+}
+
+impl CoflowScheduler for PerturbAt {
+    fn name(&self) -> &'static str {
+        // Same name as the clean run: the logs must look comparable for
+        // the differ to accept them (that is the realistic failure mode
+        // — same build, one bad rate).
+        self.inner.name()
+    }
+
+    fn compute(&mut self, view: &ClusterView<'_>, bank: &mut PortBank, out: &mut Schedule) {
+        self.inner.compute(view, bank, out);
+        if self.round == self.at_round {
+            if let Some(slot) = out.rates.iter().position(|&(_, r)| r.as_u64() >= 2) {
+                let (fid, rate) = out.rates[slot];
+                out.rates[slot] = (fid, Rate(rate.as_u64() / 2));
+                self.hit = Some((fid.0, rate.as_u64()));
+            }
+        }
+        self.round += 1;
+    }
+}
+
+#[test]
+fn perturbed_rate_is_pinned_to_its_round_flow_and_port() {
+    let trace = trace();
+    let clean = log_run(&trace, &mut Saath::with_defaults());
+
+    const R: u64 = 57;
+    let mut bad_sched = PerturbAt {
+        inner: Saath::with_defaults(),
+        at_round: R,
+        round: 0,
+        hit: None,
+    };
+    let perturbed = log_run(&trace, &mut bad_sched);
+    let (flow, orig_rate) = bad_sched.hit.expect("perturbation round never reached");
+
+    let d = diff_logs(&clean, &perturbed).unwrap();
+    assert_eq!(
+        d.first_divergent_round,
+        Some(R),
+        "differ missed the perturbed round: {}",
+        d.render()
+    );
+    // The minimal diff names the flipped flow and its ports, and the
+    // clean side carries the original rate.
+    let rate_diff = d
+        .fields
+        .iter()
+        .find(|f| f.field.contains(&format!("flow {flow} ")))
+        .unwrap_or_else(|| panic!("no field diff names flow {flow}: {}", d.render()));
+    assert!(
+        rate_diff.field.contains("uplink port") && rate_diff.field.contains("downlink port"),
+        "diff does not name the ports: {}",
+        rate_diff.field
+    );
+    assert_eq!(rate_diff.a, orig_rate.to_string());
+    assert_eq!(rate_diff.b, (orig_rate / 2).to_string());
+
+    // Before the flip the chains agree; from the flip on they never
+    // re-join (the digest folds the whole prefix).
+    let ci = saath::eventlog::index_log(&clean).unwrap();
+    let pi = saath::eventlog::index_log(&perturbed).unwrap();
+    assert_eq!(
+        ci.rounds[(R - 1) as usize].digest,
+        pi.rounds[(R - 1) as usize].digest
+    );
+    assert_ne!(ci.rounds[R as usize].digest, pi.rounds[R as usize].digest);
+}
+
+#[test]
+fn incremental_and_reference_runs_could_be_compared_via_records() {
+    // The reference loop has no logging hooks by design (it is the
+    // frozen specification); cross-checking it against a logged
+    // incremental run still works at the record level, which this pins
+    // so the two notions of equivalence cannot drift apart silently.
+    let trace = trace();
+    let logged = {
+        let mut w = EventLogWriter::new(Vec::new(), &header_for(&trace, "saath")).unwrap();
+        let out = simulate_resumable(
+            &trace,
+            &mut Saath::with_defaults(),
+            &SimConfig::default(),
+            &DynamicsSpec::none(),
+            None,
+            ReplayHooks {
+                sink: Some(&mut w),
+                snapshot_every: 25,
+                resume_from: None,
+            },
+        )
+        .unwrap();
+        (out, w.into_inner().unwrap())
+    };
+    let reference = saath::simulator::simulate_reference(
+        &trace,
+        &mut Saath::with_defaults(),
+        &SimConfig::default(),
+        &DynamicsSpec::none(),
+    )
+    .unwrap();
+    assert_eq!(logged.0.records, reference.records);
+    assert_eq!(logged.0.rounds, reference.rounds);
+    let s = verify(&logged.1[..]).unwrap();
+    assert_eq!(s.rounds, reference.rounds);
+    assert!(s.snapshots > 0);
+}
