@@ -19,6 +19,9 @@
 //!                  and deterministic JSONL round traces in results/
 //!   gen-trace      write a full-size FB-like trace in coflow-benchmark format
 //!                  to --out PATH (offline stand-in for the published trace)
+//!   emulate        thread-per-node runtime emulation with a live Prometheus
+//!                  /metrics endpoint (default 127.0.0.1:0; see
+//!                  --metrics-addr / --metrics-out)
 //!   verify PATH    stream a recorded event log through the O(1)-memory
 //!                  hash-chain verifier; exits 1 (naming the first bad
 //!                  round) if the chain is broken
@@ -26,6 +29,9 @@
 //!                  digests to the first divergent round and print the
 //!                  minimal field-level diff of that round's schedule;
 //!                  exits 1 when a divergence is found
+//!   bench-diff A B regression gate: compare two BENCH_*.json documents
+//!                  field by field (content-keyed sweep points); exits 1
+//!                  when a gated field regresses past --tolerance-pct
 //!   all            run everything
 //!
 //! options:
@@ -50,6 +56,15 @@
 //!                  epoch/scale only: resume the untimed replay from the
 //!                  last snapshot in a previously recorded log; the
 //!                  continuation chains to the same digest as a full run
+//!   --metrics-out PATH
+//!                  epoch/scale/emulate: dump the final Prometheus
+//!                  exposition page to PATH
+//!   --metrics-addr ADDR
+//!                  emulate only: bind the live /metrics endpoint to ADDR
+//!                  (default 127.0.0.1:0, port printed on stderr)
+//!   --tolerance-pct N
+//!                  bench-diff only: regression tolerance in percent
+//!                  (default 10)
 //! ```
 //!
 //! CSV artifacts land in `results/`.
@@ -65,7 +80,7 @@ fn arg_value(args: &[String], key: &str) -> Option<String> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let what = args.first().cloned().unwrap_or_else(|| {
-        eprintln!("usage: repro <fig2|fig3|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|fig17|table2|dynamics|epoch|scale|trace|gen-trace|verify|diff|all> [--seed N] [--panel P] [--trace PATH] [--out PATH] [--scale N] [--nodes N] [--shards K] [--small] [--json] [--log PATH] [--snapshot-every N] [--resume-from PATH]");
+        eprintln!("usage: repro <fig2|fig3|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|fig17|table2|dynamics|epoch|scale|trace|emulate|gen-trace|verify|diff|bench-diff|all> [--seed N] [--panel P] [--trace PATH] [--out PATH] [--scale N] [--nodes N] [--shards K] [--small] [--json] [--log PATH] [--snapshot-every N] [--resume-from PATH] [--metrics-out PATH] [--metrics-addr ADDR] [--tolerance-pct N]");
         std::process::exit(2);
     });
     let seed: u64 = arg_value(&args, "--seed")
@@ -91,6 +106,7 @@ fn main() {
             .unwrap_or(0),
         resume_from: arg_value(&args, "--resume-from").map(std::path::PathBuf::from),
     };
+    let metrics_out = arg_value(&args, "--metrics-out").map(std::path::PathBuf::from);
 
     // Log-file subcommands need no Lab (no trace generation): handle
     // them before the lab is built, like `gen-trace` below.
@@ -125,6 +141,35 @@ fn main() {
             }
             Err(e) => {
                 eprintln!("diff failed: {e}");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
+    if what == "bench-diff" {
+        let (a, b) = match (args.get(1), args.get(2)) {
+            (Some(a), Some(b)) => (a.clone(), b.clone()),
+            _ => {
+                eprintln!("usage: repro bench-diff <old.json> <new.json> [--tolerance-pct N]");
+                std::process::exit(2);
+            }
+        };
+        let tolerance: f64 = arg_value(&args, "--tolerance-pct")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(10.0);
+        match saath_bench::diff::bench_diff_cmd(
+            std::path::Path::new(&a),
+            std::path::Path::new(&b),
+            tolerance,
+        ) {
+            Ok((report, regressed)) => {
+                println!("{report}");
+                if regressed {
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("bench-diff failed: {e}");
                 std::process::exit(2);
             }
         }
@@ -168,9 +213,30 @@ fn main() {
             "fig17" => Some(figs::fig17(lab)),
             "table2" => Some(figs::table2(lab)),
             "dynamics" => Some(figs::dynamics(lab)),
-            "epoch" => Some(figs::epoch(lab, json, small, &log_opts)),
-            "scale" => Some(figs::scale(lab, json, small, shards, &log_opts)),
+            "epoch" => Some(figs::epoch(
+                lab,
+                json,
+                small,
+                &log_opts,
+                metrics_out.as_deref(),
+            )),
+            "scale" => Some(figs::scale(
+                lab,
+                json,
+                small,
+                shards,
+                &log_opts,
+                metrics_out.as_deref(),
+            )),
             "trace" => Some(figs::trace_diag(lab, small)),
+            "emulate" => Some(figs::emulate_cmd(
+                lab,
+                scale,
+                nodes,
+                shards,
+                arg_value(&args, "--metrics-addr"),
+                metrics_out.as_deref(),
+            )),
             _ => None,
         }
     };

@@ -953,6 +953,116 @@ pub fn diff_cmd(a: &std::path::Path, b: &std::path::Path) -> Result<(String, boo
     Ok((report, d.first_divergent_round.is_some()))
 }
 
+/// Renders a simulator run's instrumentation as a Prometheus text page
+/// (the same exposition format the runtime's live `/metrics` endpoint
+/// serves): the deterministic round count first, then the per-phase
+/// wall-time summary under the section banner. `spans` is the merged
+/// scheduler + engine profiler; `rounds` the replay's round count.
+fn sim_metrics_page(spans: &saath_telemetry::SpanProfiler, rounds: u64) -> String {
+    use saath_telemetry::prom::PromText;
+    let mut p = PromText::new();
+    p.section("deterministic");
+    p.counter(
+        "saath_sim_rounds_total",
+        "Scheduling rounds the replay executed",
+        &[("", rounds)],
+    );
+    p.section("wall-clock (nondeterministic values, stable layout)");
+    let rows = spans.rows();
+    if !rows.is_empty() {
+        p.phase_summary(
+            "saath_epoch_phase_ns",
+            "Epoch lifecycle phase latency in nanoseconds",
+            &rows,
+        );
+    }
+    p.finish()
+}
+
+/// Writes a metrics page to `path` (`--metrics-out`), reporting on
+/// stderr so `--json` stdout stays a clean document.
+fn write_metrics_out(path: &std::path::Path, page: &str) {
+    match std::fs::write(path, page) {
+        Ok(()) => eprintln!("metrics exposition written to {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
+/// **emulate** — runs the runtime coordinator/agent emulation once
+/// (Saath policy, the fig 15/16 machinery) with the live metrics plane
+/// attached: serves `/metrics` at `metrics_addr` for the run's
+/// duration (default loopback, ephemeral port) and, with
+/// `metrics_out`, dumps the final exposition page to a file. This is
+/// the observability smoke entry — CCT analysis stays with `fig15`.
+pub fn emulate_cmd(
+    lab: &Lab,
+    scale: u64,
+    nodes_cap: usize,
+    shards: usize,
+    metrics_addr: Option<String>,
+    metrics_out: Option<&std::path::Path>,
+) -> String {
+    use saath_runtime::{emulate, EmulationConfig};
+
+    let mut trace = lab.trace(Workload::Fb).clone();
+    if trace.num_nodes > nodes_cap {
+        for c in &mut trace.coflows {
+            for f in &mut c.flows {
+                f.src = saath_simcore::NodeId(f.src.0 % nodes_cap as u32);
+                f.dst = saath_simcore::NodeId(f.dst.0 % nodes_cap as u32);
+            }
+        }
+        trace.num_nodes = nodes_cap;
+    }
+
+    // The harness reports the resolved (possibly ephemeral) address on
+    // stderr once the endpoint is bound.
+    let addr = metrics_addr.unwrap_or_else(|| "127.0.0.1:0".into());
+    let cfg = EmulationConfig {
+        scale,
+        shards,
+        metrics_addr: Some(addr),
+        wall_deadline: std::time::Duration::from_secs(600),
+        ..Default::default()
+    };
+    let report = emulate(
+        &trace,
+        &|| Box::new(saath_core::Saath::with_defaults()),
+        &cfg,
+    );
+
+    let mut t = Table::new(
+        "Runtime emulation — live metrics plane",
+        &["metric", "value"],
+    );
+    t.row(&["nodes".into(), trace.num_nodes.to_string()]);
+    t.row(&["coflows".into(), trace.coflows.len().to_string()]);
+    t.row(&["shards".into(), cfg.shards.to_string()]);
+    t.row(&[
+        "completed".into(),
+        report.coordinator.records.len().to_string(),
+    ]);
+    t.row(&["epochs".into(), report.coordinator.epochs.to_string()]);
+    t.row(&[
+        "timed out".into(),
+        if report.coordinator.timed_out {
+            "YES".into()
+        } else {
+            "no".into()
+        },
+    ]);
+    let mut out = t.render();
+
+    let page = report.metrics.expect("metrics_addr was set");
+    if let Some(path) = metrics_out {
+        write_metrics_out(path, &page);
+    }
+    // The deterministic section is small and worth printing; the
+    // wall-clock phase summary follows for the curious.
+    out.push_str(&page);
+    out
+}
+
 /// **Epoch loop** — not a paper figure: the wall-clock baseline of the
 /// incremental simulation engine against the recompute-everything
 /// reference loop it replaced, on an FB-like workload grown to ≥ 10k
@@ -967,7 +1077,13 @@ pub fn diff_cmd(a: &std::path::Path, b: &std::path::Path) -> Result<(String, boo
 /// to `BENCH_epoch_fb_trace.json` — a second, trace-driven baseline.
 /// (The published Facebook trace is not redistributable here; `repro
 /// gen-trace` writes a full-size stand-in in the same format.)
-pub fn epoch(lab: &Lab, json: bool, small: bool, log: &LogOptions) -> String {
+pub fn epoch(
+    lab: &Lab,
+    json: bool,
+    small: bool,
+    log: &LogOptions,
+    metrics_out: Option<&std::path::Path>,
+) -> String {
     use saath_simulator::{simulate, simulate_reference, simulate_with_telemetry, SimConfig};
     use saath_workload::DynamicsSpec;
     use std::time::Instant;
@@ -1040,11 +1156,15 @@ pub fn epoch(lab: &Lab, json: bool, small: bool, log: &LogOptions) -> String {
     // deliberately excluded from the timing loop above so the baseline
     // numbers never include instrumentation, whatever the feature state.
     let mut tele = saath_telemetry::Telemetry::new();
-    {
+    let mut spans = {
         let mut sched = saath_core::Saath::with_defaults();
         simulate_with_telemetry(&trace, &mut sched, &cfg, &dynamics, Some(&mut tele))
             .expect("instrumented epoch-loop run failed");
-    }
+        sched.timings.spans.clone()
+    };
+    // One profile across both layers: scheduler phases (sched_*) from
+    // `SchedTimings`, engine sections (engine_*) from the telemetry run.
+    spans.merge(&tele.spans);
     let stale_ratio = tele.stale_pop_ratio();
     let mean_dirty = tele.dirty_set.mean();
 
@@ -1093,6 +1213,9 @@ pub fn epoch(lab: &Lab, json: bool, small: bool, log: &LogOptions) -> String {
             eprintln!("warning: could not write {bench_file}: {e}");
         }
     }
+    if let Some(path) = metrics_out {
+        write_metrics_out(path, &sim_metrics_page(&spans, inc.rounds));
+    }
     if json {
         return json_doc;
     }
@@ -1135,7 +1258,11 @@ pub fn epoch(lab: &Lab, json: bool, small: bool, log: &LogOptions) -> String {
             "telemetry off".into()
         },
     ]);
-    t.render()
+    let mut out = t.render();
+    out.push_str(
+        &saath_metrics::phase_table("epoch loop (untimed instrumented run)", &spans).render(),
+    );
+    out
 }
 
 /// An FB-like trace at an explicit cluster size, grown until it carries
@@ -1197,6 +1324,7 @@ struct ScaleRun {
     probe_ms: f64,
     merge_ms: f64,
     records: Vec<saath_metrics::CoflowRecord>,
+    spans: saath_telemetry::SpanProfiler,
 }
 
 /// **Scalability sweep** (Fig 9's scale axis, §5.4) — not a CCT figure:
@@ -1220,7 +1348,14 @@ struct ScaleRun {
 /// the sweep's first point for K ∈ {1, 2, 4} ∩ [1, `shards`], asserting
 /// byte-identical records at every K and reporting the reconciliation
 /// overhead (K replicas of the policy + the flow-id-ordered merge).
-pub fn scale(lab: &Lab, json: bool, small: bool, shards: usize, log: &LogOptions) -> String {
+pub fn scale(
+    lab: &Lab,
+    json: bool,
+    small: bool,
+    shards: usize,
+    log: &LogOptions,
+    metrics_out: Option<&std::path::Path>,
+) -> String {
     use saath_simulator::{simulate, SimConfig};
     use saath_workload::DynamicsSpec;
     use std::time::Instant;
@@ -1267,6 +1402,7 @@ pub fn scale(lab: &Lab, json: bool, small: bool, shards: usize, log: &LogOptions
             probe_ms: sum_ms(&sched.timings.probe),
             merge_ms: sum_ms(&sched.timings.merge),
             records: out.records,
+            spans: sched.timings.spans.clone(),
         }
     };
     let mode_json = |label: &str, r: &ScaleRun| {
@@ -1302,11 +1438,15 @@ pub fn scale(lab: &Lab, json: bool, small: bool, shards: usize, log: &LogOptions
         ],
     );
     let mut point_docs = Vec::new();
+    // Per-phase latency distribution of the incremental mode, pooled
+    // across every sweep point (each point feeds its per-round samples).
+    let mut inc_spans = saath_telemetry::SpanProfiler::new();
     for (pi, &(nodes, target_flows)) in points.iter().enumerate() {
         let trace = grown_trace_at(lab.seed(), nodes, target_flows);
         let flows = flow_count(&trace);
         let rebuild = run_mode(&trace, false);
         let incremental = run_mode(&trace, true);
+        inc_spans.merge(&incremental.spans);
         if pi == 0 && log.active() {
             // `--log` / `--resume-from` record the sweep's first point
             // (the one a prior invocation with the same seed also ran),
@@ -1429,10 +1569,21 @@ pub fn scale(lab: &Lab, json: bool, small: bool, shards: usize, log: &LogOptions
             eprintln!("warning: could not write BENCH_scalability.json: {e}");
         }
     }
+    if let Some(path) = metrics_out {
+        let rounds = inc_spans.hist(saath_telemetry::Phase::SchedTotal).count;
+        write_metrics_out(path, &sim_metrics_page(&inc_spans, rounds));
+    }
     if json {
         return json_doc;
     }
     let mut rendered = t.render();
+    rendered.push_str(
+        &saath_metrics::phase_table(
+            "scalability sweep (incremental mode, all points)",
+            &inc_spans,
+        )
+        .render(),
+    );
     if !shard_rows.is_empty() {
         let mut st = Table::new(
             "Shard-scaling sweep — K coordinator replicas, byte-identical records",
@@ -1498,6 +1649,10 @@ pub fn trace_diag(lab: &Lab, small: bool) -> String {
                          (sharded); merge: {ma:.4} ms avg / {mp:.4} ms P90\n"
                     ));
                 }
+                out.push_str(
+                    &saath_metrics::phase_table("saath scheduler phases", &s.timings.spans)
+                        .render(),
+                );
                 s.mech
             }
             _ => {
@@ -1511,6 +1666,7 @@ pub fn trace_diag(lab: &Lab, small: bool) -> String {
         out.push_str(&saath_metrics::engine_table(policy, &tele).render());
         out.push_str(&saath_metrics::mech_table(policy, &mech).render());
         lines.push(saath_metrics::mech_breakdown_line(policy, &mech, &tele));
+        lines.push(saath_metrics::eventlog_line(policy, &tele));
     }
     out.push_str("== mechanism breakdown ==\n");
     for l in &lines {

@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod diff;
 pub mod figs;
 pub mod lab;
 

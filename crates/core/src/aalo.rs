@@ -364,7 +364,7 @@ impl CoflowScheduler for Aalo {
             }
         }
 
-        self.timings.total.push(t_total.elapsed());
+        self.timings.record_total(t_total.elapsed());
         self.timings.active_coflows.push(view.coflows.len());
     }
 

@@ -294,7 +294,7 @@ impl CoflowScheduler for OfflineScheduler {
             }
         }
 
-        self.timings.total.push(t_total.elapsed());
+        self.timings.record_total(t_total.elapsed());
         self.timings.active_coflows.push(n);
     }
 }

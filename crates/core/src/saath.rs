@@ -298,7 +298,7 @@ impl Saath {
                 start += len;
             }
         });
-        self.timings.probe.push(t_probe.elapsed());
+        self.timings.record_probe(t_probe.elapsed());
         true
     }
 
@@ -404,7 +404,7 @@ impl Saath {
                 }
             }
         }
-        self.timings.merge.push(t_merge.elapsed());
+        self.timings.record_merge(t_merge.elapsed());
     }
 }
 
@@ -588,7 +588,7 @@ impl CoflowScheduler for Saath {
             self.k.clear();
             self.k.resize(n, 0);
         }
-        self.timings.contention.push(t_contention.elapsed());
+        self.timings.record_contention(t_contention.elapsed());
 
         // Global scan order: queue asc (strict priority), expired
         // deadlines first within the queue, then LCoF (or FIFO), then
@@ -725,10 +725,10 @@ impl CoflowScheduler for Saath {
         }
         let wc_elapsed = t_wc.elapsed();
 
-        self.timings.ordering.push(order_elapsed);
-        self.timings.all_or_none.push(an_elapsed);
-        self.timings.work_conservation.push(wc_elapsed);
-        self.timings.total.push(t_total.elapsed());
+        self.timings.record_ordering(order_elapsed);
+        self.timings.record_all_or_none(an_elapsed);
+        self.timings.record_work_conservation(wc_elapsed);
+        self.timings.record_total(t_total.elapsed());
         self.timings.active_coflows.push(n);
     }
 

@@ -13,9 +13,18 @@
 //!
 //! [`Saath`]: crate::saath::Saath
 
+use saath_telemetry::{Phase, SpanProfiler};
 use std::time::Duration as StdDuration;
 
 /// Accumulated per-round timings.
+///
+/// Each phase is recorded twice from one `Instant` measurement: as a
+/// raw per-round sample in the phase's `Vec` (Table 2's avg/P90 and
+/// the sweep JSON read these) and as a log2 bucket in [`spans`]
+/// (`SchedTimings::spans`), the workspace-wide [`SpanProfiler`] that
+/// powers the per-phase p50/p90/p99/max table and the Prometheus
+/// exposition. Use the `record_*` methods so the two views can never
+/// diverge.
 #[derive(Clone, Debug, Default)]
 pub struct SchedTimings {
     /// Total time of each `compute()` round.
@@ -39,6 +48,9 @@ pub struct SchedTimings {
     pub merge: Vec<StdDuration>,
     /// Active CoFlows per round (context for the latency numbers).
     pub active_coflows: Vec<usize>,
+    /// Log2-bucketed per-phase latency histograms, fed by the same
+    /// samples as the `Vec`s above (see the struct docs).
+    pub spans: SpanProfiler,
 }
 
 impl SchedTimings {
@@ -57,6 +69,57 @@ impl SchedTimings {
         self.probe.clear();
         self.merge.clear();
         self.active_coflows.clear();
+        self.spans = SpanProfiler::new();
+    }
+
+    /// Records one whole-`compute()` round sample.
+    #[inline]
+    pub fn record_total(&mut self, d: StdDuration) {
+        self.total.push(d);
+        self.spans.observe(Phase::SchedTotal, d.as_nanos() as u64);
+    }
+
+    /// Records one ordering-phase sample.
+    #[inline]
+    pub fn record_ordering(&mut self, d: StdDuration) {
+        self.ordering.push(d);
+        self.spans.observe(Phase::SchedOrder, d.as_nanos() as u64);
+    }
+
+    /// Records one contention-phase sample.
+    #[inline]
+    pub fn record_contention(&mut self, d: StdDuration) {
+        self.contention.push(d);
+        self.spans
+            .observe(Phase::SchedContention, d.as_nanos() as u64);
+    }
+
+    /// Records one all-or-none (gang admission + MADD) sample.
+    #[inline]
+    pub fn record_all_or_none(&mut self, d: StdDuration) {
+        self.all_or_none.push(d);
+        self.spans.observe(Phase::SchedMadd, d.as_nanos() as u64);
+    }
+
+    /// Records one work-conservation sample.
+    #[inline]
+    pub fn record_work_conservation(&mut self, d: StdDuration) {
+        self.work_conservation.push(d);
+        self.spans.observe(Phase::SchedWc, d.as_nanos() as u64);
+    }
+
+    /// Records one parallel gang-probe fan-out sample.
+    #[inline]
+    pub fn record_probe(&mut self, d: StdDuration) {
+        self.probe.push(d);
+        self.spans.observe(Phase::SchedProbe, d.as_nanos() as u64);
+    }
+
+    /// Records one speculative-probe merge sample.
+    #[inline]
+    pub fn record_merge(&mut self, d: StdDuration) {
+        self.merge.push(d);
+        self.spans.observe(Phase::SchedMerge, d.as_nanos() as u64);
     }
 
     /// `(average, p90)` of a sample column, in milliseconds.
@@ -97,11 +160,28 @@ mod tests {
     #[test]
     fn clear_resets() {
         let mut t = SchedTimings::default();
-        t.total.push(StdDuration::from_millis(1));
+        t.record_total(StdDuration::from_millis(1));
         t.active_coflows.push(3);
         assert_eq!(t.rounds(), 1);
         t.clear();
         assert_eq!(t.rounds(), 0);
         assert!(t.active_coflows.is_empty());
+        assert_eq!(t.spans.hist(Phase::SchedTotal).count, 0);
+    }
+
+    #[test]
+    fn record_feeds_vec_and_span_hist_from_one_sample() {
+        let mut t = SchedTimings::default();
+        t.record_ordering(StdDuration::from_micros(10));
+        t.record_ordering(StdDuration::from_micros(20));
+        t.record_contention(StdDuration::from_micros(5));
+        assert_eq!(t.ordering.len(), 2);
+        assert_eq!(t.contention.len(), 1);
+        let h = t.spans.hist(Phase::SchedOrder);
+        assert_eq!(h.count, 2);
+        assert_eq!(h.max, 20_000);
+        assert_eq!(t.spans.hist(Phase::SchedContention).count, 1);
+        // Phases never recorded stay empty (no probe/merge here).
+        assert_eq!(t.spans.hist(Phase::SchedProbe).count, 0);
     }
 }

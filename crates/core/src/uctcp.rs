@@ -54,7 +54,7 @@ impl CoflowScheduler for UcTcp {
                 out.set(e.flow, r);
             }
         }
-        self.timings.total.push(t_total.elapsed());
+        self.timings.record_total(t_total.elapsed());
         self.timings.active_coflows.push(view.coflows.len());
     }
 }

@@ -25,4 +25,6 @@ pub use bins::{bin_of, Bin};
 pub use record::CoflowRecord;
 pub use speedup::{speedups, SpeedupSummary};
 pub use stats::{cdf_points, mean, median, percentile};
-pub use telemetry_report::{engine_table, mech_breakdown_line, mech_table};
+pub use telemetry_report::{
+    engine_table, eventlog_line, mech_breakdown_line, mech_table, phase_table,
+};

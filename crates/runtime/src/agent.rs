@@ -13,10 +13,13 @@
 //! coordinator restarts and idempotent under retransmitted pushes.
 
 use crate::clock::EmuClock;
+use crate::metrics::MetricsHub;
 use crate::proto::{FlowStat, Message, RateAssignment};
 use crate::transport::{Transport, TransportError};
 use saath_simcore::units::bytes_in;
 use saath_simcore::{Bytes, Duration, Rate, Time};
+use saath_telemetry::Phase;
+use std::sync::Arc;
 
 /// One flow assigned to an agent (its node is the sender).
 #[derive(Clone, Debug)]
@@ -42,10 +45,26 @@ struct LiveFlow {
 pub fn run_agent(
     node: u32,
     flows: Vec<AgentFlow>,
+    transport: Box<dyn Transport>,
+    clock: EmuClock,
+    delta: Duration,
+    tick: Duration,
+) -> Result<u64, TransportError> {
+    run_agent_with_metrics(node, flows, transport, clock, delta, tick, None)
+}
+
+/// [`run_agent`] with an optional handle on the live metrics plane:
+/// each schedule application is timed into the `agent_apply` phase
+/// (the hub is `Arc`-shared because agents run on their own threads).
+#[allow(clippy::too_many_arguments)]
+pub fn run_agent_with_metrics(
+    node: u32,
+    flows: Vec<AgentFlow>,
     mut transport: Box<dyn Transport>,
     clock: EmuClock,
     delta: Duration,
     tick: Duration,
+    hub: Option<Arc<MetricsHub>>,
 ) -> Result<u64, TransportError> {
     transport.send(&Message::Hello { node })?;
 
@@ -76,6 +95,7 @@ pub fn run_agent(
                     if epoch > last_epoch {
                         last_epoch = epoch;
                         epochs_applied += 1;
+                        let _span = hub.as_deref().map(|h| h.span(Phase::AgentApply));
                         apply_schedule(&mut live, &rates);
                     }
                 }
@@ -128,6 +148,7 @@ pub fn run_agent(
                 if epoch > last_epoch {
                     last_epoch = epoch;
                     epochs_applied += 1;
+                    let _span = hub.as_deref().map(|h| h.span(Phase::AgentApply));
                     apply_schedule(&mut live, &rates);
                 }
             }

@@ -12,13 +12,14 @@
 //! acts on once they pass.
 
 use crate::clock::EmuClock;
+use crate::metrics::MetricsHub;
 use crate::proto::{FlowStat, Message, RateAssignment};
-use crate::transport::{Transport, TransportError};
+use crate::transport::{Transport, TransportError, TransportStats};
 use saath_core::view::{ClusterView, CoflowScheduler, CoflowView, FlowView, Schedule};
 use saath_fabric::PortBank;
 use saath_metrics::CoflowRecord;
 use saath_simcore::{Bytes, CoflowId, Duration, FlowId, NodeId, Rate, Time};
-use saath_telemetry::{Counter, Telemetry};
+use saath_telemetry::{Counter, Phase, Telemetry};
 use saath_workload::Trace;
 
 /// Static description of one registered CoFlow.
@@ -239,6 +240,16 @@ impl ObsState {
         }
     }
 
+    /// Number of CoFlows arrived and not yet finished at `now`.
+    pub(crate) fn active_count(&self, registry: &CoflowRegistry, now: Time) -> u64 {
+        registry
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(ci, e)| self.done[*ci].is_none() && e.arrival <= now)
+            .count() as u64
+    }
+
     /// Whether any registered CoFlow has arrived and not yet finished.
     pub(crate) fn has_active(&self, registry: &CoflowRegistry, now: Time) -> bool {
         registry
@@ -276,14 +287,21 @@ pub fn run_coordinator(
     clock: &EmuClock,
     cfg: &CoordinatorConfig,
 ) -> CoordinatorReport {
-    run_coordinator_with_telemetry(registry, make_sched, agents, clock, cfg, None)
+    run_coordinator_with_telemetry(registry, make_sched, agents, clock, cfg, None, None)
 }
 
-/// [`run_coordinator`] with an optional instrumentation handle: counts
-/// stats messages drained and schedule messages pushed, and samples the
-/// wall-clock latency of each sync round (drain → compute → push,
-/// excluding the δ sleep). No-op with `None` or with the `telemetry`
-/// feature off.
+/// [`run_coordinator`] with optional instrumentation handles.
+///
+/// `tele` counts stats messages drained and schedule messages pushed,
+/// and samples the wall-clock latency of each sync round (drain →
+/// compute → push, excluding the δ sleep); no-op with `None` or with
+/// the `telemetry` feature off. `hub` is the live metrics plane:
+/// per-phase latency spans (obs-recv / schedule / broadcast), the
+/// active/completed gauges, and the aggregated agent-link transport
+/// counters — opt-in at runtime via [`EmulationConfig::metrics_addr`],
+/// so `None` costs one branch per use site.
+///
+/// [`EmulationConfig::metrics_addr`]: crate::harness::EmulationConfig
 pub fn run_coordinator_with_telemetry(
     registry: &CoflowRegistry,
     make_sched: &dyn Fn() -> Box<dyn CoflowScheduler>,
@@ -291,6 +309,7 @@ pub fn run_coordinator_with_telemetry(
     clock: &EmuClock,
     cfg: &CoordinatorConfig,
     mut tele: Option<&mut Telemetry>,
+    hub: Option<&MetricsHub>,
 ) -> CoordinatorReport {
     let mut sched = make_sched();
     let mut restarted = false;
@@ -326,21 +345,31 @@ pub fn run_coordinator_with_telemetry(
         // Drain stats from every agent.
         let now = clock.now();
         let t_round = tele.as_ref().map(|_| std::time::Instant::now());
-        for a in agents.iter_mut() {
-            loop {
-                match a.recv_timeout(std::time::Duration::ZERO) {
-                    Ok(Some(Message::Stats { flows, .. })) => {
-                        if saath_telemetry::enabled() {
-                            if let Some(t) = tele.as_deref_mut() {
-                                t.incr(Counter::CoordStatsMsgs);
+        let mut stats_msgs: u64 = 0;
+        {
+            let _span = hub.map(|h| h.span(Phase::CoordObsRecv));
+            for a in agents.iter_mut() {
+                loop {
+                    match a.recv_timeout(std::time::Duration::ZERO) {
+                        Ok(Some(Message::Stats { flows, .. })) => {
+                            stats_msgs += 1;
+                            if saath_telemetry::enabled() {
+                                if let Some(t) = tele.as_deref_mut() {
+                                    t.incr(Counter::CoordStatsMsgs);
+                                }
                             }
+                            state.ingest(&flows, now);
                         }
-                        state.ingest(&flows, now);
+                        Ok(Some(_)) | Ok(None) => break,
+                        Err(TransportError::Disconnected) => break,
+                        Err(_) => break,
                     }
-                    Ok(Some(_)) | Ok(None) => break,
-                    Err(TransportError::Disconnected) => break,
-                    Err(_) => break,
                 }
+            }
+        }
+        if let Some(h) = hub {
+            if stats_msgs > 0 {
+                h.incr("saath_coord_stats_msgs_total", "", stats_msgs);
             }
         }
 
@@ -348,6 +377,11 @@ pub fn run_coordinator_with_telemetry(
         if state.sweep(registry, now) {
             for a in agents.iter_mut() {
                 let _ = a.send(&Message::Shutdown);
+            }
+            if let Some(h) = hub {
+                // Final gauge values — the epoch loop won't run again.
+                h.set("saath_active_coflows", "", 0);
+                h.set("saath_completed_coflows", "", state.records.len() as u64);
             }
             return CoordinatorReport {
                 records: state.into_sorted_records(),
@@ -369,7 +403,10 @@ pub fn run_coordinator_with_telemetry(
                 coflows: &views,
                 changed: None,
             };
-            sched.compute(&view, &mut bank, &mut out);
+            {
+                let _span = hub.map(|h| h.span(Phase::CoordSchedule));
+                sched.compute(&view, &mut bank, &mut out);
+            }
             epochs += 1;
             let rates: Vec<RateAssignment> = out
                 .rates
@@ -383,19 +420,35 @@ pub fn run_coordinator_with_telemetry(
                 epoch: epochs,
                 rates,
             };
-            for a in agents.iter_mut() {
-                let _ = a.send(&push);
-                if saath_telemetry::enabled() {
-                    if let Some(t) = tele.as_deref_mut() {
-                        t.incr(Counter::CoordScheduleMsgs);
+            {
+                let _span = hub.map(|h| h.span(Phase::CoordBroadcast));
+                for a in agents.iter_mut() {
+                    let _ = a.send(&push);
+                    if saath_telemetry::enabled() {
+                        if let Some(t) = tele.as_deref_mut() {
+                            t.incr(Counter::CoordScheduleMsgs);
+                        }
                     }
                 }
+            }
+            if let Some(h) = hub {
+                h.incr("saath_coord_epochs_total", "", 1);
+                h.incr("saath_coord_schedule_msgs_total", "", agents.len() as u64);
             }
             if saath_telemetry::enabled() {
                 if let Some(t) = tele.as_deref_mut() {
                     t.incr(Counter::CoordEpochs);
                 }
             }
+        }
+        if let Some(h) = hub {
+            h.set("saath_active_coflows", "", views.len() as u64);
+            h.set("saath_completed_coflows", "", state.records.len() as u64);
+            let mut link = TransportStats::default();
+            for a in agents.iter() {
+                link.merge(&a.stats());
+            }
+            h.set_transport("link=\"agent\"", &link);
         }
         if saath_telemetry::enabled() {
             if let Some(t) = tele.as_deref_mut() {

@@ -1,14 +1,18 @@
 //! The testbed-emulation harness: wires a coordinator and one agent per
 //! node together over the chosen transport and replays a trace.
 
-use crate::agent::{run_agent, AgentFlow};
+use crate::agent::{run_agent_with_metrics, AgentFlow};
 use crate::clock::EmuClock;
-use crate::coordinator::{run_coordinator, CoflowRegistry, CoordinatorConfig, CoordinatorReport};
+use crate::coordinator::{
+    run_coordinator_with_telemetry, CoflowRegistry, CoordinatorConfig, CoordinatorReport,
+};
+use crate::metrics::{MetricsHub, MetricsServer};
 use crate::shard::{run_shard, run_sharded_coordinator, ShardFailover};
 use crate::transport::{inproc_pair, TcpTransport, Transport};
 use saath_core::view::CoflowScheduler;
 use saath_simcore::{Duration, Time};
 use saath_workload::Trace;
+use std::sync::Arc;
 
 /// Which wire the coordinator and agents use.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -48,6 +52,11 @@ pub struct EmulationConfig {
     pub restart_shard_at: Option<Time>,
     /// Wall-clock watchdog for the whole emulation.
     pub wall_deadline: std::time::Duration,
+    /// Serve live Prometheus metrics at this address for the duration
+    /// of the emulation (e.g. `"127.0.0.1:9898"`, or port `0` for an
+    /// ephemeral one). `None` (the default) disables the whole metrics
+    /// plane — no hub, no server, no per-epoch bookkeeping.
+    pub metrics_addr: Option<String>,
 }
 
 impl Default for EmulationConfig {
@@ -62,6 +71,7 @@ impl Default for EmulationConfig {
             shards: 1,
             restart_shard_at: None,
             wall_deadline: std::time::Duration::from_secs(60),
+            metrics_addr: None,
         }
     }
 }
@@ -76,6 +86,11 @@ pub struct EmulationReport {
     /// Reconciliation rounds each shard computed (empty when
     /// `shards == 1`; the standby replica, if any, is the last entry).
     pub shard_epochs: Vec<u64>,
+    /// The final Prometheus exposition page, when
+    /// [`EmulationConfig::metrics_addr`] was set — the same text the
+    /// live `/metrics` endpoint served, rendered once more after the
+    /// run so callers can dump it to a file.
+    pub metrics: Option<String>,
 }
 
 type Links = Vec<Box<dyn Transport>>;
@@ -150,6 +165,23 @@ pub fn emulate(
     let registry = CoflowRegistry::from_trace(trace);
     let clock = EmuClock::start(cfg.scale);
 
+    // Optional live metrics plane: one hub shared by the coordinator,
+    // shards, and agents, served over HTTP for the run's duration.
+    let hub = cfg
+        .metrics_addr
+        .as_ref()
+        .map(|_| Arc::new(MetricsHub::new()));
+    let mut server = match (&cfg.metrics_addr, &hub) {
+        (Some(addr), Some(h)) => {
+            let s = MetricsServer::serve(addr, Arc::clone(h)).expect("bind metrics endpoint");
+            // Resolve port 0 for the user — they can only curl the
+            // endpoint if they learn the ephemeral port during the run.
+            eprintln!("metrics: serving http://{}/metrics", s.addr());
+            Some(s)
+        }
+        _ => None,
+    };
+
     // Wire transports.
     let (mut coord_sides, agent_sides) = link_pairs(cfg.transport, trace.num_nodes);
 
@@ -159,8 +191,9 @@ pub fn emulate(
         let clock = clock.clone();
         let delta = cfg.delta;
         let tick = cfg.tick;
+        let hub = hub.clone();
         handles.push(std::thread::spawn(move || {
-            run_agent(node as u32, flows, transport, clock, delta, tick)
+            run_agent_with_metrics(node as u32, flows, transport, clock, delta, tick, hub)
         }));
     }
 
@@ -172,7 +205,15 @@ pub fn emulate(
         wall_deadline: cfg.wall_deadline,
     };
     let (coordinator, shard_epochs) = if cfg.shards <= 1 {
-        let report = run_coordinator(&registry, make_sched, &mut coord_sides, &clock, &coord_cfg);
+        let report = run_coordinator_with_telemetry(
+            &registry,
+            make_sched,
+            &mut coord_sides,
+            &clock,
+            &coord_cfg,
+            None,
+            hub.as_deref(),
+        );
         (report, Vec::new())
     } else {
         // One link per shard, plus one for the standby replica the
@@ -209,6 +250,7 @@ pub fn emulate(
                 &clock,
                 &coord_cfg,
                 None,
+                hub.as_deref(),
             );
             let shard_epochs = shard_handles
                 .into_iter()
@@ -225,10 +267,18 @@ pub fn emulate(
         .map(|h| h.join().expect("agent panicked").unwrap_or(0))
         .collect();
 
+    // Render the final page after every writer has exited, then stop
+    // the endpoint.
+    let metrics = hub.as_ref().map(|h| h.render());
+    if let Some(s) = server.as_mut() {
+        s.shutdown();
+    }
+
     EmulationReport {
         coordinator,
         agent_epochs,
         shard_epochs,
+        metrics,
     }
 }
 
@@ -293,6 +343,82 @@ mod tests {
         let report = emulate(&trace, &|| Box::new(Aalo::with_defaults()), &cfg);
         assert!(!report.coordinator.timed_out);
         assert_eq!(report.coordinator.records.len(), 4);
+    }
+
+    /// The live metrics plane during a TCP emulation: `/metrics` must
+    /// be fetchable and parseable mid-run, and the final report must
+    /// carry the same families.
+    #[test]
+    fn tcp_emulation_serves_live_metrics() {
+        use std::io::{Read as _, Write as _};
+
+        let trace = small_trace(4);
+        // emulate() blocks this thread, so the mid-run fetch comes from
+        // a helper thread — which needs to know the port up front.
+        // Reserve an ephemeral one by bind-and-release.
+        let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap();
+        drop(probe);
+        let cfg = EmulationConfig {
+            transport: TransportKind::Tcp,
+            metrics_addr: Some(addr.to_string()),
+            ..Default::default()
+        };
+
+        let fetcher = std::thread::spawn(move || {
+            // Poll until the run is far enough along that the page has
+            // content; bounded so a broken server cannot hang the test.
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+            let mut last = String::new();
+            while std::time::Instant::now() < deadline {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+                let Ok(mut s) = std::net::TcpStream::connect(addr) else {
+                    continue;
+                };
+                if write!(s, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").is_err() {
+                    continue;
+                }
+                let mut page = String::new();
+                if s.read_to_string(&mut page).is_err() {
+                    continue;
+                }
+                if page.contains("saath_coord_epochs_total") {
+                    last = page;
+                    break;
+                }
+            }
+            last
+        });
+
+        let report = emulate(&trace, &|| Box::new(Saath::with_defaults()), &cfg);
+        let live_page = fetcher.join().unwrap();
+
+        assert!(!report.coordinator.timed_out);
+        assert_eq!(report.coordinator.records.len(), 4);
+        assert!(
+            live_page.starts_with("HTTP/1.1 200 OK"),
+            "mid-run /metrics fetch failed: {live_page:?}"
+        );
+        assert!(live_page.contains("# TYPE saath_coord_epochs_total counter"));
+
+        // Every line of the exposition body must parse: comments, or
+        // `name[{labels}] integer`.
+        let final_page = report.metrics.expect("metrics_addr set");
+        for line in final_page.lines() {
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (_, value) = line.rsplit_once(' ').unwrap_or((line, ""));
+            assert!(
+                value.parse::<u64>().is_ok(),
+                "non-integer sample in exposition: {line}"
+            );
+        }
+        assert!(final_page.contains("saath_transport_frames_sent_total{link=\"agent\"}"));
+        assert!(final_page.contains("saath_active_coflows 0"));
+        assert!(final_page.contains("saath_completed_coflows 4"));
+        assert!(final_page.contains("saath_epoch_phase_ns_count{phase=\"coord_schedule\"}"));
+        assert!(final_page.contains("saath_epoch_phase_ns_count{phase=\"agent_apply\"}"));
     }
 
     #[test]

@@ -33,10 +33,13 @@ pub mod agent;
 pub mod clock;
 pub mod coordinator;
 pub mod harness;
+pub mod metrics;
 pub mod proto;
 pub mod shard;
 pub mod transport;
 
 pub use clock::EmuClock;
 pub use harness::{emulate, EmulationConfig, EmulationReport, TransportKind};
+pub use metrics::{MetricsHub, MetricsServer};
 pub use shard::{merge_rates, run_shard, run_sharded_coordinator, ShardFailover, ShardedScheduler};
+pub use transport::TransportStats;

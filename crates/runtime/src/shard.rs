@@ -37,12 +37,14 @@
 
 use crate::clock::EmuClock;
 use crate::coordinator::{CoflowRegistry, CoordinatorConfig, CoordinatorReport, ObsState};
+use crate::metrics::MetricsHub;
 use crate::proto::{Message, RateAssignment};
-use crate::transport::{Transport, TransportError};
+use crate::transport::{Transport, TransportError, TransportStats};
 use saath_core::view::{shard_of, ClusterView, CoflowScheduler, CoflowView, Schedule};
 use saath_fabric::PortBank;
 use saath_simcore::{FlowId, PortId, Rate, Time};
-use saath_telemetry::{Counter, Telemetry};
+use saath_telemetry::prom::label_body;
+use saath_telemetry::{Counter, Phase, Telemetry};
 
 /// Merges shard slices into one feasible schedule: entries are sorted
 /// by flow id (the deterministic total order) and each rate is clamped
@@ -322,6 +324,7 @@ pub fn run_sharded_coordinator(
     clock: &EmuClock,
     cfg: &CoordinatorConfig,
     mut tele: Option<&mut Telemetry>,
+    hub: Option<&MetricsHub>,
 ) -> CoordinatorReport {
     let shards = shard_links.len();
     assert!(shards >= 1, "sharded coordinator needs at least one shard");
@@ -330,6 +333,12 @@ pub fn run_sharded_coordinator(
     let mut restarted = false;
     let mut pending_rebuild = false;
     let mut last_slices: Vec<Vec<RateAssignment>> = vec![Vec::new(); shards];
+    // Per-shard label bodies (pre-rendered once) and the epoch of each
+    // shard's last *fresh* slice, for the replica-lag gauge.
+    let shard_labels: Vec<String> = (0..shards)
+        .map(|i| label_body(&[("shard", &i.to_string())]))
+        .collect();
+    let mut last_fresh_epoch: Vec<u64> = vec![0; shards];
     let mut bank = PortBank::uniform(registry.num_nodes, registry.port_rate);
     let mut out = Schedule::default();
     let mut entries: Vec<(FlowId, Rate, PortId, PortId)> = Vec::new();
@@ -378,6 +387,13 @@ pub fn run_sharded_coordinator(
                 // replica to rebuild too so they stay identical.
                 pending_rebuild = true;
                 restarted = true;
+                if let Some(h) = hub {
+                    h.incr(
+                        "saath_shard_standby_rebuilds_total",
+                        &shard_labels[f.shard],
+                        1,
+                    );
+                }
                 if saath_telemetry::enabled() {
                     if let Some(t) = tele.as_deref_mut() {
                         t.incr(Counter::CoordShardRebuilds);
@@ -391,38 +407,53 @@ pub fn run_sharded_coordinator(
         // waves, which is what keeps their schedules identical).
         let now = clock.now();
         let t_round = tele.as_ref().map(|_| std::time::Instant::now());
-        for a in agents.iter_mut() {
-            loop {
-                match a.recv_timeout(std::time::Duration::ZERO) {
-                    Ok(Some(Message::Stats {
-                        node,
-                        now_ns,
-                        flows,
-                    })) => {
-                        if saath_telemetry::enabled() {
-                            if let Some(t) = tele.as_deref_mut() {
-                                t.incr(Counter::CoordStatsMsgs);
-                            }
-                        }
-                        state.ingest(&flows, now);
-                        let fwd = Message::Stats {
+        let mut stats_msgs: u64 = 0;
+        {
+            let _span = hub.map(|h| h.span(Phase::CoordObsRecv));
+            for a in agents.iter_mut() {
+                loop {
+                    match a.recv_timeout(std::time::Duration::ZERO) {
+                        Ok(Some(Message::Stats {
                             node,
                             now_ns,
                             flows,
-                        };
-                        for l in shard_links.iter_mut() {
-                            let _ = l.send(&fwd);
+                        })) => {
+                            stats_msgs += 1;
+                            if saath_telemetry::enabled() {
+                                if let Some(t) = tele.as_deref_mut() {
+                                    t.incr(Counter::CoordStatsMsgs);
+                                }
+                            }
+                            state.ingest(&flows, now);
+                            let fwd = Message::Stats {
+                                node,
+                                now_ns,
+                                flows,
+                            };
+                            for l in shard_links.iter_mut() {
+                                let _ = l.send(&fwd);
+                            }
                         }
+                        Ok(Some(_)) | Ok(None) => break,
+                        Err(TransportError::Disconnected) => break,
+                        Err(_) => break,
                     }
-                    Ok(Some(_)) | Ok(None) => break,
-                    Err(TransportError::Disconnected) => break,
-                    Err(_) => break,
                 }
+            }
+        }
+        if let Some(h) = hub {
+            if stats_msgs > 0 {
+                h.incr("saath_coord_stats_msgs_total", "", stats_msgs);
             }
         }
 
         if state.sweep(registry, now) {
             shutdown_all(agents, &mut shard_links, &mut failover);
+            if let Some(h) = hub {
+                // Final gauge values — the epoch loop won't run again.
+                h.set("saath_active_coflows", "", 0);
+                h.set("saath_completed_coflows", "", state.records.len() as u64);
+            }
             return CoordinatorReport {
                 records: state.into_sorted_records(),
                 epochs,
@@ -432,6 +463,7 @@ pub fn run_sharded_coordinator(
         }
 
         if state.has_active(registry, now) {
+            let span_reconcile = hub.map(|h| h.span(Phase::CoordReconcile));
             // Barrier: every shard computes at the same timestamp.
             let barrier = Message::Reconcile {
                 epoch: epochs + 1,
@@ -477,14 +509,21 @@ pub fn run_sharded_coordinator(
             for (i, slice) in got.into_iter().enumerate() {
                 match slice {
                     Some(rates) => {
+                        if let Some(h) = hub {
+                            h.incr("saath_shard_slices_total", &shard_labels[i], 1);
+                        }
                         if saath_telemetry::enabled() {
                             if let Some(t) = tele.as_deref_mut() {
                                 t.incr(Counter::CoordShardSlices);
                             }
                         }
                         last_slices[i] = rates;
+                        last_fresh_epoch[i] = epochs;
                     }
                     None => {
+                        if let Some(h) = hub {
+                            h.incr("saath_shard_fallback_slices_total", &shard_labels[i], 1);
+                        }
                         if saath_telemetry::enabled() {
                             if let Some(t) = tele.as_deref_mut() {
                                 t.incr(Counter::CoordShardFallbacks);
@@ -500,6 +539,19 @@ pub fn run_sharded_coordinator(
             bank.reset_round();
             out.clear();
             let clamps = merge_rates(&mut entries, &mut bank, &mut out);
+            drop(span_reconcile);
+            if let Some(h) = hub {
+                if clamps > 0 {
+                    h.incr("saath_shard_merge_clamps_total", "", clamps);
+                }
+                for (i, labels) in shard_labels.iter().enumerate() {
+                    h.set(
+                        "saath_shard_replica_lag_epochs",
+                        labels,
+                        epochs - last_fresh_epoch[i],
+                    );
+                }
+            }
             if saath_telemetry::enabled() {
                 if let Some(t) = tele.as_deref_mut() {
                     t.add(Counter::CoordMergeClamps, clamps);
@@ -517,19 +569,44 @@ pub fn run_sharded_coordinator(
                     })
                     .collect(),
             };
-            for a in agents.iter_mut() {
-                let _ = a.send(&push);
-                if saath_telemetry::enabled() {
-                    if let Some(t) = tele.as_deref_mut() {
-                        t.incr(Counter::CoordScheduleMsgs);
+            {
+                let _span = hub.map(|h| h.span(Phase::CoordBroadcast));
+                for a in agents.iter_mut() {
+                    let _ = a.send(&push);
+                    if saath_telemetry::enabled() {
+                        if let Some(t) = tele.as_deref_mut() {
+                            t.incr(Counter::CoordScheduleMsgs);
+                        }
                     }
                 }
+            }
+            if let Some(h) = hub {
+                h.incr("saath_coord_epochs_total", "", 1);
+                h.incr("saath_coord_schedule_msgs_total", "", agents.len() as u64);
             }
             if saath_telemetry::enabled() {
                 if let Some(t) = tele.as_deref_mut() {
                     t.incr(Counter::CoordEpochs);
                 }
             }
+        }
+        if let Some(h) = hub {
+            h.set(
+                "saath_active_coflows",
+                "",
+                state.active_count(registry, now),
+            );
+            h.set("saath_completed_coflows", "", state.records.len() as u64);
+            let mut agent_link = TransportStats::default();
+            for a in agents.iter() {
+                agent_link.merge(&a.stats());
+            }
+            h.set_transport("link=\"agent\"", &agent_link);
+            let mut shard_link = TransportStats::default();
+            for l in shard_links.iter() {
+                shard_link.merge(&l.stats());
+            }
+            h.set_transport("link=\"shard\"", &shard_link);
         }
         if saath_telemetry::enabled() {
             if let Some(t) = tele.as_deref_mut() {

@@ -43,6 +43,39 @@ impl From<ProtoError> for TransportError {
     }
 }
 
+/// Cumulative per-endpoint traffic counters, maintained by every
+/// transport and scraped into the metrics hub each epoch. Bytes are
+/// the `proto` **encoded body** sizes (excluding the 4-byte length
+/// prefix) for both transports — the in-proc path moves no wire bytes
+/// but reports what the framed path would have, so the two transports
+/// are comparable on the same dashboard.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Messages sent.
+    pub frames_sent: u64,
+    /// Messages received.
+    pub frames_recv: u64,
+    /// Encoded body bytes sent.
+    pub bytes_sent: u64,
+    /// Encoded body bytes received.
+    pub bytes_recv: u64,
+    /// `recv_timeout` calls that expired with nothing to deliver —
+    /// the poll-retry count of the δ loop.
+    pub recv_timeouts: u64,
+}
+
+impl TransportStats {
+    /// Adds `other` field-wise — used to aggregate a set of links
+    /// (e.g. all agent transports) into one series.
+    pub fn merge(&mut self, other: &TransportStats) {
+        self.frames_sent += other.frames_sent;
+        self.frames_recv += other.frames_recv;
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_recv += other.bytes_recv;
+        self.recv_timeouts += other.recv_timeouts;
+    }
+}
+
 /// A bidirectional message pipe.
 pub trait Transport: Send {
     /// Sends one message (non-blocking or cheaply buffered).
@@ -51,12 +84,20 @@ pub trait Transport: Send {
     /// Receives the next message, waiting at most `timeout`.
     /// `Ok(None)` = nothing arrived in time.
     fn recv_timeout(&mut self, timeout: WallDuration) -> Result<Option<Message>, TransportError>;
+
+    /// Cumulative traffic counters for this endpoint. The default is
+    /// all-zero so third-party transports keep compiling; both
+    /// built-in transports maintain real counts.
+    fn stats(&self) -> TransportStats {
+        TransportStats::default()
+    }
 }
 
 /// One end of an in-process transport.
 pub struct InProcTransport {
     tx: Sender<Message>,
     rx: Receiver<Message>,
+    stats: TransportStats,
 }
 
 /// Creates a connected pair of in-process endpoints.
@@ -64,8 +105,16 @@ pub fn inproc_pair(capacity: usize) -> (InProcTransport, InProcTransport) {
     let (atx, brx) = bounded(capacity);
     let (btx, arx) = bounded(capacity);
     (
-        InProcTransport { tx: atx, rx: arx },
-        InProcTransport { tx: btx, rx: brx },
+        InProcTransport {
+            tx: atx,
+            rx: arx,
+            stats: TransportStats::default(),
+        },
+        InProcTransport {
+            tx: btx,
+            rx: brx,
+            stats: TransportStats::default(),
+        },
     )
 }
 
@@ -86,22 +135,35 @@ impl Transport for InProcTransport {
     fn send(&mut self, m: &Message) -> Result<(), TransportError> {
         // Mirror the framed path's sender-side size check so oversize
         // bugs surface identically under both transports.
-        if m.encoded_len() > crate::proto::MAX_FRAME {
-            return Err(TransportError::Proto(ProtoError::Oversized(
-                m.encoded_len(),
-            )));
+        let len = m.encoded_len();
+        if len > crate::proto::MAX_FRAME {
+            return Err(TransportError::Proto(ProtoError::Oversized(len)));
         }
         self.tx
             .send(m.clone())
-            .map_err(|_| TransportError::Disconnected)
+            .map_err(|_| TransportError::Disconnected)?;
+        self.stats.frames_sent += 1;
+        self.stats.bytes_sent += len as u64;
+        Ok(())
     }
 
     fn recv_timeout(&mut self, timeout: WallDuration) -> Result<Option<Message>, TransportError> {
         match self.rx.recv_timeout(timeout) {
-            Ok(m) => Ok(Some(m)),
-            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Ok(m) => {
+                self.stats.frames_recv += 1;
+                self.stats.bytes_recv += m.encoded_len() as u64;
+                Ok(Some(m))
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                self.stats.recv_timeouts += 1;
+                Ok(None)
+            }
             Err(RecvTimeoutError::Disconnected) => Err(TransportError::Disconnected),
         }
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.stats
     }
 }
 
@@ -109,6 +171,7 @@ impl Transport for InProcTransport {
 pub struct TcpTransport {
     stream: TcpStream,
     buf: BytesMut,
+    stats: TransportStats,
 }
 
 impl TcpTransport {
@@ -119,6 +182,7 @@ impl TcpTransport {
         Ok(TcpTransport {
             stream,
             buf: BytesMut::with_capacity(8192),
+            stats: TransportStats::default(),
         })
     }
 
@@ -137,12 +201,17 @@ impl Transport for TcpTransport {
             } else {
                 TransportError::Io(e)
             }
-        })
+        })?;
+        self.stats.frames_sent += 1;
+        self.stats.bytes_sent += m.encoded_len() as u64;
+        Ok(())
     }
 
     fn recv_timeout(&mut self, timeout: WallDuration) -> Result<Option<Message>, TransportError> {
         // Drain any frame already buffered.
         if let Some(m) = Message::decode_stream(&mut self.buf)? {
+            self.stats.frames_recv += 1;
+            self.stats.bytes_recv += m.encoded_len() as u64;
             return Ok(Some(m));
         }
         // One deadline for the whole call. A partial frame re-enters the
@@ -164,22 +233,30 @@ impl Transport for TcpTransport {
                 Ok(n) => {
                     self.buf.extend_from_slice(&chunk[..n]);
                     if let Some(m) = Message::decode_stream(&mut self.buf)? {
+                        self.stats.frames_recv += 1;
+                        self.stats.bytes_recv += m.encoded_len() as u64;
                         return Ok(Some(m));
                     }
                     // Partial frame: keep reading, but only within what
                     // is left of the deadline; the incomplete frame
                     // stays buffered for the next call to finish.
                     if Instant::now() >= deadline {
+                        self.stats.recv_timeouts += 1;
                         return Ok(None);
                     }
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    self.stats.recv_timeouts += 1;
                     return Ok(None);
                 }
                 Err(e) if is_disconnect(e.kind()) => return Err(TransportError::Disconnected),
                 Err(e) => return Err(TransportError::Io(e)),
             }
         }
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.stats
     }
 }
 
@@ -334,6 +411,60 @@ mod tests {
             "frame arrived in one call — trickle server not trickling?"
         );
         server.join().unwrap();
+    }
+
+    /// Both transports report the same frame/byte counts for the same
+    /// message set (encoded-body sizes), and timeouts are counted.
+    #[test]
+    fn transport_stats_agree_across_transports() {
+        let msgs = sample_messages();
+        let expect_bytes: u64 = msgs.iter().map(|m| m.encoded_len() as u64).sum();
+
+        let (mut a, mut b) = inproc_pair(16);
+        for m in &msgs {
+            a.send(m).unwrap();
+            b.recv_timeout(WallDuration::from_millis(100)).unwrap();
+        }
+        b.recv_timeout(WallDuration::from_millis(1)).unwrap();
+        let (sa, sb) = (a.stats(), b.stats());
+        assert_eq!(
+            (sa.frames_sent, sa.bytes_sent),
+            (msgs.len() as u64, expect_bytes)
+        );
+        assert_eq!(
+            (sb.frames_recv, sb.bytes_recv),
+            (msgs.len() as u64, expect_bytes)
+        );
+        assert_eq!(sb.recv_timeouts, 1);
+
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let n = msgs.len();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut t = TcpTransport::new(stream).unwrap();
+            let mut got = 0;
+            while got < n {
+                if t.recv_timeout(WallDuration::from_secs(5))
+                    .unwrap()
+                    .is_some()
+                {
+                    got += 1;
+                }
+            }
+            t.stats()
+        });
+        let mut client = TcpTransport::connect(&addr.to_string()).unwrap();
+        for m in &msgs {
+            client.send(m).unwrap();
+        }
+        let server_stats = server.join().unwrap();
+        let cs = client.stats();
+        assert_eq!(cs, sa, "tcp sender must match inproc sender");
+        assert_eq!(
+            (server_stats.frames_recv, server_stats.bytes_recv),
+            (msgs.len() as u64, expect_bytes)
+        );
     }
 
     #[test]

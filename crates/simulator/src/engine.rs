@@ -36,7 +36,7 @@ use saath_fabric::PortBank;
 use saath_metrics::CoflowRecord;
 use saath_simcore::units::{bytes_in, transfer_time};
 use saath_simcore::{Bytes, CoflowId, Duration, EventQueue, FlowId, NodeId, Rate, Time};
-use saath_telemetry::{Counter, RoundSnapshot, Telemetry};
+use saath_telemetry::{Counter, Phase, RoundSnapshot, Telemetry};
 use saath_workload::{DynamicsEvent, DynamicsSpec, Trace};
 
 use crate::snapshot;
@@ -575,6 +575,11 @@ pub fn simulate_resumable(
         }
 
         // ---- 1. Drain everything due at `now` ----
+        // Section spans are recorded explicitly (Instant before,
+        // observe after) rather than via RAII guards because the
+        // sections themselves thread `tele` mutably; both paths feed
+        // the same `Phase`/`LogHist` vocabulary.
+        let t_events = (saath_telemetry::enabled() && tele.is_some()).then(Instant::now);
         while let Some((t, ci)) = arrivals.pop_due(now) {
             let t = t.max(now);
             let sc = &mut coflows[ci];
@@ -665,6 +670,10 @@ pub fn simulate_resumable(
                 }
             }
         }
+        if let (Some(t0), Some(t)) = (t_events, tele.as_deref_mut()) {
+            t.spans
+                .observe(Phase::EngineEvents, t0.elapsed().as_nanos() as u64);
+        }
 
         // ---- 2. Recompute the schedule on δ boundaries ----
         let on_boundary = cfg.delta == Duration::ZERO || (now % cfg.delta) == Duration::ZERO;
@@ -678,6 +687,7 @@ pub fn simulate_resumable(
             let t_round = tele.as_ref().map(|_| Instant::now());
             let dirty_n = dirty_list.len();
             // Sync views with ground truth — only where it moved.
+            let t_viewsync = t_round.map(|_| Instant::now());
             let any_straggler = straggled.iter().any(|&b| b);
             changed_ids.clear();
             for ci in dirty_list.drain(..) {
@@ -705,6 +715,12 @@ pub fn simulate_resumable(
                 // Failure flags persist (the framework's `update()` told
                 // the coordinator); straggler flags follow the slowdown.
                 view.restarted = coflows[ci].restarted || touches_straggler;
+            }
+            if saath_telemetry::enabled() {
+                if let (Some(t0), Some(t)) = (t_viewsync, tele.as_deref_mut()) {
+                    t.spans
+                        .observe(Phase::EngineViewSync, t0.elapsed().as_nanos() as u64);
+                }
             }
             bank.reset_round();
             schedule.clear();
@@ -807,7 +823,9 @@ pub fn simulate_resumable(
                     t.heap_len.observe(completions.len() as u64);
                     t.active_coflows.observe(views.len() as u64);
                     if let Some(started) = t_round {
-                        t.round_wall_ns.observe(started.elapsed().as_nanos() as u64);
+                        let ns = started.elapsed().as_nanos() as u64;
+                        t.round_wall_ns.observe(ns);
+                        t.spans.observe(Phase::EngineRound, ns);
                     }
                     if t.wants_jsonl() {
                         t.snapshot_round(&RoundSnapshot {
@@ -903,6 +921,7 @@ pub fn simulate_resumable(
         }
 
         // ---- 4. Advance the flowing flows to t_next ----
+        let t_advance = (saath_telemetry::enabled() && tele.is_some()).then(Instant::now);
         let dt = t_next - now;
         let mut completed = 0usize;
         flowing.retain(|&fi| {
@@ -988,6 +1007,10 @@ pub fn simulate_resumable(
                 }
                 // Do not advance `slot`: swap_remove moved a new view in.
             }
+        }
+        if let (Some(t0), Some(t)) = (t_advance, tele.as_deref_mut()) {
+            t.spans
+                .observe(Phase::EngineAdvance, t0.elapsed().as_nanos() as u64);
         }
         now = t_next;
     }

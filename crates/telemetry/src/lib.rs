@@ -28,7 +28,10 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod prom;
+
 use std::fmt::Write as _;
+use std::time::Instant;
 
 /// Whether the `telemetry` cargo feature is compiled in.
 ///
@@ -154,6 +157,13 @@ pub struct Hist {
 
 impl Hist {
     /// Folds one sample in.
+    ///
+    /// The running `sum` **saturates** at `u64::MAX` instead of
+    /// wrapping: a run long enough to overflow it (≈ 584 years of
+    /// nanosecond samples, or 2⁶⁴ set-size units) pins the sum — and
+    /// hence [`Hist::mean`] — at a too-small ceiling rather than
+    /// silently producing a tiny wrapped mean. `count`, `min`, and
+    /// `max` stay exact.
     #[inline]
     pub fn observe(&mut self, v: u64) {
         if self.count == 0 || v < self.min {
@@ -163,7 +173,7 @@ impl Hist {
             self.max = v;
         }
         self.count += 1;
-        self.sum += v;
+        self.sum = self.sum.saturating_add(v);
     }
 
     /// Arithmetic mean, or 0.0 with no samples.
@@ -173,6 +183,291 @@ impl Hist {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+}
+
+/// A log2-bucketed latency histogram: every wall-time path in the
+/// workspace records into one of these and can answer p50/p90/p99/max
+/// after (or during) a run, where [`Hist`] only answers min/mean/max.
+///
+/// 65 buckets: bucket 0 holds exactly the value 0 and bucket *i* ≥ 1
+/// holds `[2^(i-1), 2^i)`, so any `u64` sample lands in O(1) via
+/// `leading_zeros`. Quantiles are nearest-rank over the bucket counts
+/// and report the containing bucket's **upper bound** (clamped to the
+/// exact observed `max`), which makes them conservative (never
+/// under-report a latency) and monotone: p50 ≤ p90 ≤ p99 ≤ max always
+/// holds. `sum` saturates at `u64::MAX` like [`Hist::observe`];
+/// `count` and `max` stay exact.
+///
+/// [`Hist`] remains the right tool for set sizes (dirty sets, heap
+/// lengths), where min/mean/max is the question being asked;
+/// `LogHist` replaces it for durations, where tails matter.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LogHist {
+    /// Number of samples observed.
+    pub count: u64,
+    /// Saturating sum of all samples (mean = sum / count).
+    pub sum: u64,
+    /// Largest sample, 0 if none.
+    pub max: u64,
+    buckets: [u64; 65],
+}
+
+impl Default for LogHist {
+    fn default() -> Self {
+        LogHist {
+            count: 0,
+            sum: 0,
+            max: 0,
+            buckets: [0; 65],
+        }
+    }
+}
+
+impl LogHist {
+    /// An empty histogram.
+    pub fn new() -> LogHist {
+        LogHist::default()
+    }
+
+    #[inline]
+    fn bucket_of(v: u64) -> usize {
+        // v = 0 → 0; otherwise 64 − clz = the bit width of v, so
+        // bucket i ≥ 1 spans [2^(i-1), 2^i) and bucket 64 ends at
+        // u64::MAX.
+        (64 - v.leading_zeros()) as usize
+    }
+
+    /// Upper bound of bucket `i` (inclusive).
+    fn bucket_upper(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            64 => u64::MAX,
+            _ => (1u64 << i) - 1,
+        }
+    }
+
+    /// Folds one sample in.
+    #[inline]
+    pub fn observe(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        if v > self.max {
+            self.max = v;
+        }
+        self.buckets[Self::bucket_of(v)] += 1;
+    }
+
+    /// Folds another histogram in (per-bucket addition; `sum`
+    /// saturates).
+    pub fn merge(&mut self, other: &LogHist) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+    }
+
+    /// Arithmetic mean, or 0.0 with no samples.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Nearest-rank quantile for `q ∈ [0, 1]`: the upper bound of the
+    /// bucket containing the rank-⌈q·count⌉ sample, clamped to the
+    /// exact `max`. Returns 0 with no samples. Monotone in `q`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return Self::bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (nearest-rank bucket upper bound).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+/// One named span kind — every wall-time section the workspace
+/// profiles, across the scheduler (per-phase, unified with
+/// `SchedTimings`), the simulator's epoch loop, and the runtime
+/// coordinator/agent path's epoch lifecycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Phase {
+    /// Whole scheduler `compute()` round.
+    SchedTotal,
+    /// CoFlow ordering (queue assignment + LCoF/FIFO order).
+    SchedOrder,
+    /// Contention `k_c` computation (sub-span of ordering).
+    SchedContention,
+    /// All-or-none gang admission + MADD rate assignment.
+    SchedMadd,
+    /// Work-conservation backfill.
+    SchedWc,
+    /// Parallel speculative gang-probe fan-out.
+    SchedProbe,
+    /// Deterministic serial merge of speculative probes.
+    SchedMerge,
+    /// Engine: draining due events (arrivals, readiness, dynamics).
+    EngineEvents,
+    /// Engine: incremental view sync over the dirty list.
+    EngineViewSync,
+    /// Engine: one whole δ-boundary scheduling round.
+    EngineRound,
+    /// Engine: next-event-time scan and time advancement.
+    EngineAdvance,
+    /// Coordinator: draining agent stats reports (obs-recv).
+    CoordObsRecv,
+    /// Coordinator: view build + policy compute (schedule).
+    CoordSchedule,
+    /// Reconciler: shard slice collection + deterministic merge.
+    CoordReconcile,
+    /// Coordinator: pushing the schedule to every agent (broadcast).
+    CoordBroadcast,
+    /// Agent: applying a schedule push (apply).
+    AgentApply,
+}
+
+/// All span kinds, in display order.
+pub const PHASES: [Phase; 16] = [
+    Phase::SchedTotal,
+    Phase::SchedOrder,
+    Phase::SchedContention,
+    Phase::SchedMadd,
+    Phase::SchedWc,
+    Phase::SchedProbe,
+    Phase::SchedMerge,
+    Phase::EngineEvents,
+    Phase::EngineViewSync,
+    Phase::EngineRound,
+    Phase::EngineAdvance,
+    Phase::CoordObsRecv,
+    Phase::CoordSchedule,
+    Phase::CoordReconcile,
+    Phase::CoordBroadcast,
+    Phase::AgentApply,
+];
+
+impl Phase {
+    /// Stable snake_case name, used in tables and metric labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::SchedTotal => "sched_total",
+            Phase::SchedOrder => "sched_order",
+            Phase::SchedContention => "sched_contention",
+            Phase::SchedMadd => "sched_madd",
+            Phase::SchedWc => "sched_wc",
+            Phase::SchedProbe => "sched_probe",
+            Phase::SchedMerge => "sched_merge",
+            Phase::EngineEvents => "engine_events",
+            Phase::EngineViewSync => "engine_view_sync",
+            Phase::EngineRound => "engine_round",
+            Phase::EngineAdvance => "engine_advance",
+            Phase::CoordObsRecv => "coord_obs_recv",
+            Phase::CoordSchedule => "coord_schedule",
+            Phase::CoordReconcile => "coord_reconcile_merge",
+            Phase::CoordBroadcast => "coord_broadcast",
+            Phase::AgentApply => "agent_apply",
+        }
+    }
+}
+
+/// One [`LogHist`] per [`Phase`] — the span profiler's storage.
+///
+/// `observe` is **not** feature-gated: gating is the caller's job,
+/// exactly as with [`Hist::observe`]. The scheduler's `SchedTimings`
+/// records unconditionally (it already pays for `Instant::now`
+/// regardless); the engine and runtime record only inside
+/// `if telemetry::enabled()` blocks / when a metrics hub exists.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SpanProfiler {
+    hists: [LogHist; PHASES.len()],
+}
+
+impl SpanProfiler {
+    /// An empty profiler.
+    pub fn new() -> SpanProfiler {
+        SpanProfiler::default()
+    }
+
+    /// Folds one duration sample (nanoseconds) into `phase`.
+    #[inline]
+    pub fn observe(&mut self, phase: Phase, ns: u64) {
+        self.hists[phase as usize].observe(ns);
+    }
+
+    /// The histogram for `phase`.
+    pub fn hist(&self, phase: Phase) -> &LogHist {
+        &self.hists[phase as usize]
+    }
+
+    /// Folds another profiler in, phase by phase.
+    pub fn merge(&mut self, other: &SpanProfiler) {
+        for (h, o) in self.hists.iter_mut().zip(other.hists.iter()) {
+            h.merge(o);
+        }
+    }
+
+    /// `(phase name, histogram)` for every phase with samples, in
+    /// display order.
+    pub fn rows(&self) -> Vec<(&'static str, &LogHist)> {
+        PHASES
+            .iter()
+            .filter(|p| self.hist(**p).count > 0)
+            .map(|p| (p.name(), self.hist(*p)))
+            .collect()
+    }
+
+    /// Starts an RAII span: the guard records the elapsed wall time
+    /// into `phase` when dropped. The guard borrows the profiler
+    /// mutably for its scope, so it suits sections that don't touch
+    /// the profiler themselves.
+    pub fn span(&mut self, phase: Phase) -> SpanGuard<'_> {
+        SpanGuard {
+            prof: self,
+            phase,
+            start: Instant::now(),
+        }
+    }
+}
+
+/// RAII guard from [`SpanProfiler::span`]: records `start.elapsed()`
+/// into its phase on drop.
+pub struct SpanGuard<'a> {
+    prof: &'a mut SpanProfiler,
+    phase: Phase,
+    start: Instant,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.prof
+            .observe(self.phase, self.start.elapsed().as_nanos() as u64);
     }
 }
 
@@ -291,12 +586,17 @@ pub struct Telemetry {
     /// Completion-heap length per scheduling round.
     pub heap_len: Hist,
     /// Wall-clock nanoseconds per scheduling round (summary only,
-    /// never in the JSONL trace).
-    pub round_wall_ns: Hist,
+    /// never in the JSONL trace). Log2-bucketed so tails (p99) are
+    /// visible, not just the mean.
+    pub round_wall_ns: LogHist,
     /// Active CoFlows per scheduling round.
     pub active_coflows: Hist,
     /// Coordinator sync-round wall latency, nanoseconds.
-    pub sync_round_ns: Hist,
+    pub sync_round_ns: LogHist,
+    /// Per-phase wall-time spans (engine loop sections, runtime epoch
+    /// lifecycle; the scheduler's phases live in `SchedTimings`, which
+    /// records into the same [`Phase`]/[`LogHist`] vocabulary).
+    pub spans: SpanProfiler,
     record_jsonl: bool,
     jsonl: String,
 }
@@ -418,6 +718,124 @@ mod tests {
         }
         assert_eq!((h.min, h.max, h.count, h.sum), (2, 9, 3, 15));
         assert_eq!(h.mean(), 5.0);
+    }
+
+    #[test]
+    fn hist_sum_saturates_instead_of_wrapping() {
+        let mut h = Hist::default();
+        h.observe(u64::MAX);
+        h.observe(100);
+        assert_eq!(h.sum, u64::MAX, "sum must pin at the ceiling");
+        assert_eq!(h.count, 2);
+        assert_eq!((h.min, h.max), (100, u64::MAX));
+    }
+
+    #[test]
+    fn loghist_empty_is_all_zero() {
+        let h = LogHist::new();
+        assert_eq!((h.count, h.sum, h.max), (0, 0, 0));
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!((h.p50(), h.p90(), h.p99()), (0, 0, 0));
+        assert_eq!(h.quantile(1.0), 0);
+    }
+
+    #[test]
+    fn loghist_single_sample_quantiles_clamp_to_max() {
+        let mut h = LogHist::new();
+        h.observe(1000);
+        // 1000 lands in bucket [512, 1024) whose upper bound is 1023,
+        // but every quantile clamps to the exact observed max.
+        assert_eq!((h.p50(), h.p90(), h.p99()), (1000, 1000, 1000));
+        assert_eq!(h.quantile(0.0), 1000);
+        assert_eq!(h.max, 1000);
+    }
+
+    #[test]
+    fn loghist_bucket_boundaries() {
+        // Powers of two sit at the *lower* edge of their bucket: the
+        // bucket for v is [2^(i-1), 2^i) with upper bound 2^i − 1.
+        let mut h = LogHist::new();
+        for v in [0u64, 1, 2, 3, 4, 7, 8] {
+            h.observe(v);
+        }
+        assert_eq!(h.count, 7);
+        // Rank-1 (q→0) is the zero bucket.
+        assert_eq!(h.quantile(0.0), 0);
+        // Median (rank 4) is the value 3, in bucket [2,4) → upper 3.
+        assert_eq!(h.p50(), 3);
+        // Max is exact.
+        assert_eq!(h.quantile(1.0), 8);
+    }
+
+    #[test]
+    fn loghist_saturates_at_u64_max() {
+        let mut h = LogHist::new();
+        h.observe(u64::MAX);
+        h.observe(u64::MAX);
+        assert_eq!(h.sum, u64::MAX, "sum saturates");
+        assert_eq!(h.count, 2, "count stays exact");
+        assert_eq!(h.max, u64::MAX);
+        assert_eq!(h.p50(), u64::MAX);
+        assert_eq!(h.p99(), u64::MAX);
+    }
+
+    #[test]
+    fn loghist_quantiles_are_monotone() {
+        // A skewed distribution across many buckets.
+        let mut h = LogHist::new();
+        for i in 0..1000u64 {
+            h.observe(i * i);
+        }
+        let (p50, p90, p99) = (h.p50(), h.p90(), h.p99());
+        assert!(p50 <= p90, "p50 {p50} > p90 {p90}");
+        assert!(p90 <= p99, "p90 {p90} > p99 {p99}");
+        assert!(p99 <= h.max, "p99 {p99} > max {}", h.max);
+        // Quantiles never under-report: p90 covers ≥ 90% of samples.
+        let below = (0..1000u64).filter(|i| i * i <= p90).count();
+        assert!(below >= 900, "p90 bound covers only {below}/1000");
+    }
+
+    #[test]
+    fn loghist_merge_adds_bucketwise() {
+        let (mut a, mut b) = (LogHist::new(), LogHist::new());
+        for v in [1u64, 10, 100] {
+            a.observe(v);
+        }
+        for v in [1000u64, 10_000] {
+            b.observe(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count, 5);
+        assert_eq!(a.sum, 11_111);
+        assert_eq!(a.max, 10_000);
+        assert_eq!(a.quantile(1.0), 10_000);
+    }
+
+    #[test]
+    fn span_profiler_records_phases_in_display_order() {
+        let mut p = SpanProfiler::new();
+        p.observe(Phase::CoordSchedule, 500);
+        p.observe(Phase::SchedTotal, 100);
+        p.observe(Phase::SchedTotal, 200);
+        let rows = p.rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, "sched_total");
+        assert_eq!(rows[0].1.count, 2);
+        assert_eq!(rows[1].0, "coord_schedule");
+        // RAII guard: drop records a nonzero elapsed sample.
+        {
+            let _g = p.span(Phase::EngineRound);
+        }
+        assert_eq!(p.hist(Phase::EngineRound).count, 1);
+    }
+
+    #[test]
+    fn phase_names_are_unique_and_cover_all() {
+        let names: Vec<_> = PHASES.iter().map(|p| p.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), PHASES.len(), "duplicate phase name");
     }
 
     #[test]
