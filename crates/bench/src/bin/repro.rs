@@ -43,6 +43,15 @@
 //!   --nodes N      emulation node cap for fig15/fig16 (default 40)
 //!   --shards K     scale only: max coordinator shard count for the
 //!                  shard-scaling sweep (default 4; 1 disables it)
+//!   --partitioned  scale only: also sweep the partitioned-compute mode
+//!                  (per-shard views + bounded-staleness contention
+//!                  summaries) for K ∈ {2, 4} ∩ [1, --shards] on the
+//!                  sweep's smallest and largest points, reporting
+//!                  per-shard sched_ms, CCT deviation vs the
+//!                  single-coordinator oracle, and the first divergent
+//!                  round (via the event-log differ)
+//!   --staleness S  scale only: restrict the partitioned sweep to one
+//!                  summary staleness budget instead of {0, 1, 4, 16}
 //!   --small        use small traces (smoke test, seconds instead of minutes)
 //!   --json         epoch/scale only: print the BENCH JSON document instead
 //!                  of the table
@@ -80,7 +89,7 @@ fn arg_value(args: &[String], key: &str) -> Option<String> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let what = args.first().cloned().unwrap_or_else(|| {
-        eprintln!("usage: repro <fig2|fig3|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|fig17|table2|dynamics|epoch|scale|trace|emulate|gen-trace|verify|diff|bench-diff|all> [--seed N] [--panel P] [--trace PATH] [--out PATH] [--scale N] [--nodes N] [--shards K] [--small] [--json] [--log PATH] [--snapshot-every N] [--resume-from PATH] [--metrics-out PATH] [--metrics-addr ADDR] [--tolerance-pct N]");
+        eprintln!("usage: repro <fig2|fig3|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|fig17|table2|dynamics|epoch|scale|trace|emulate|gen-trace|verify|diff|bench-diff|all> [--seed N] [--panel P] [--trace PATH] [--out PATH] [--scale N] [--nodes N] [--shards K] [--partitioned] [--staleness S] [--small] [--json] [--log PATH] [--snapshot-every N] [--resume-from PATH] [--metrics-out PATH] [--metrics-addr ADDR] [--tolerance-pct N]");
         std::process::exit(2);
     });
     let seed: u64 = arg_value(&args, "--seed")
@@ -97,6 +106,8 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(4)
         .max(1);
+    let partitioned = args.iter().any(|a| a == "--partitioned");
+    let staleness: Option<u64> = arg_value(&args, "--staleness").and_then(|v| v.parse().ok());
     let small = args.iter().any(|a| a == "--small");
     let json = args.iter().any(|a| a == "--json");
     let log_opts = figs::LogOptions {
@@ -225,6 +236,8 @@ fn main() {
                 json,
                 small,
                 shards,
+                partitioned,
+                staleness,
                 &log_opts,
                 metrics_out.as_deref(),
             )),

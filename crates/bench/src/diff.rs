@@ -11,10 +11,13 @@
 //!
 //! Numeric fields are flattened to dotted paths. Array elements are
 //! keyed *by content*, not index: entries of `points` by their
-//! `nodes` value and entries of `shard_sweep` by their `shards` value,
-//! so re-ordered or partially-overlapping sweeps still line up, and a
-//! `--small` smoke document simply has zero comparable points against
-//! a full baseline (the gate passes vacuously rather than misfiring).
+//! `nodes` value and entries of `shard_sweep` by the composite
+//! `(nodes, shards, mode, staleness)` — replicated and partitioned
+//! points share shard counts, so a single-field key would collide
+//! them. Re-ordered or partially-overlapping sweeps still line up,
+//! and a `--small` smoke document simply has zero comparable points
+//! against a full baseline (the gate passes vacuously rather than
+//! misfiring).
 //!
 //! ## Direction
 //!
@@ -188,8 +191,9 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
 }
 
 /// Flattens every numeric field to `(dotted path, value)`, keying
-/// `points` entries by `nodes` and `shard_sweep` entries by `shards`
-/// (see module docs). Bools flatten as 0/1 so flag drift is visible.
+/// `points` entries by `nodes` and `shard_sweep` entries by the
+/// composite `(nodes, shards, mode, staleness)` (see module docs).
+/// Bools flatten as 0/1 so flag drift is visible.
 pub fn flatten(doc: &Json) -> Vec<(String, f64)> {
     let mut out = Vec::new();
     walk(doc, "", &mut out);
@@ -212,19 +216,29 @@ fn walk(v: &Json, path: &str, out: &mut Vec<(String, f64)>) {
         }
         Json::Arr(items) => {
             // Content keying: sweeps line up across re-orderings and
-            // differently-sized runs.
-            let disc = match path.rsplit('.').next().unwrap_or(path) {
-                "points" => Some("nodes"),
-                "shard_sweep" => Some("shards"),
-                _ => None,
+            // differently-sized runs. `shard_sweep` needs the full
+            // composite key — replicated and partitioned points share
+            // a shard count, and the partitioned sweep varies nodes
+            // and staleness too.
+            let disc: &[&str] = match path.rsplit('.').next().unwrap_or(path) {
+                "points" => &["nodes"],
+                "shard_sweep" => &["nodes", "shards", "mode", "staleness"],
+                _ => &[],
             };
             for (i, item) in items.iter().enumerate() {
-                let key = disc
-                    .and_then(|d| match item.get(d) {
+                let parts: Vec<String> = disc
+                    .iter()
+                    .filter_map(|d| match item.get(d) {
                         Some(Json::Num(n)) => Some(format!("{d}={n}")),
+                        Some(Json::Str(s)) => Some(format!("{d}={s}")),
                         _ => None,
                     })
-                    .unwrap_or_else(|| i.to_string());
+                    .collect();
+                let key = if parts.is_empty() {
+                    i.to_string()
+                } else {
+                    parts.join(",")
+                };
                 walk(item, &format!("{path}.{key}"), out);
             }
         }
@@ -426,8 +440,9 @@ mod tests {
     }
   ],
   "shard_sweep": [
-    { "shards": 1, "wall_ms": 300.0, "replication_overhead": 1.0 },
-    { "shards": 2, "wall_ms": 620.0, "replication_overhead": 2.07 }
+    { "shards": 1, "nodes": 150, "mode": "replicated", "staleness": 0, "wall_ms": 300.0, "replication_overhead": 1.0 },
+    { "shards": 2, "nodes": 150, "mode": "replicated", "staleness": 0, "wall_ms": 620.0, "replication_overhead": 2.07 },
+    { "shards": 2, "nodes": 150, "mode": "partitioned", "staleness": 4, "wall_ms": 410.0, "sched_speedup": 1.3 }
   ]
 }"#;
 
@@ -440,9 +455,18 @@ mod tests {
         );
         let flat = flatten(&doc);
         let get = |p: &str| flat.iter().find(|(k, _)| k == p).map(|(_, v)| *v);
-        // Content-keyed paths, not positional.
+        // Content-keyed paths, not positional. The shard_sweep key is
+        // composite: a replicated and a partitioned point sharing
+        // (nodes, shards) must not collide.
         assert_eq!(get("points.nodes=150.incremental.wall_ms"), Some(290.0));
-        assert_eq!(get("shard_sweep.shards=2.wall_ms"), Some(620.0));
+        assert_eq!(
+            get("shard_sweep.nodes=150,shards=2,mode=replicated,staleness=0.wall_ms"),
+            Some(620.0)
+        );
+        assert_eq!(
+            get("shard_sweep.nodes=150,shards=2,mode=partitioned,staleness=4.wall_ms"),
+            Some(410.0)
+        );
         assert_eq!(get("seed"), Some(1.0));
     }
 

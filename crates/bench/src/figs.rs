@@ -1348,11 +1348,27 @@ struct ScaleRun {
 /// the sweep's first point for K ∈ {1, 2, 4} ∩ [1, `shards`], asserting
 /// byte-identical records at every K and reporting the reconciliation
 /// overhead (K replicas of the policy + the flow-id-ordered merge).
+///
+/// `partitioned` extends that with the partitioned-compute mode
+/// ([`PartitionedScheduler`](saath_simulator::PartitionedScheduler)):
+/// K ∈ {2, 4} ∩ [1, `shards`] × staleness S ∈ {0, 1, 4, 16} (or just
+/// `staleness` when given), on the sweep's smallest *and* largest
+/// points. Every (nodes, K, S) entry reports the busiest shard's
+/// sched_ms, its speedup over the single coordinator's sched_ms, and
+/// the average CCT deviation from the single-coordinator records —
+/// asserted exactly zero at S=0 (the replicated oracle contract). On
+/// the smallest point each combination is additionally replayed with
+/// an in-memory event log and diffed against the oracle's log to pin
+/// `first_divergence_round` — the same alignment `repro diff` performs
+/// on recorded logs.
+#[allow(clippy::too_many_arguments)]
 pub fn scale(
     lab: &Lab,
     json: bool,
     small: bool,
     shards: usize,
+    partitioned: bool,
+    staleness: Option<u64>,
     log: &LogOptions,
     metrics_out: Option<&std::path::Path>,
 ) -> String {
@@ -1441,6 +1457,9 @@ pub fn scale(
     // Per-phase latency distribution of the incremental mode, pooled
     // across every sweep point (each point feeds its per-round samples).
     let mut inc_spans = saath_telemetry::SpanProfiler::new();
+    // Single-coordinator oracle (records + sched_ms) per point, kept
+    // for the partitioned sweep's deviation/speedup comparisons.
+    let mut oracles: Vec<(Vec<CoflowRecord>, f64)> = Vec::new();
     for (pi, &(nodes, target_flows)) in points.iter().enumerate() {
         let trace = grown_trace_at(lab.seed(), nodes, target_flows);
         let flows = flow_count(&trace);
@@ -1501,6 +1520,7 @@ pub fn scale(
             mode_json("full_rebuild", &rebuild),
             mode_json("incremental", &incremental),
         ));
+        oracles.push((incremental.records.clone(), incremental.sched_ms));
     }
 
     // Shard-scaling sweep: the multi-coordinator mode on the sweep's
@@ -1540,12 +1560,168 @@ pub fn scale(
             ]);
             shard_docs.push(format!(
                 "    {{\n      \"shards\": {k},\n      \"nodes\": {nodes},\n      \
+                 \"mode\": \"replicated\",\n      \"staleness\": 0,\n      \
                  \"coflows\": {},\n      \"flows\": {flows},\n      \
                  \"wall_ms\": {wall_ms:.1},\n      \
                  \"replication_overhead\": {overhead:.2},\n      \
                  \"records_identical\": true\n    }}",
                 trace.coflows.len(),
             ));
+        }
+    }
+
+    // Partitioned-compute sweep: per-shard views + bounded-staleness
+    // summaries, on the smallest and largest points. The entries share
+    // the `shard_sweep` array with the replicated mode above —
+    // bench-diff keys them by (nodes, shards, mode, staleness), so the
+    // two modes never collide.
+    let mut part_rows: Vec<[String; 8]> = Vec::new();
+    if partitioned && shards > 1 {
+        use saath_eventlog::{diff_logs, ChainDigest, EventLogWriter, LogHeader};
+        use saath_metrics::deviation::avg_cct_deviation;
+        use saath_simulator::{simulate_resumable, PartitionedScheduler, ReplayHooks};
+
+        let staleness_grid: Vec<u64> = match staleness {
+            Some(s) => vec![s],
+            None => vec![0, 1, 4, 16],
+        };
+        let ks: Vec<usize> = [2usize, 4]
+            .iter()
+            .copied()
+            .filter(|&k| k <= shards)
+            .collect();
+        let part_points: Vec<usize> = if small || points.len() == 1 {
+            vec![0]
+        } else {
+            vec![0, points.len() - 1]
+        };
+        // Record one run with an in-memory event log sink; returns the
+        // log bytes alongside the engine output.
+        let logged = |trace: &saath_workload::Trace,
+                      sched: &mut dyn saath_core::view::CoflowScheduler|
+         -> (Vec<u8>, saath_simulator::SimOutput) {
+            let header = LogHeader {
+                num_nodes: trace.num_nodes as u64,
+                port_rate: trace.port_rate.as_u64(),
+                delta_ns: cfg.delta.as_nanos(),
+                scheduler: sched.name().into(),
+                trace_digest: ChainDigest::ZERO,
+                start_round: 0,
+                start_digest: ChainDigest::ZERO,
+            };
+            let mut w =
+                EventLogWriter::new(Vec::new(), &header).expect("event-log header write failed");
+            let out = simulate_resumable(
+                trace,
+                sched,
+                &cfg,
+                &dynamics,
+                None,
+                ReplayHooks {
+                    sink: Some(&mut w),
+                    snapshot_every: 0,
+                    resume_from: None,
+                },
+            )
+            .expect("partitioned-sweep logged run failed");
+            (w.into_inner().expect("event-log flush failed"), out)
+        };
+        for (i, &pi) in part_points.iter().enumerate() {
+            let (nodes, target_flows) = points[pi];
+            let trace = grown_trace_at(lab.seed(), nodes, target_flows);
+            let flows = flow_count(&trace);
+            let (oracle_records, oracle_sched_ms) = &oracles[pi];
+            // The differ needs the oracle's log; only the smallest
+            // point pays for the extra replay.
+            let oracle_log = (i == 0).then(|| {
+                let mut single = saath_core::Saath::with_defaults();
+                let (bytes, out) = logged(&trace, &mut single);
+                assert_eq!(
+                    &out.records, oracle_records,
+                    "oracle log replay diverged from the timed run at {nodes} nodes"
+                );
+                bytes
+            });
+            for &k in &ks {
+                for &s in &staleness_grid {
+                    let mut sched = PartitionedScheduler::new(k, s, SaathConfig::default());
+                    let t0 = Instant::now();
+                    let (part_log, out) = if oracle_log.is_some() {
+                        let (bytes, out) = logged(&trace, &mut sched);
+                        (Some(bytes), out)
+                    } else {
+                        (
+                            None,
+                            simulate(&trace, &mut sched, &cfg, &dynamics)
+                                .expect("partitioned-sweep run failed"),
+                        )
+                    };
+                    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+                    let max_shard_sched_ms = (0..k)
+                        .map(|i| {
+                            sched
+                                .shard_timings(i)
+                                .total
+                                .iter()
+                                .map(|d| d.as_secs_f64() * 1e3)
+                                .sum::<f64>()
+                        })
+                        .fold(0.0f64, f64::max);
+                    let sched_speedup = oracle_sched_ms / max_shard_sched_ms.max(1e-9);
+                    let identical = &out.records == oracle_records;
+                    assert!(
+                        s != 0 || identical,
+                        "K={k} S=0 must be byte-identical at {nodes} nodes"
+                    );
+                    let dev = avg_cct_deviation(oracle_records, &out.records).unwrap_or(0.0);
+                    let first_div = match (&oracle_log, &part_log) {
+                        (Some(a), Some(b)) => {
+                            diff_logs(a, b)
+                                .expect("partitioned log not diff-comparable to oracle log")
+                                .first_divergent_round
+                        }
+                        _ => None,
+                    };
+                    let first_div_json = first_div
+                        .map(|r| r.to_string())
+                        .unwrap_or_else(|| "null".into());
+                    part_rows.push([
+                        nodes.to_string(),
+                        k.to_string(),
+                        s.to_string(),
+                        format!("{max_shard_sched_ms:.1}"),
+                        fmt_x(sched_speedup),
+                        format!("{dev:.4}"),
+                        sched.merge_clamps().to_string(),
+                        first_div.map(|r| r.to_string()).unwrap_or_else(|| {
+                            if identical {
+                                "-".into()
+                            } else {
+                                "?".into()
+                            }
+                        }),
+                    ]);
+                    shard_docs.push(format!(
+                        "    {{\n      \"shards\": {k},\n      \"nodes\": {nodes},\n      \
+                         \"mode\": \"partitioned\",\n      \"staleness\": {s},\n      \
+                         \"coflows\": {},\n      \"flows\": {flows},\n      \
+                         \"rounds\": {},\n      \"wall_ms\": {wall_ms:.1},\n      \
+                         \"max_shard_sched_ms\": {max_shard_sched_ms:.1},\n      \
+                         \"sched_speedup\": {sched_speedup:.2},\n      \
+                         \"avg_cct_deviation\": {dev:.6},\n      \
+                         \"records_identical\": {identical},\n      \
+                         \"merge_clamps\": {},\n      \
+                         \"stale_order_decisions\": {},\n      \
+                         \"summary_bytes_exchanged\": {},\n      \
+                         \"first_divergence_round\": {first_div_json}\n    }}",
+                        trace.coflows.len(),
+                        out.rounds,
+                        sched.merge_clamps(),
+                        sched.stale_order_decisions(),
+                        sched.summary_bytes_exchanged(),
+                    ));
+                }
+            }
         }
     }
     let shard_json = if shard_docs.is_empty() {
@@ -1594,6 +1770,27 @@ pub fn scale(
         }
         rendered.push('\n');
         rendered.push_str(&st.render());
+    }
+    if !part_rows.is_empty() {
+        let mut pt = Table::new(
+            "Partitioned-compute sweep — per-shard views + bounded-staleness summaries \
+             (speedup = single-coordinator sched_ms / busiest shard's)",
+            &[
+                "nodes",
+                "shards",
+                "staleness",
+                "shard sched ms",
+                "speedup",
+                "cct dev",
+                "clamps",
+                "first div round",
+            ],
+        );
+        for row in &part_rows {
+            pt.row(row);
+        }
+        rendered.push('\n');
+        rendered.push_str(&pt.render());
     }
     rendered
 }
@@ -1667,6 +1864,41 @@ pub fn trace_diag(lab: &Lab, small: bool) -> String {
         out.push_str(&saath_metrics::mech_table(policy, &mech).render());
         lines.push(saath_metrics::mech_breakdown_line(policy, &mech, &tele));
         lines.push(saath_metrics::eventlog_line(policy, &tele));
+    }
+    // Partitioned-compute diagnosis: the same trace through K=2 shards
+    // at staleness 4, surfacing the summary-plane counters the
+    // Prometheus families export (`saath_summary_*`,
+    // `saath_stale_order_decisions_total`).
+    {
+        let mut part = saath_simulator::PartitionedScheduler::new(2, 4, SaathConfig::default());
+        saath_simulator::simulate(&trace, &mut part, &cfg, &dynamics)
+            .unwrap_or_else(|e| panic!("trace diagnosis: partitioned saath failed: {e}"));
+        let mut pt = Table::new(
+            "partitioned compute (K=2, staleness 4) — per-shard scheduling",
+            &["shard", "sched ms", "avg ms", "p90 ms"],
+        );
+        for s in 0..part.shards() {
+            let t = part.shard_timings(s);
+            let (avg, p90) = saath_core::SchedTimings::avg_p90_ms(&t.total);
+            let total: f64 = t.total.iter().map(|d| d.as_secs_f64() * 1e3).sum();
+            pt.row(&[
+                s.to_string(),
+                format!("{total:.1}"),
+                format!("{avg:.4}"),
+                format!("{p90:.4}"),
+            ]);
+        }
+        out.push_str(&pt.render());
+        out.push_str(&format!(
+            "partitioned summary plane: {} refreshes, {} bytes exchanged, \
+             {} stale-order decisions, {} merge clamps, final age {} rounds\n",
+            part.summary_refreshes(),
+            part.summary_bytes_exchanged(),
+            part.stale_order_decisions(),
+            part.merge_clamps(),
+            part.summary_age_rounds()
+                .map_or_else(|| "-".into(), |a| a.to_string()),
+        ));
     }
     out.push_str("== mechanism breakdown ==\n");
     for l in &lines {

@@ -347,6 +347,41 @@ impl ContentionTracker {
         deltas
     }
 
+    /// Exports the tracker's state as a [`ContentionSummary`] for
+    /// partitioned-compute sharding: per-port active-CoFlow counts from
+    /// the port-membership lists, and per-queue CoFlow counts / `k_c`
+    /// sums via the caller's queue lookup (the tracker does not know
+    /// queue assignments). `port_rates` is *not* filled here — the
+    /// caller adds the rates its last schedule slice claimed.
+    ///
+    /// Only meaningful when the tracker is live (i.e. the owning
+    /// scheduler runs with incremental contention + LCoF); an unused
+    /// tracker exports an empty summary.
+    pub fn export_summary(
+        &self,
+        queue_of: impl Fn(CoflowId) -> usize,
+        num_queues: usize,
+        out: &mut crate::summary::ContentionSummary,
+    ) {
+        out.port_coflows.clear();
+        for (p, members) in self.port_members.iter().enumerate() {
+            if !members.is_empty() {
+                out.port_coflows.push((p as u32, members.len() as u32));
+            }
+        }
+        out.queue_coflows.clear();
+        out.queue_coflows.resize(num_queues, 0);
+        out.queue_kc_sum.clear();
+        out.queue_kc_sum.resize(num_queues, 0);
+        // HashMap iteration order is arbitrary, but counts and sums are
+        // order-independent, so the export stays deterministic.
+        for (&id, &kc) in self.k.iter() {
+            let q = queue_of(id).min(num_queues.saturating_sub(1));
+            out.queue_coflows[q] += 1;
+            out.queue_kc_sum[q] += kc as u64;
+        }
+    }
+
     /// Drops a departed CoFlow, unwinding its pair counts.
     fn remove_coflow(&mut self, id: CoflowId) -> u64 {
         let Some(footprint) = self.footprints.remove(&id) else {

@@ -151,6 +151,12 @@ pub struct Saath {
     /// Incrementally maintained LCoF order (see [`OrderBook`]); only
     /// populated when `cfg.incremental_order`.
     book: OrderBook,
+    /// Remote-shard contention addends (partitioned sharding): added to
+    /// the locally-tracked `k_c` before LCoF ordering, so a shard that
+    /// only sees its owned CoFlows still orders them against the rest of
+    /// the cluster's (summarised, possibly stale) footprint. Empty in
+    /// non-partitioned runs.
+    remote_k: FastHashMap<CoflowId, u32>,
     /// Scratch: the round's `changed` hint as a set, for queue caching.
     changed_set: FastHashSet<CoflowId>,
     /// Scratch: ids garbage-collected from `state` this round, relayed
@@ -196,6 +202,7 @@ impl Saath {
             arena: RoundArena::new(),
             tracker: ContentionTracker::new(),
             book: OrderBook::new(),
+            remote_k: FastHashMap::default(),
             changed_set: FastHashSet::default(),
             gone: Vec::new(),
             queues: Vec::new(),
@@ -233,6 +240,46 @@ impl Saath {
     /// The queue a CoFlow would be assigned this round (D3 + §4.3).
     pub fn queue_of(&self, c: &CoflowView) -> usize {
         queue_for(&self.cfg, c)
+    }
+
+    /// Installs remote-shard contention addends (partitioned sharding).
+    /// Each entry's value is added to the CoFlow's locally-computed
+    /// `k_c` before LCoF ordering; the previous addends are replaced
+    /// wholesale. Pass an empty slice to return to purely local
+    /// contention. No effect when `lcof` is off (the ablations order by
+    /// FIFO and must stay contention-blind).
+    pub fn set_remote_contention(&mut self, entries: &[(CoflowId, u32)]) {
+        self.remote_k.clear();
+        for &(id, add) in entries {
+            if add > 0 {
+                self.remote_k.insert(id, add);
+            }
+        }
+    }
+
+    /// Exports this scheduler's contention state as a
+    /// [`crate::summary::ContentionSummary`] for partitioned sharding:
+    /// per-port occupancy and per-queue aggregates from the incremental
+    /// tracker, queue assignments from the per-CoFlow state map.
+    /// `port_rates` is left for the caller (it depends on the emitted
+    /// slice, which the scheduler does not retain). Meaningful only
+    /// when `incremental_contention` and `lcof` are on — otherwise the
+    /// tracker is idle and the export is empty.
+    pub fn export_summary(
+        &self,
+        shard: u32,
+        round: u64,
+        out: &mut crate::summary::ContentionSummary,
+    ) {
+        out.clear();
+        out.shard = shard;
+        out.round = round;
+        let state = &self.state;
+        self.tracker.export_summary(
+            |id| state.get(&id).map(|s| s.queue).unwrap_or(0),
+            self.cfg.queues.num_queues,
+            out,
+        );
     }
 
     /// Speculatively probes every CoFlow's gang rate against the
@@ -587,6 +634,16 @@ impl CoflowScheduler for Saath {
         } else {
             self.k.clear();
             self.k.resize(n, 0);
+        }
+        // Partitioned sharding: fold in the remote-shard contention
+        // addends *after* the local oracle check — the oracle only
+        // covers CoFlows in this (possibly partial) view.
+        if self.cfg.lcof && !self.remote_k.is_empty() {
+            for (i, c) in view.coflows.iter().enumerate() {
+                if let Some(&add) = self.remote_k.get(&c.id) {
+                    self.k[i] = self.k[i].saturating_add(add);
+                }
+            }
         }
         self.timings.record_contention(t_contention.elapsed());
 

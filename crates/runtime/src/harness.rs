@@ -7,7 +7,7 @@ use crate::coordinator::{
     run_coordinator_with_telemetry, CoflowRegistry, CoordinatorConfig, CoordinatorReport,
 };
 use crate::metrics::{MetricsHub, MetricsServer};
-use crate::shard::{run_shard, run_sharded_coordinator, ShardFailover};
+use crate::shard::{run_partitioned_shard, run_shard, run_sharded_coordinator, ShardFailover};
 use crate::transport::{inproc_pair, TcpTransport, Transport};
 use saath_core::view::CoflowScheduler;
 use saath_simcore::{Duration, Time};
@@ -50,6 +50,16 @@ pub struct EmulationConfig {
     /// Kill shard 0 at this simulated time and swap in a pre-spawned
     /// standby replica (sharded failover drill; requires `shards ≥ 2`).
     pub restart_shard_at: Option<Time>,
+    /// Partition the scheduling compute across the shards instead of
+    /// replicating it: each shard schedules only its owned CoFlows
+    /// against bounded-staleness contention summaries from its peers
+    /// (see [`crate::shard::run_partitioned_shard`]). Requires
+    /// `shards ≥ 2` and `staleness ≥ 1`; the default Saath policy is
+    /// used per shard (`make_sched` is ignored in this mode).
+    pub partitioned: bool,
+    /// Summary refresh period in reconciliation epochs (partitioned
+    /// mode only).
+    pub staleness: u64,
     /// Wall-clock watchdog for the whole emulation.
     pub wall_deadline: std::time::Duration,
     /// Serve live Prometheus metrics at this address for the duration
@@ -70,6 +80,8 @@ impl Default for EmulationConfig {
             restart_coordinator_at: None,
             shards: 1,
             restart_shard_at: None,
+            partitioned: false,
+            staleness: 1,
             wall_deadline: std::time::Duration::from_secs(60),
             metrics_addr: None,
         }
@@ -145,6 +157,15 @@ pub fn emulate(
     assert!(
         cfg.restart_shard_at.is_none() || cfg.shards >= 2,
         "the shard failover drill needs shards >= 2"
+    );
+    assert!(
+        !cfg.partitioned || (cfg.shards >= 2 && cfg.staleness >= 1),
+        "partitioned mode needs shards >= 2 and staleness >= 1"
+    );
+    assert!(
+        !cfg.partitioned || cfg.restart_shard_at.is_none(),
+        "the standby-swap drill is a replicated-mode feature; partitioned \
+         shards rebuild via the reconciler's global rebuild instead"
     );
 
     // Dense flow ids in trace order; each flow is owned by its sender.
@@ -229,6 +250,9 @@ pub fn emulate(
         let registry_ref = &registry;
         let clairvoyant = cfg.clairvoyant;
         let shards = cfg.shards;
+        let partitioned = cfg.partitioned;
+        let staleness = cfg.staleness;
+        let hub_ref = hub.as_deref();
         std::thread::scope(|s| {
             let shard_handles: Vec<_> = shard_sides
                 .into_iter()
@@ -238,7 +262,20 @@ pub fn emulate(
                     // replica of shard 0, idle until swapped in.
                     let shard = if i < shards { i } else { 0 };
                     s.spawn(move || {
-                        run_shard(shard, shards, registry_ref, make_sched, link, clairvoyant)
+                        if partitioned {
+                            run_partitioned_shard(
+                                shard,
+                                shards,
+                                staleness,
+                                registry_ref,
+                                saath_core::SaathConfig::default(),
+                                link,
+                                clairvoyant,
+                                hub_ref,
+                            )
+                        } else {
+                            run_shard(shard, shards, registry_ref, make_sched, link, clairvoyant)
+                        }
                     })
                 })
                 .collect();
@@ -468,6 +505,49 @@ mod tests {
         assert!(!report.coordinator.timed_out);
         assert_eq!(report.coordinator.records.len(), 4);
         assert_eq!(report.shard_epochs.len(), 2);
+    }
+
+    /// Partitioned mode over the real transport stack: every CoFlow
+    /// completes, every shard computes rounds, and the metrics plane
+    /// carries the summary-exchange families.
+    #[test]
+    fn partitioned_emulation_completes_with_summary_metrics() {
+        let trace = small_trace(6);
+        let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap();
+        drop(probe);
+        let cfg = EmulationConfig {
+            shards: 2,
+            partitioned: true,
+            staleness: 2,
+            metrics_addr: Some(addr.to_string()),
+            ..Default::default()
+        };
+        let report = emulate(&trace, &|| Box::new(Saath::with_defaults()), &cfg);
+        assert!(
+            !report.coordinator.timed_out,
+            "partitioned emulation timed out"
+        );
+        assert_eq!(report.coordinator.records.len(), 6);
+        assert_eq!(report.shard_epochs.len(), 2);
+        assert!(report.shard_epochs.iter().all(|&e| e > 0));
+        let page = report.metrics.expect("metrics_addr set");
+        assert!(
+            page.contains("saath_summary_bytes_exchanged_total"),
+            "summaries never crossed the shard boundary:\n{page}"
+        );
+        assert!(page.contains("# TYPE saath_summary_age_rounds gauge"));
+    }
+
+    #[test]
+    #[should_panic(expected = "partitioned mode needs shards >= 2")]
+    fn partitioned_without_shards_is_rejected() {
+        let trace = small_trace(1);
+        let cfg = EmulationConfig {
+            partitioned: true,
+            ..Default::default()
+        };
+        let _ = emulate(&trace, &|| Box::new(Saath::with_defaults()), &cfg);
     }
 
     #[test]

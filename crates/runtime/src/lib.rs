@@ -41,5 +41,8 @@ pub mod transport;
 pub use clock::EmuClock;
 pub use harness::{emulate, EmulationConfig, EmulationReport, TransportKind};
 pub use metrics::{MetricsHub, MetricsServer};
-pub use shard::{merge_rates, run_shard, run_sharded_coordinator, ShardFailover, ShardedScheduler};
+pub use shard::{
+    merge_rates, run_partitioned_shard, run_shard, run_sharded_coordinator, ShardFailover,
+    ShardedScheduler,
+};
 pub use transport::TransportStats;

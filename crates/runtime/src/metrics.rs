@@ -98,6 +98,18 @@ const FAMILY_HELP: &[(&str, &str)] = &[
         "saath_shard_replica_lag_epochs",
         "Reconciler epoch minus the shard's last fresh slice epoch",
     ),
+    (
+        "saath_summary_bytes_exchanged_total",
+        "Contention-summary bytes shipped between partitioned shards",
+    ),
+    (
+        "saath_summary_age_rounds",
+        "Rounds since the shard last exported its contention summary",
+    ),
+    (
+        "saath_stale_order_decisions_total",
+        "CoFlows ordered against summaries older than one round",
+    ),
 ];
 
 /// Which families are gauges (everything else in [`FAMILY_HELP`] is a
@@ -107,6 +119,7 @@ const GAUGES: &[&str] = &[
     "saath_active_coflows",
     "saath_completed_coflows",
     "saath_shard_replica_lag_epochs",
+    "saath_summary_age_rounds",
 ];
 
 #[derive(Default)]

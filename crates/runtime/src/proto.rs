@@ -14,6 +14,7 @@
 //! that economy is why its local agents cost ~1.7 MB of memory (§7.3).
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use saath_core::summary::ContentionSummary;
 
 /// Protocol version byte; bumped on any incompatible change.
 pub const VERSION: u8 = 1;
@@ -99,6 +100,17 @@ pub enum Message {
         /// sharded equivalent of the §5 single-coordinator restart).
         rebuild: bool,
     },
+    /// One shard's bounded-staleness contention summary (partitioned
+    /// mode only; shard → reconciler, which rebroadcasts it to every
+    /// other shard). Carried verbatim — the simulator's
+    /// `summary_bytes_exchanged` accounting assumes this framing, so
+    /// [`ContentionSummary::encoded_len`] and this codec must agree
+    /// (roundtrip-tested below).
+    ContentionSummary {
+        /// The exported summary; its `shard`/`round` fields identify
+        /// the sender and its scheduling round.
+        summary: ContentionSummary,
+    },
     /// Orderly shutdown (harness → everyone).
     Shutdown,
 }
@@ -135,6 +147,7 @@ const T_SCHEDULE: u8 = 3;
 const T_SHUTDOWN: u8 = 4;
 const T_SHARD_SCHEDULE: u8 = 5;
 const T_RECONCILE: u8 = 6;
+const T_CONTENTION_SUMMARY: u8 = 7;
 
 impl Message {
     /// Exact frame-body length (everything after the 4-byte prefix)
@@ -147,6 +160,7 @@ impl Message {
             Message::Schedule { rates, .. } => 12 + 12 * rates.len(),
             Message::ShardSchedule { rates, .. } => 16 + 12 * rates.len(),
             Message::Reconcile { .. } => 17,
+            Message::ContentionSummary { summary } => summary.encoded_len(),
             Message::Shutdown => 0,
         }
     }
@@ -216,6 +230,29 @@ impl Message {
                 body.put_u64(*epoch);
                 body.put_u64(*now_ns);
                 body.put_u8(u8::from(*rebuild));
+            }
+            Message::ContentionSummary { summary } => {
+                body.put_u8(T_CONTENTION_SUMMARY);
+                body.put_u32(summary.shard);
+                body.put_u64(summary.round);
+                body.put_u32(summary.port_coflows.len() as u32);
+                for &(p, c) in &summary.port_coflows {
+                    body.put_u32(p);
+                    body.put_u32(c);
+                }
+                body.put_u32(summary.port_rates.len() as u32);
+                for &(p, r) in &summary.port_rates {
+                    body.put_u32(p);
+                    body.put_u64(r);
+                }
+                body.put_u32(summary.queue_coflows.len() as u32);
+                for &c in &summary.queue_coflows {
+                    body.put_u32(c);
+                }
+                body.put_u32(summary.queue_kc_sum.len() as u32);
+                for &s in &summary.queue_kc_sum {
+                    body.put_u64(s);
+                }
             }
             Message::Shutdown => {
                 body.put_u8(T_SHUTDOWN);
@@ -327,6 +364,55 @@ impl Message {
                     rebuild,
                 })
             }
+            T_CONTENTION_SUMMARY => {
+                need(&body, 16)?;
+                let mut summary = ContentionSummary {
+                    shard: body.get_u32(),
+                    round: body.get_u64(),
+                    ..Default::default()
+                };
+                let n = body.get_u32() as usize;
+                if n > MAX_FRAME / 8 {
+                    return Err(ProtoError::Oversized(n));
+                }
+                need(&body, n * 8 + 4)?;
+                summary.port_coflows.reserve(n);
+                for _ in 0..n {
+                    let p = body.get_u32();
+                    let c = body.get_u32();
+                    summary.port_coflows.push((p, c));
+                }
+                let n = body.get_u32() as usize;
+                if n > MAX_FRAME / 12 {
+                    return Err(ProtoError::Oversized(n));
+                }
+                need(&body, n * 12 + 4)?;
+                summary.port_rates.reserve(n);
+                for _ in 0..n {
+                    let p = body.get_u32();
+                    let r = body.get_u64();
+                    summary.port_rates.push((p, r));
+                }
+                let n = body.get_u32() as usize;
+                if n > MAX_FRAME / 4 {
+                    return Err(ProtoError::Oversized(n));
+                }
+                need(&body, n * 4 + 4)?;
+                summary.queue_coflows.reserve(n);
+                for _ in 0..n {
+                    summary.queue_coflows.push(body.get_u32());
+                }
+                let n = body.get_u32() as usize;
+                if n > MAX_FRAME / 8 {
+                    return Err(ProtoError::Oversized(n));
+                }
+                need(&body, n * 8)?;
+                summary.queue_kc_sum.reserve(n);
+                for _ in 0..n {
+                    summary.queue_kc_sum.push(body.get_u64());
+                }
+                Ok(Message::ContentionSummary { summary })
+            }
             T_SHUTDOWN => Ok(Message::Shutdown),
             other => Err(ProtoError::BadType(other)),
         }
@@ -407,6 +493,19 @@ mod tests {
                     ready: false,
                 },
             ],
+        });
+        roundtrip(Message::ContentionSummary {
+            summary: ContentionSummary {
+                shard: 3,
+                round: 17,
+                port_coflows: vec![(0, 2), (9, 1)],
+                port_rates: vec![(0, 125_000_000), (9, 1)],
+                queue_coflows: vec![1, 0, 2],
+                queue_kc_sum: vec![4, 0, 9],
+            },
+        });
+        roundtrip(Message::ContentionSummary {
+            summary: ContentionSummary::default(),
         });
         roundtrip(Message::Schedule {
             epoch: 42,

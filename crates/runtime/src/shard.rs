@@ -46,31 +46,10 @@ use saath_simcore::{FlowId, PortId, Rate, Time};
 use saath_telemetry::prom::label_body;
 use saath_telemetry::{Counter, Phase, Telemetry};
 
-/// Merges shard slices into one feasible schedule: entries are sorted
-/// by flow id (the deterministic total order) and each rate is clamped
-/// to the remaining capacity of the flow's two ports. Returns the
-/// number of clamped entries — zero whenever the slices came from
-/// agreeing replicas.
-pub fn merge_rates(
-    entries: &mut [(FlowId, Rate, PortId, PortId)],
-    bank: &mut PortBank,
-    out: &mut Schedule,
-) -> u64 {
-    entries.sort_unstable_by_key(|(f, ..)| *f);
-    let mut clamps = 0u64;
-    for &(flow, rate, src, dst) in entries.iter() {
-        let give = rate.min(bank.remaining(src)).min(bank.remaining(dst));
-        if give < rate {
-            clamps += 1;
-        }
-        if !give.is_zero() {
-            bank.allocate(src, give);
-            bank.allocate(dst, give);
-            out.set(flow, give);
-        }
-    }
-    clamps
-}
+// The slice merge itself lives in `saath_core::merge` so the
+// simulator's in-process sharded schedulers and this reconciler share
+// one implementation; re-exported here for API continuity.
+pub use saath_core::merge::merge_rates;
 
 /// A [`CoflowScheduler`] that runs K policy replicas and merges their
 /// owned slices — the simulator-domain model of the sharded
@@ -290,6 +269,183 @@ pub fn run_shard(
     }
 }
 
+/// Runs one *partitioned* coordinator shard: unlike [`run_shard`] it
+/// schedules only the CoFlows it owns, against the latest
+/// [`Message::ContentionSummary`] from each peer (rebroadcast by the
+/// reconciler). Every `staleness` reconciliation epochs it exports its
+/// own summary — sent *before* the slice reply so the reconciler
+/// rebroadcasts it while collecting. `staleness == 0` degenerates to
+/// [`run_shard`]'s full-replica behavior (call that instead; this
+/// asserts S ≥ 1). Returns the number of rounds computed.
+#[allow(clippy::too_many_arguments)]
+pub fn run_partitioned_shard(
+    shard: usize,
+    shards: usize,
+    staleness: u64,
+    registry: &CoflowRegistry,
+    cfg: saath_core::SaathConfig,
+    mut link: Box<dyn Transport>,
+    clairvoyant: bool,
+    hub: Option<&MetricsHub>,
+) -> Result<u64, TransportError> {
+    use saath_core::summary::{port_rates_of_slice, remote_contention, ContentionSummary};
+    assert!(staleness >= 1, "S = 0 is run_shard's replicated mode");
+    assert!(
+        cfg.incremental_contention && cfg.lcof,
+        "partitioned mode requires incremental_contention and lcof"
+    );
+    let mut sched = saath_core::Saath::new(cfg.clone());
+    let mut state = ObsState::new(registry);
+    let mut views: Vec<CoflowView> = Vec::new();
+    let mut owned_views: Vec<CoflowView> = Vec::new();
+    let mut bank = PortBank::uniform(registry.num_nodes, registry.port_rate);
+    let mut out = Schedule::default();
+    let owners = flow_owners(registry, shards);
+    let endpoints = flow_endpoints(registry);
+    let mut summaries: Vec<ContentionSummary> = vec![ContentionSummary::default(); shards];
+    let mut own_summary = ContentionSummary::default();
+    let mut entries: Vec<(FlowId, Rate, PortId, PortId)> = Vec::new();
+    let mut remote_buf: Vec<(saath_simcore::CoflowId, u32)> = Vec::new();
+    let mut port_scratch: Vec<u32> = Vec::new();
+    let mut last_export_round: Option<u64> = None;
+    let mut rounds = 0u64;
+    let labels = label_body(&[("shard", &shard.to_string())]);
+    loop {
+        match link.recv_timeout(std::time::Duration::from_millis(50)) {
+            Ok(Some(Message::Stats { now_ns, flows, .. })) => {
+                state.ingest(&flows, Time(now_ns));
+            }
+            Ok(Some(Message::ContentionSummary { summary })) => {
+                let s = summary.shard as usize;
+                if s < shards && s != shard {
+                    summaries[s] = summary;
+                }
+            }
+            Ok(Some(Message::Reconcile {
+                epoch,
+                now_ns,
+                rebuild,
+            })) => {
+                if rebuild {
+                    // A peer restarted: every shard rebuilds, and stale
+                    // summaries from before the rebuild are dropped.
+                    sched = saath_core::Saath::new(cfg.clone());
+                    for s in &mut summaries {
+                        s.clear();
+                    }
+                    last_export_round = None;
+                }
+                let now = Time(now_ns);
+                state.sweep(registry, now);
+                state.build_views(registry, now, clairvoyant, &mut views);
+                owned_views.clear();
+                owned_views.extend(
+                    views
+                        .iter()
+                        .filter(|c| shard_of(c.id, shards) == shard)
+                        .cloned(),
+                );
+                rounds += 1;
+                out.clear();
+                if !owned_views.is_empty() {
+                    // Remote k_c addends from the latest summaries.
+                    remote_buf.clear();
+                    for c in &owned_views {
+                        let add = remote_contention(
+                            c,
+                            registry.num_nodes,
+                            &summaries,
+                            shard as u32,
+                            &mut port_scratch,
+                        );
+                        if add > 0 {
+                            remote_buf.push((c.id, add));
+                        }
+                    }
+                    sched.set_remote_contention(&remote_buf);
+                    // Pre-charge every peer's claimed port capacity,
+                    // down to a reserve of capacity/K per port so
+                    // backoff stays partial and no peer can monopolize
+                    // a hot port (see `saath_simulator::partitioned`).
+                    bank.reset_round();
+                    for t in (0..shards).filter(|&t| t != shard) {
+                        for &(p, r) in &summaries[t].port_rates {
+                            let pid = PortId(p);
+                            let reserve = bank.capacity(pid).as_u64() / shards as u64;
+                            let chargeable =
+                                Rate(bank.remaining(pid).as_u64().saturating_sub(reserve));
+                            let give = Rate(r).min(chargeable);
+                            if !give.is_zero() {
+                                bank.allocate(pid, give);
+                            }
+                        }
+                    }
+                    let view = ClusterView {
+                        now,
+                        num_nodes: registry.num_nodes,
+                        coflows: &owned_views,
+                        changed: None,
+                    };
+                    sched.compute(&view, &mut bank, &mut out);
+                }
+                if let Some(h) = hub {
+                    let age = last_export_round.map(|e| rounds - e).unwrap_or(rounds);
+                    h.set("saath_summary_age_rounds", &labels, age);
+                    if last_export_round.map(|e| rounds - e > 1).unwrap_or(true) {
+                        h.incr(
+                            "saath_stale_order_decisions_total",
+                            &labels,
+                            owned_views.len() as u64,
+                        );
+                    }
+                }
+                let due = match last_export_round {
+                    None => true,
+                    Some(e) => rounds - e >= staleness,
+                };
+                if due {
+                    entries.clear();
+                    for &(f, r) in &out.rates {
+                        let (src, dst) = endpoints[f.0 as usize];
+                        entries.push((f, r, src, dst));
+                    }
+                    sched.export_summary(shard as u32, rounds, &mut own_summary);
+                    port_rates_of_slice(&entries, &mut own_summary.port_rates);
+                    if let Some(h) = hub {
+                        h.incr(
+                            "saath_summary_bytes_exchanged_total",
+                            &labels,
+                            (own_summary.encoded_len() * shards.saturating_sub(1)) as u64,
+                        );
+                    }
+                    link.send(&Message::ContentionSummary {
+                        summary: own_summary.clone(),
+                    })?;
+                    last_export_round = Some(rounds);
+                }
+                let rates: Vec<RateAssignment> = out
+                    .rates
+                    .iter()
+                    .filter(|(f, _)| owners[f.0 as usize] == shard as u32)
+                    .map(|(f, r)| RateAssignment {
+                        flow: f.0,
+                        rate: r.as_u64(),
+                    })
+                    .collect();
+                link.send(&Message::ShardSchedule {
+                    shard: shard as u32,
+                    epoch,
+                    rates,
+                })?;
+            }
+            Ok(Some(Message::Shutdown)) => return Ok(rounds),
+            Ok(Some(_)) | Ok(None) => {}
+            Err(TransportError::Disconnected) => return Ok(rounds),
+            Err(e) => return Err(e),
+        }
+    }
+}
+
 /// Kill-and-respawn drill for one shard: at simulated time `at` the
 /// reconciler shuts the shard's link down and swaps in `spare` — a
 /// pre-connected link to a standby replica of the same shard — then
@@ -479,7 +635,8 @@ pub fn run_sharded_coordinator(
             // from rounds that previously timed out.
             let deadline = std::time::Instant::now() + reply_budget;
             let mut got: Vec<Option<Vec<RateAssignment>>> = (0..shards).map(|_| None).collect();
-            for l in shard_links.iter_mut() {
+            let mut rebroadcast: Vec<Message> = Vec::new();
+            for (li, l) in shard_links.iter_mut().enumerate() {
                 loop {
                     let left = deadline.saturating_duration_since(std::time::Instant::now());
                     match l.recv_timeout(left) {
@@ -494,8 +651,32 @@ pub fn run_sharded_coordinator(
                             }
                             // Stale — keep draining within the budget.
                         }
+                        Ok(Some(Message::ContentionSummary { summary })) => {
+                            // Partitioned shards export these before
+                            // their slice reply; relay to every *other*
+                            // shard once this collect pass is done.
+                            if let Some(h) = hub {
+                                h.incr(
+                                    "saath_summary_bytes_exchanged_total",
+                                    &shard_labels[li],
+                                    (summary.encoded_len() * shards.saturating_sub(1)) as u64,
+                                );
+                            }
+                            rebroadcast.push(Message::ContentionSummary { summary });
+                        }
                         Ok(Some(_)) | Ok(None) => break,
                         Err(_) => break,
+                    }
+                }
+            }
+            for m in &rebroadcast {
+                let from = match m {
+                    Message::ContentionSummary { summary } => summary.shard as usize,
+                    _ => unreachable!("only summaries are queued for relay"),
+                };
+                for (i, l) in shard_links.iter_mut().enumerate() {
+                    if i != from {
+                        let _ = l.send(m);
                     }
                 }
             }
@@ -538,7 +719,11 @@ pub fn run_sharded_coordinator(
             }
             bank.reset_round();
             out.clear();
-            let clamps = merge_rates(&mut entries, &mut bank, &mut out);
+            // Rotated by epoch: a no-op for agreeing replicas (zero
+            // clamps), but spreads clamp damage across flows when
+            // partitioned shards overcommit on stale summaries.
+            let clamps =
+                saath_core::merge::merge_rates_rotated(&mut entries, &mut bank, &mut out, epochs);
             drop(span_reconcile);
             if let Some(h) = hub {
                 if clamps > 0 {

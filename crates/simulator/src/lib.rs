@@ -31,6 +31,7 @@
 #![forbid(unsafe_code)]
 
 pub mod engine;
+pub mod partitioned;
 pub mod policy;
 pub(crate) mod snapshot;
 
@@ -38,4 +39,5 @@ pub use engine::{
     simulate, simulate_reference, simulate_resumable, simulate_with_telemetry, ReplayHooks,
     SimConfig, SimError, SimOutput,
 };
+pub use partitioned::PartitionedScheduler;
 pub use policy::{run_policy, Policy};
