@@ -21,7 +21,11 @@
 //!                  to --out PATH (offline stand-in for the published trace)
 //!   emulate        thread-per-node runtime emulation with a live Prometheus
 //!                  /metrics endpoint (default 127.0.0.1:0; see
-//!                  --metrics-addr / --metrics-out)
+//!                  --metrics-addr / --metrics-out); with --multiplex,
+//!                  runs the readiness-driven host sweep instead:
+//!                  cluster sizes up to --nodes, agents multiplexed on
+//!                  at most 64 host threads (writes
+//!                  BENCH_emulate_scale.json unless --small)
 //!   verify PATH    stream a recorded event log through the O(1)-memory
 //!                  hash-chain verifier; exits 1 (naming the first bad
 //!                  round) if the chain is broken
@@ -40,7 +44,10 @@
 //!   --trace PATH   use a real coflow-benchmark file for the FB workload
 //!   --out PATH     gen-trace output path (default fb_trace.txt)
 //!   --scale N      emulation time scale for fig15/fig16 (default 50)
-//!   --nodes N      emulation node cap for fig15/fig16 (default 40)
+//!   --nodes N      emulation node cap for fig15/fig16 (default 40);
+//!                  with emulate --multiplex, the sweep's largest point
+//!   --multiplex    emulate only: readiness-driven multiplexed host
+//!                  sweep (O(hosts) threads, not one per node)
 //!   --shards K     scale only: max coordinator shard count for the
 //!                  shard-scaling sweep (default 4; 1 disables it)
 //!   --partitioned  scale only: also sweep the partitioned-compute mode
@@ -89,7 +96,7 @@ fn arg_value(args: &[String], key: &str) -> Option<String> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let what = args.first().cloned().unwrap_or_else(|| {
-        eprintln!("usage: repro <fig2|fig3|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|fig17|table2|dynamics|epoch|scale|trace|emulate|gen-trace|verify|diff|bench-diff|all> [--seed N] [--panel P] [--trace PATH] [--out PATH] [--scale N] [--nodes N] [--shards K] [--partitioned] [--staleness S] [--small] [--json] [--log PATH] [--snapshot-every N] [--resume-from PATH] [--metrics-out PATH] [--metrics-addr ADDR] [--tolerance-pct N]");
+        eprintln!("usage: repro <fig2|fig3|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|fig17|table2|dynamics|epoch|scale|trace|emulate|gen-trace|verify|diff|bench-diff|all> [--seed N] [--panel P] [--trace PATH] [--out PATH] [--scale N] [--nodes N] [--shards K] [--partitioned] [--staleness S] [--multiplex] [--small] [--json] [--log PATH] [--snapshot-every N] [--resume-from PATH] [--metrics-out PATH] [--metrics-addr ADDR] [--tolerance-pct N]");
         std::process::exit(2);
     });
     let seed: u64 = arg_value(&args, "--seed")
@@ -108,6 +115,7 @@ fn main() {
         .max(1);
     let partitioned = args.iter().any(|a| a == "--partitioned");
     let staleness: Option<u64> = arg_value(&args, "--staleness").and_then(|v| v.parse().ok());
+    let multiplex = args.iter().any(|a| a == "--multiplex");
     let small = args.iter().any(|a| a == "--small");
     let json = args.iter().any(|a| a == "--json");
     let log_opts = figs::LogOptions {
@@ -242,14 +250,18 @@ fn main() {
                 metrics_out.as_deref(),
             )),
             "trace" => Some(figs::trace_diag(lab, small)),
-            "emulate" => Some(figs::emulate_cmd(
-                lab,
-                scale,
-                nodes,
-                shards,
-                arg_value(&args, "--metrics-addr"),
-                metrics_out.as_deref(),
-            )),
+            "emulate" => Some(if multiplex {
+                figs::emulate_scale_cmd(lab, scale, nodes, small, json)
+            } else {
+                figs::emulate_cmd(
+                    lab,
+                    scale,
+                    nodes,
+                    shards,
+                    arg_value(&args, "--metrics-addr"),
+                    metrics_out.as_deref(),
+                )
+            }),
             _ => None,
         }
     };

@@ -1063,6 +1063,145 @@ pub fn emulate_cmd(
     out
 }
 
+/// **emulate --multiplex** — the readiness-driven host sweep: emulated
+/// cluster sizes up to `--nodes`, each run multiplexing the agents
+/// onto at most 64 host threads ([`saath_runtime::run_agent_host`])
+/// instead of one thread per node. The workload is a synthetic
+/// width-2 coflow set spread across the whole port range, so schedule
+/// pushes and stats traverse many hosts while the active flow count
+/// stays bounded — the sweep measures the host fabric (thread count,
+/// shared links, readiness loop, hello wave), not the scheduler.
+/// Writes `BENCH_emulate_scale.json` (skipped for `small` smoke runs);
+/// with `json`, returns the JSON document instead of the table.
+pub fn emulate_scale_cmd(
+    lab: &Lab,
+    scale: u64,
+    nodes_cap: usize,
+    small: bool,
+    json: bool,
+) -> String {
+    use saath_runtime::{emulate, EmulationConfig};
+    use saath_simcore::{Bytes, CoflowId, NodeId, Rate, Time};
+    use saath_workload::{CoflowSpec, FlowSpec, Trace};
+
+    /// Host-thread ceiling: every sweep point runs on at most this
+    /// many agent threads, whatever its node count.
+    const MAX_HOSTS: usize = 64;
+
+    let top = nodes_cap.max(8);
+    let mut points = vec![top.div_ceil(25).max(8), top.div_ceil(5).max(8), top];
+    points.sort_unstable();
+    points.dedup();
+    let n_coflows = if small { 4 } else { 16 };
+    let flow_mb = if small { 5 } else { 20 };
+
+    let synth = |nodes: usize| -> Trace {
+        let half = (nodes / 2).max(1);
+        let coflows = (0..n_coflows)
+            .map(|i| {
+                let src = (i * 97) % half;
+                let dst = half + (i * 131) % (nodes - half).max(1);
+                CoflowSpec::new(
+                    CoflowId(i as u32),
+                    Time::from_millis(100 * i as u64),
+                    vec![
+                        FlowSpec::new(NodeId(src as u32), NodeId(dst as u32), Bytes::mb(flow_mb)),
+                        FlowSpec::new(
+                            NodeId(((i * 53 + 1) % half) as u32),
+                            NodeId(dst as u32),
+                            Bytes::mb(flow_mb),
+                        ),
+                    ],
+                )
+            })
+            .collect();
+        Trace {
+            num_nodes: nodes,
+            port_rate: Rate::gbps(1),
+            coflows,
+        }
+    };
+
+    let mut t = Table::new(
+        "Multiplexed emulation sweep — N emulated ports on O(hosts) threads",
+        &[
+            "nodes",
+            "hosts",
+            "agents/host",
+            "coflows",
+            "completed",
+            "epochs",
+            "wall ms",
+        ],
+    );
+    let mut docs = Vec::new();
+    for &nodes in &points {
+        let per_host = nodes.div_ceil(MAX_HOSTS);
+        let hosts = nodes.div_ceil(per_host);
+        let trace = synth(nodes);
+        let cfg = EmulationConfig {
+            scale,
+            multiplex: per_host,
+            wall_deadline: std::time::Duration::from_secs(600),
+            ..Default::default()
+        };
+        let t0 = std::time::Instant::now();
+        let report = emulate(
+            &trace,
+            &|| Box::new(saath_core::Saath::with_defaults()),
+            &cfg,
+        );
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert!(
+            !report.coordinator.timed_out,
+            "emulate sweep point {nodes} hit the wall deadline"
+        );
+        let completed = report.coordinator.records.len();
+        assert_eq!(
+            completed,
+            trace.coflows.len(),
+            "emulate sweep point {nodes} lost coflows"
+        );
+        eprintln!(
+            "[emulate-scale] {nodes} nodes on {hosts} hosts ({per_host}/host): \
+             {completed} coflows in {wall_ms:.0} ms"
+        );
+        t.row(&[
+            nodes.to_string(),
+            hosts.to_string(),
+            per_host.to_string(),
+            trace.coflows.len().to_string(),
+            completed.to_string(),
+            report.coordinator.epochs.to_string(),
+            format!("{wall_ms:.1}"),
+        ]);
+        docs.push(format!(
+            "    {{\n      \"nodes\": {nodes},\n      \"hosts\": {hosts},\n      \
+             \"agents_per_host\": {per_host},\n      \"coflows\": {},\n      \
+             \"completed\": {completed},\n      \"epochs\": {},\n      \
+             \"wall_ms\": {wall_ms:.1}\n    }}",
+            trace.coflows.len(),
+            report.coordinator.epochs,
+        ));
+    }
+    let json_doc = format!(
+        "{{\n  \"experiment\": \"emulate_scale\",\n  \"seed\": {},\n  \
+         \"scale\": {scale},\n  \"transport\": \"inproc\",\n  \
+         \"max_hosts\": {MAX_HOSTS},\n  \"points\": [\n{}\n  ]\n}}\n",
+        lab.seed(),
+        docs.join(",\n"),
+    );
+    if !small {
+        if let Err(e) = std::fs::write("BENCH_emulate_scale.json", &json_doc) {
+            eprintln!("warning: could not write BENCH_emulate_scale.json: {e}");
+        }
+    }
+    if json {
+        return json_doc;
+    }
+    t.render()
+}
+
 /// **Epoch loop** — not a paper figure: the wall-clock baseline of the
 /// incremental simulation engine against the recompute-everything
 /// reference loop it replaced, on an FB-like workload grown to ≥ 10k

@@ -11,6 +11,14 @@
 //! prescribes. Stale *and duplicate* pushes (epoch ≤ the last applied
 //! one) are ignored, which makes agent behaviour correct across
 //! coordinator restarts and idempotent under retransmitted pushes.
+//!
+//! The per-agent state machine lives in [`AgentCore`], a plain value
+//! with no transport or thread of its own: `on_message` folds in a
+//! schedule push, `advance` moves the emulated NIC to `now`, and
+//! `take_stats` emits the δ-interval report when one is due. The
+//! classic one-thread-per-agent driver ([`run_agent`]) and the
+//! multiplexed [`crate::host::run_agent_host`] event loop both drive
+//! the same core, so the two wirings cannot drift behaviourally.
 
 use crate::clock::EmuClock;
 use crate::metrics::MetricsHub;
@@ -40,6 +48,143 @@ struct LiveFlow {
     rate: Rate,
 }
 
+/// The per-agent state machine: NIC byte counters, the last applied
+/// schedule epoch, and δ-report bookkeeping. Transport-agnostic — the
+/// caller owns the link and the clock and feeds in messages and `now`.
+pub struct AgentCore {
+    node: u32,
+    live: Vec<LiveFlow>,
+    last_epoch: u64,
+    epochs_applied: u64,
+    last_advance: Time,
+    /// `None` until the first report is sent — distinguishing "never
+    /// reported" from "reported at simulated time zero", so an agent
+    /// started before the emulated clock moves off zero reports once,
+    /// not once per loop iteration.
+    last_report: Option<Time>,
+    delta: Duration,
+}
+
+impl AgentCore {
+    /// Builds the state machine for `node` owning `flows`, reporting
+    /// every `delta`. `now` seeds the NIC's last-advance mark.
+    pub fn new(node: u32, flows: Vec<AgentFlow>, delta: Duration, now: Time) -> AgentCore {
+        let mut live: Vec<LiveFlow> = flows
+            .into_iter()
+            .map(|spec| LiveFlow {
+                spec,
+                sent: Bytes::ZERO,
+                rate: Rate::ZERO,
+            })
+            .collect();
+        live.sort_by_key(|f| f.spec.flow);
+        AgentCore {
+            node,
+            live,
+            last_epoch: 0,
+            epochs_applied: 0,
+            last_advance: now,
+            last_report: None,
+            delta,
+        }
+    }
+
+    /// The node this agent emulates.
+    pub fn node(&self) -> u32 {
+        self.node
+    }
+
+    /// Schedule epochs applied so far (diagnostics).
+    pub fn epochs_applied(&self) -> u64 {
+        self.epochs_applied
+    }
+
+    /// The agent's opening handshake frame.
+    pub fn hello(&self) -> Message {
+        Message::Hello { node: self.node }
+    }
+
+    /// Folds one inbound message into the state machine. Returns
+    /// `true` when the message was a [`Message::Shutdown`] and the
+    /// caller should stop driving this agent.
+    pub fn on_message(&mut self, m: &Message, hub: Option<&MetricsHub>) -> bool {
+        match m {
+            Message::Schedule { epoch, rates } => {
+                // Strictly newer wins: a duplicated push of the same
+                // epoch (retransmit, shard fan-out) must be a no-op,
+                // not double-counted in `epochs_applied`.
+                if *epoch > self.last_epoch {
+                    self.last_epoch = *epoch;
+                    self.epochs_applied += 1;
+                    let _span = hub.map(|h| h.span(Phase::AgentApply));
+                    apply_schedule(&mut self.live, rates);
+                }
+                false
+            }
+            Message::Shutdown => true,
+            _ => false,
+        }
+    }
+
+    /// Advances the emulated NIC to `now`, crediting each flow
+    /// `rate × elapsed` bytes. The credited interval is clamped per
+    /// flow to `now - max(last_advance, ready_at)`: a flow whose data
+    /// became ready mid-tick earns bytes only for the portion of the
+    /// tick it was actually ready, instead of a full `dt` of
+    /// pre-ready transfer.
+    pub fn advance(&mut self, now: Time) {
+        let last = self.last_advance;
+        self.last_advance = now;
+        for f in &mut self.live {
+            if f.rate.is_zero() || f.sent >= f.spec.size || now < f.spec.ready_at {
+                continue;
+            }
+            let dt = now.saturating_since(last.max(f.spec.ready_at));
+            f.sent = (f.sent + bytes_in(f.rate, dt)).min(f.spec.size);
+        }
+    }
+
+    /// Whether a δ-interval stats report is due at `now`.
+    pub fn stats_due(&self, now: Time) -> bool {
+        match self.last_report {
+            None => true,
+            Some(t) => now.saturating_since(t) >= self.delta,
+        }
+    }
+
+    /// Builds the δ-interval stats report, or `None` when no report is
+    /// due — or when no owned flow has activated yet, so there is
+    /// nothing to say (a multiplexed host of 100k mostly-idle agents
+    /// must not flood the coordinator with empty frames; the due-mark
+    /// is left unset so the first *contentful* report goes out
+    /// immediately once a flow activates).
+    pub fn take_stats(&mut self, now: Time) -> Option<Message> {
+        if !self.stats_due(now) {
+            return None;
+        }
+        let stats: Vec<FlowStat> = self
+            .live
+            .iter()
+            .filter(|f| f.spec.activate_at <= now)
+            .map(|f| FlowStat {
+                flow: f.spec.flow,
+                sent: f.sent.as_u64(),
+                finished: f.sent >= f.spec.size,
+                ready: f.spec.ready_at <= now,
+            })
+            .collect();
+        if stats.is_empty() {
+            return None;
+        }
+        self.last_report = Some(now);
+        Some(Message::Stats {
+            node: self.node,
+            now_ns: now.as_nanos(),
+            flows: stats,
+        })
+    }
+}
+
 /// Runs one agent until shutdown. Returns the number of schedule
 /// epochs applied (diagnostics).
 pub fn run_agent(
@@ -66,77 +211,33 @@ pub fn run_agent_with_metrics(
     tick: Duration,
     hub: Option<Arc<MetricsHub>>,
 ) -> Result<u64, TransportError> {
-    transport.send(&Message::Hello { node })?;
-
-    let mut live: Vec<LiveFlow> = flows
-        .into_iter()
-        .map(|spec| LiveFlow {
-            spec,
-            sent: Bytes::ZERO,
-            rate: Rate::ZERO,
-        })
-        .collect();
-    live.sort_by_key(|f| f.spec.flow);
-
-    let mut last_epoch: u64 = 0;
-    let mut epochs_applied: u64 = 0;
-    let mut last_advance = clock.now();
-    let mut last_report = Time::ZERO;
+    let mut core = AgentCore::new(node, flows, delta, clock.now());
+    transport.send(&core.hello())?;
     let tick_wall = clock.to_wall(tick);
 
     loop {
         // 1. Apply any pending schedule pushes (newest epoch wins).
         loop {
             match transport.recv_timeout(std::time::Duration::ZERO) {
-                Ok(Some(Message::Schedule { epoch, rates })) => {
-                    // Strictly newer wins: a duplicated push of the same
-                    // epoch (retransmit, shard fan-out) must be a no-op,
-                    // not double-counted in `epochs_applied`.
-                    if epoch > last_epoch {
-                        last_epoch = epoch;
-                        epochs_applied += 1;
-                        let _span = hub.as_deref().map(|h| h.span(Phase::AgentApply));
-                        apply_schedule(&mut live, &rates);
+                Ok(Some(m)) => {
+                    if core.on_message(&m, hub.as_deref()) {
+                        return Ok(core.epochs_applied());
                     }
                 }
-                Ok(Some(Message::Shutdown)) => return Ok(epochs_applied),
-                Ok(Some(_)) | Ok(None) => break,
-                Err(TransportError::Disconnected) => return Ok(epochs_applied),
+                Ok(None) => break,
+                Err(TransportError::Disconnected) => return Ok(core.epochs_applied()),
                 Err(e) => return Err(e),
             }
         }
 
-        // 2. Advance the emulated NIC by the actually-elapsed time.
+        // 2+3. Advance the emulated NIC by the actually-elapsed time,
+        // then report stats every δ.
         let now = clock.now();
-        let dt = now.saturating_since(last_advance);
-        last_advance = now;
-        for f in &mut live {
-            if f.rate.is_zero() || f.sent >= f.spec.size || now < f.spec.ready_at {
-                continue;
-            }
-            f.sent = (f.sent + bytes_in(f.rate, dt)).min(f.spec.size);
-        }
-
-        // 3. Report stats every δ.
-        if now.saturating_since(last_report) >= delta || last_report == Time::ZERO {
-            last_report = now;
-            let stats: Vec<FlowStat> = live
-                .iter()
-                .filter(|f| f.spec.activate_at <= now)
-                .map(|f| FlowStat {
-                    flow: f.spec.flow,
-                    sent: f.sent.as_u64(),
-                    finished: f.sent >= f.spec.size,
-                    ready: f.spec.ready_at <= now,
-                })
-                .collect();
-            match transport.send(&Message::Stats {
-                node,
-                now_ns: now.as_nanos(),
-                flows: stats,
-            }) {
+        core.advance(now);
+        if let Some(report) = core.take_stats(now) {
+            match transport.send(&report) {
                 Ok(()) => {}
-                Err(TransportError::Disconnected) => return Ok(epochs_applied),
+                Err(TransportError::Disconnected) => return Ok(core.epochs_applied()),
                 Err(e) => return Err(e),
             }
         }
@@ -144,17 +245,13 @@ pub fn run_agent_with_metrics(
         // 4. Nap until roughly the next tick (the recv poll above keeps
         // schedule latency below one tick).
         match transport.recv_timeout(tick_wall) {
-            Ok(Some(Message::Schedule { epoch, rates })) => {
-                if epoch > last_epoch {
-                    last_epoch = epoch;
-                    epochs_applied += 1;
-                    let _span = hub.as_deref().map(|h| h.span(Phase::AgentApply));
-                    apply_schedule(&mut live, &rates);
+            Ok(Some(m)) => {
+                if core.on_message(&m, hub.as_deref()) {
+                    return Ok(core.epochs_applied());
                 }
             }
-            Ok(Some(Message::Shutdown)) => return Ok(epochs_applied),
-            Ok(Some(_)) | Ok(None) => {}
-            Err(TransportError::Disconnected) => return Ok(epochs_applied),
+            Ok(None) => {}
+            Err(TransportError::Disconnected) => return Ok(core.epochs_applied()),
             Err(e) => return Err(e),
         }
     }
@@ -368,5 +465,108 @@ mod tests {
         coord.send(&Message::Shutdown).unwrap();
         let epochs = handle.join().unwrap().unwrap();
         assert_eq!(epochs, 2, "duplicates must not inflate epochs_applied");
+    }
+
+    /// Regression (NIC credit clamp): a flow whose `ready_at` falls
+    /// mid-tick must be credited only `now - ready_at`, not the full
+    /// `now - last_advance`. The old code overshot by up to one tick
+    /// of pre-ready transfer.
+    #[test]
+    fn mid_tick_ready_at_is_not_credited_before_readiness() {
+        let flow = AgentFlow {
+            flow: 0,
+            size: Bytes::mb(100),
+            activate_at: Time::ZERO,
+            ready_at: Time::from_millis(500),
+        };
+        let mut core = AgentCore::new(0, vec![flow], Duration::from_millis(400), Time::ZERO);
+        // 1 Gbps = 125 MB/s.
+        assert!(!core.on_message(
+            &Message::Schedule {
+                epoch: 1,
+                rates: vec![RateAssignment {
+                    flow: 0,
+                    rate: 125_000_000,
+                }],
+            },
+            None,
+        ));
+
+        // A tick entirely before readiness credits nothing.
+        core.advance(Time::from_millis(300));
+        let report = core.take_stats(Time::from_millis(300)).unwrap();
+        let sent_at = |m: &Message| match m {
+            Message::Stats { flows, .. } => flows[0].sent,
+            _ => unreachable!(),
+        };
+        assert_eq!(sent_at(&report), 0, "credited before ready_at");
+
+        // The tick spanning ready_at (300 ms → 1000 ms) credits only
+        // the ready half-second: 125 MB/s × 0.5 s = 62.5 MB, not the
+        // full 0.7 s (87.5 MB) the unclamped code charged.
+        core.advance(Time::from_millis(1000));
+        let report = core.take_stats(Time::from_millis(1000)).unwrap();
+        assert_eq!(
+            sent_at(&report),
+            62_500_000,
+            "mid-tick ready_at must clamp the credited interval"
+        );
+    }
+
+    /// Regression (startup stats flood): with the emulated clock still
+    /// at zero, every loop iteration used to re-trigger the "never
+    /// reported" condition (`last_report == Time::ZERO`) and re-send
+    /// stats. The first report must happen exactly once, which
+    /// `TransportStats.frames_sent` makes observable.
+    #[test]
+    fn first_report_at_time_zero_happens_once() {
+        let (mut agent_side, _coord_side) = inproc_pair(64);
+        let flow = AgentFlow {
+            flow: 0,
+            size: Bytes::mb(1),
+            activate_at: Time::ZERO,
+            ready_at: Time::ZERO,
+        };
+        let mut core = AgentCore::new(4, vec![flow], Duration::from_millis(400), Time::ZERO);
+        agent_side.send(&core.hello()).unwrap();
+        // Five loop iterations with the clock pinned at zero: only the
+        // first may produce a report.
+        for _ in 0..5 {
+            core.advance(Time::ZERO);
+            if let Some(report) = core.take_stats(Time::ZERO) {
+                agent_side.send(&report).unwrap();
+            }
+        }
+        assert_eq!(
+            agent_side.stats().frames_sent,
+            2,
+            "hello + exactly one report while the clock sits at zero"
+        );
+        // Once δ passes, the next report goes out.
+        assert!(core.stats_due(Time::from_millis(400)));
+        assert!(core.take_stats(Time::from_millis(400)).is_some());
+    }
+
+    /// An agent with no activated flows has nothing to say: reports
+    /// are withheld (not sent empty), and the first contentful report
+    /// goes out as soon as a flow activates.
+    #[test]
+    fn empty_reports_are_withheld_until_a_flow_activates() {
+        let flow = AgentFlow {
+            flow: 3,
+            size: Bytes::mb(1),
+            activate_at: Time::from_secs(5),
+            ready_at: Time::from_secs(5),
+        };
+        let mut core = AgentCore::new(1, vec![flow], Duration::from_millis(400), Time::ZERO);
+        assert!(core.take_stats(Time::from_millis(100)).is_none());
+        assert!(core.take_stats(Time::from_secs(4)).is_none());
+        // Activation: the report goes out immediately, not at the next
+        // δ boundary.
+        let m = core.take_stats(Time::from_secs(5)).expect("first report");
+        match m {
+            Message::Stats { flows, .. } => assert_eq!(flows.len(), 1),
+            _ => unreachable!(),
+        }
     }
 }

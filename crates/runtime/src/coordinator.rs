@@ -360,7 +360,13 @@ pub fn run_coordinator_with_telemetry(
                             }
                             state.ingest(&flows, now);
                         }
-                        Ok(Some(_)) | Ok(None) => break,
+                        // A multiplexed host link carries many agents'
+                        // frames: stray non-stats frames (the hosted
+                        // agents' hellos) must not end the drain, or a
+                        // host of N agents would stall its stats by one
+                        // round per queued hello.
+                        Ok(Some(_)) => {}
+                        Ok(None) => break,
                         Err(TransportError::Disconnected) => break,
                         Err(_) => break,
                     }

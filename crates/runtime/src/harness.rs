@@ -6,7 +6,9 @@ use crate::clock::EmuClock;
 use crate::coordinator::{
     run_coordinator_with_telemetry, CoflowRegistry, CoordinatorConfig, CoordinatorReport,
 };
+use crate::host::run_agent_host;
 use crate::metrics::{MetricsHub, MetricsServer};
+use crate::proto::Message;
 use crate::shard::{run_partitioned_shard, run_shard, run_sharded_coordinator, ShardFailover};
 use crate::transport::{inproc_pair, TcpTransport, Transport};
 use saath_core::view::CoflowScheduler;
@@ -67,6 +69,16 @@ pub struct EmulationConfig {
     /// ephemeral one). `None` (the default) disables the whole metrics
     /// plane — no hub, no server, no per-epoch bookkeeping.
     pub metrics_addr: Option<String>,
+    /// Agents per multiplexed host thread. `0` (the default) keeps the
+    /// classic one-thread-per-agent wiring; `≥ 1` runs the nodes in
+    /// `ceil(nodes / multiplex)` readiness-driven
+    /// [`crate::host::run_agent_host`] event loops, each sharing one
+    /// link to the coordinator — `O(hosts)` threads and sockets
+    /// instead of `O(nodes)`, the wiring that reaches 100k emulated
+    /// ports. Works with both transports and with sharded
+    /// coordinators; coordinator records are identical to the
+    /// threaded wiring up to wall-clock timestamp jitter.
+    pub multiplex: usize,
 }
 
 impl Default for EmulationConfig {
@@ -84,6 +96,7 @@ impl Default for EmulationConfig {
             staleness: 1,
             wall_deadline: std::time::Duration::from_secs(60),
             metrics_addr: None,
+            multiplex: 0,
         }
     }
 }
@@ -109,14 +122,23 @@ type Links = Vec<Box<dyn Transport>>;
 
 /// Builds `n` connected transport pairs of the requested kind. The
 /// first vector holds the coordinator/reconciler sides, the second the
-/// agent/shard sides, index-aligned.
-fn link_pairs(kind: TransportKind, n: usize) -> (Links, Links) {
+/// agent/shard/host sides, index-aligned. `capacity` bounds the
+/// in-process channels (ignored for TCP); host links scale it with
+/// the number of agents they multiplex.
+///
+/// TCP links are identified by a wiring-time `Hello { node: i }` each
+/// connector sends first, consumed by [`accept_identified`] — **not**
+/// by accept order, which loopback does not guarantee to match the
+/// connector spawn order. Shard links go through the same handshake
+/// (their "node" is the shard slot), so every `link_pairs` caller
+/// gets identity-aligned pairs.
+fn link_pairs(kind: TransportKind, n: usize, capacity: usize) -> (Links, Links) {
     let mut near: Links = Vec::with_capacity(n);
     let mut far: Links = Vec::with_capacity(n);
     match kind {
         TransportKind::InProc => {
             for _ in 0..n {
-                let (c, a) = inproc_pair(1024);
+                let (c, a) = inproc_pair(capacity);
                 near.push(Box::new(c));
                 far.push(Box::new(a));
             }
@@ -124,24 +146,53 @@ fn link_pairs(kind: TransportKind, n: usize) -> (Links, Links) {
         TransportKind::Tcp => {
             let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
             let addr = listener.local_addr().expect("local addr");
-            // Connect all peers, then accept in order of connection.
             let connectors: Vec<_> = (0..n)
-                .map(|_| {
+                .map(|i| {
                     std::thread::spawn(move || {
-                        TcpTransport::connect(&addr.to_string()).expect("connect")
+                        let mut t = TcpTransport::connect(&addr.to_string()).expect("connect");
+                        t.send(&Message::Hello { node: i as u32 })
+                            .expect("identify link");
+                        t
                     })
                 })
                 .collect();
-            for _ in 0..n {
-                let (stream, _) = listener.accept().expect("accept");
-                near.push(Box::new(TcpTransport::new(stream).expect("wrap")));
-            }
+            near = accept_identified(&listener, n);
             for c in connectors {
                 far.push(Box::new(c.join().expect("peer connect")));
             }
         }
     }
     (near, far)
+}
+
+/// Accepts `n` connections and slots each by the identifying
+/// `Hello { node }` it sends first, returning links index-aligned
+/// with the connectors' declared identities regardless of the order
+/// the OS surfaced the connections. The wiring hello is consumed
+/// here; it is not part of the link's application traffic.
+fn accept_identified(listener: &std::net::TcpListener, n: usize) -> Links {
+    let mut slots: Vec<Option<Box<dyn Transport>>> = (0..n).map(|_| None).collect();
+    for _ in 0..n {
+        let (stream, _) = listener.accept().expect("accept");
+        let mut t = TcpTransport::new(stream).expect("wrap");
+        let hello = t
+            .recv_timeout(std::time::Duration::from_secs(10))
+            .expect("read identifying hello")
+            .expect("peer sent nothing within the wiring deadline");
+        match hello {
+            Message::Hello { node } => {
+                let i = node as usize;
+                assert!(i < n, "link identity {i} out of range (n = {n})");
+                assert!(slots[i].is_none(), "duplicate link identity {i}");
+                slots[i] = Some(Box::new(t));
+            }
+            other => panic!("expected identifying Hello, got {other:?}"),
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every identity seen exactly once"))
+        .collect()
 }
 
 /// Replays `trace` on an emulated cluster: one agent thread per node,
@@ -203,20 +254,51 @@ pub fn emulate(
         _ => None,
     };
 
-    // Wire transports.
-    let (mut coord_sides, agent_sides) = link_pairs(cfg.transport, trace.num_nodes);
-
-    // Launch agents.
-    let mut handles = Vec::with_capacity(trace.num_nodes);
-    for (node, (flows, transport)) in per_node.into_iter().zip(agent_sides).enumerate() {
-        let clock = clock.clone();
-        let delta = cfg.delta;
-        let tick = cfg.tick;
-        let hub = hub.clone();
-        handles.push(std::thread::spawn(move || {
-            run_agent_with_metrics(node as u32, flows, transport, clock, delta, tick, hub)
-        }));
-    }
+    // Wire transports and launch agents: one thread per node in the
+    // classic wiring, or `ceil(nodes / multiplex)` readiness-driven
+    // host threads each multiplexing `multiplex` agents over one
+    // shared link. Every handle yields the epochs of the agents it
+    // drove, in node order, so the report is wiring-agnostic.
+    let mut handles: Vec<std::thread::JoinHandle<Vec<u64>>> = Vec::new();
+    let mut coord_sides = if cfg.multiplex == 0 {
+        let (coord_sides, agent_sides) = link_pairs(cfg.transport, trace.num_nodes, 1024);
+        for (node, (flows, transport)) in per_node.into_iter().zip(agent_sides).enumerate() {
+            let clock = clock.clone();
+            let delta = cfg.delta;
+            let tick = cfg.tick;
+            let hub = hub.clone();
+            handles.push(std::thread::spawn(move || {
+                run_agent_with_metrics(node as u32, flows, transport, clock, delta, tick, hub)
+                    .map(|e| vec![e])
+                    .unwrap_or_else(|_| vec![0])
+            }));
+        }
+        coord_sides
+    } else {
+        let per_host = cfg.multiplex;
+        let hosts = trace.num_nodes.div_ceil(per_host);
+        // A host link carries every hosted agent's frames; give the
+        // in-process variant room for a full δ wave from each.
+        let (coord_sides, host_sides) = link_pairs(cfg.transport, hosts, (4 * per_host).max(1024));
+        let mut nodes = per_node.into_iter().enumerate();
+        for (host, transport) in host_sides.into_iter().enumerate() {
+            let agents: Vec<(u32, Vec<AgentFlow>)> = nodes
+                .by_ref()
+                .take(per_host)
+                .map(|(node, flows)| (node as u32, flows))
+                .collect();
+            let hosted = agents.len();
+            let clock = clock.clone();
+            let delta = cfg.delta;
+            let tick = cfg.tick;
+            let hub = hub.clone();
+            handles.push(std::thread::spawn(move || {
+                run_agent_host(host, agents, transport, clock, delta, tick, hub)
+                    .unwrap_or_else(|_| vec![0; hosted])
+            }));
+        }
+        coord_sides
+    };
 
     // Run the coordinator (or reconciler + shard threads) here.
     let coord_cfg = CoordinatorConfig {
@@ -240,7 +322,7 @@ pub fn emulate(
         // One link per shard, plus one for the standby replica the
         // failover drill swaps in.
         let spare = usize::from(cfg.restart_shard_at.is_some());
-        let (mut recon_sides, shard_sides) = link_pairs(cfg.transport, cfg.shards + spare);
+        let (mut recon_sides, shard_sides) = link_pairs(cfg.transport, cfg.shards + spare, 1024);
         let spare_recon_side = (spare == 1).then(|| recon_sides.pop().expect("spare link"));
         let failover = cfg.restart_shard_at.map(|at| ShardFailover {
             shard: 0,
@@ -301,7 +383,7 @@ pub fn emulate(
     drop(coord_sides);
     let agent_epochs: Vec<u64> = handles
         .into_iter()
-        .map(|h| h.join().expect("agent panicked").unwrap_or(0))
+        .flat_map(|h| h.join().expect("agent panicked"))
         .collect();
 
     // Render the final page after every writer has exited, then stop
@@ -586,6 +668,155 @@ mod tests {
             ..Default::default()
         };
         let _ = emulate(&trace, &|| Box::new(Saath::with_defaults()), &cfg);
+    }
+
+    /// Regression (accept-order wiring): loopback accept order is not
+    /// guaranteed to match connector spawn order, so links must be
+    /// slotted by their identifying `Hello`, not positionally. The
+    /// connectors here arrive in *reverse* identity order on purpose;
+    /// each accepted link must still land in its declared slot.
+    #[test]
+    fn tcp_links_are_identified_not_positionally_aligned() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let n = 4usize;
+        let connectors: Vec<_> = (0..n)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    // Identity 0 arrives last, identity n-1 first.
+                    std::thread::sleep(std::time::Duration::from_millis(30 * (n - i) as u64));
+                    let mut t = TcpTransport::connect(&addr.to_string()).unwrap();
+                    t.send(&Message::Hello { node: i as u32 }).unwrap();
+                    // A distinguishing follow-up frame per identity.
+                    t.send(&Message::Stats {
+                        node: i as u32,
+                        now_ns: i as u64,
+                        flows: vec![],
+                    })
+                    .unwrap();
+                    t
+                })
+            })
+            .collect();
+        let mut near = accept_identified(&listener, n);
+        for (i, link) in near.iter_mut().enumerate() {
+            let m = link
+                .recv_timeout(std::time::Duration::from_secs(5))
+                .unwrap()
+                .unwrap();
+            match m {
+                Message::Stats { node, .. } => {
+                    assert_eq!(node as usize, i, "slot {i} is cross-wired");
+                }
+                other => panic!("expected the identity stats frame, got {other:?}"),
+            }
+        }
+        for c in connectors {
+            c.join().unwrap();
+        }
+    }
+
+    /// The deterministic portion of a record set: ids, arrivals,
+    /// widths, byte totals, and flow sizes. `finish`/`flow_fcts` are
+    /// wall-clock-quantized (δ-granular real time) and differ run to
+    /// run even between two threaded executions, so equivalence is
+    /// asserted on everything the wiring can actually influence.
+    fn deterministic_parts(
+        records: &[saath_metrics::CoflowRecord],
+    ) -> Vec<(CoflowId, Time, usize, Bytes, Vec<Bytes>)> {
+        let mut parts: Vec<_> = records
+            .iter()
+            .map(|r| {
+                (
+                    r.id,
+                    r.arrival,
+                    r.width,
+                    r.total_bytes,
+                    r.flow_sizes.clone(),
+                )
+            })
+            .collect();
+        // Completion order is wall-dependent; identity is not.
+        parts.sort_by_key(|p| p.0);
+        parts
+    }
+
+    /// Multiplexed hosts must be a pure wiring change: same records
+    /// (all CoFlows complete, same deterministic fields), same
+    /// per-node epoch coverage — here over in-process links, with the
+    /// 6 nodes packed 2-per-host.
+    #[test]
+    fn multiplexed_inproc_matches_threaded_records() {
+        let trace = small_trace(6);
+        let threaded = emulate(
+            &trace,
+            &|| Box::new(Saath::with_defaults()),
+            &EmulationConfig::default(),
+        );
+        let cfg = EmulationConfig {
+            multiplex: 2,
+            ..Default::default()
+        };
+        let multiplexed = emulate(&trace, &|| Box::new(Saath::with_defaults()), &cfg);
+        assert!(!threaded.coordinator.timed_out);
+        assert!(!multiplexed.coordinator.timed_out, "multiplexed run hung");
+        assert_eq!(
+            deterministic_parts(&threaded.coordinator.records),
+            deterministic_parts(&multiplexed.coordinator.records),
+            "multiplexing changed the coordinator's records"
+        );
+        // One epoch count per *agent* (not per host), in node order.
+        assert_eq!(multiplexed.agent_epochs.len(), 6);
+        assert!(multiplexed.agent_epochs.iter().take(3).all(|&e| e > 0));
+    }
+
+    /// The same equivalence over real TCP, with a host count that
+    /// does not divide the node count evenly (6 nodes, 4 per host →
+    /// hosts of 4 and 2).
+    #[test]
+    fn multiplexed_tcp_matches_threaded_records() {
+        let trace = small_trace(4);
+        let threaded = emulate(
+            &trace,
+            &|| Box::new(Saath::with_defaults()),
+            &EmulationConfig {
+                transport: TransportKind::Tcp,
+                ..Default::default()
+            },
+        );
+        let cfg = EmulationConfig {
+            transport: TransportKind::Tcp,
+            multiplex: 4,
+            ..Default::default()
+        };
+        let multiplexed = emulate(&trace, &|| Box::new(Saath::with_defaults()), &cfg);
+        assert!(!threaded.coordinator.timed_out);
+        assert!(!multiplexed.coordinator.timed_out, "multiplexed run hung");
+        assert_eq!(multiplexed.coordinator.records.len(), 4);
+        assert_eq!(
+            deterministic_parts(&threaded.coordinator.records),
+            deterministic_parts(&multiplexed.coordinator.records),
+            "multiplexing changed the coordinator's records over TCP"
+        );
+        assert_eq!(multiplexed.agent_epochs.len(), 6);
+    }
+
+    /// Multiplexed wiring composes with sharded coordinators: host
+    /// links feed the reconciler, which forwards to the shards.
+    #[test]
+    fn multiplexed_sharded_emulation_completes() {
+        let trace = small_trace(4);
+        let cfg = EmulationConfig {
+            shards: 2,
+            multiplex: 3,
+            ..Default::default()
+        };
+        let report = emulate(&trace, &|| Box::new(Saath::with_defaults()), &cfg);
+        assert!(!report.coordinator.timed_out);
+        assert_eq!(report.coordinator.records.len(), 4);
+        assert_eq!(report.shard_epochs.len(), 2);
+        assert!(report.shard_epochs.iter().all(|&e| e > 0));
+        assert_eq!(report.agent_epochs.len(), 6);
     }
 
     #[test]

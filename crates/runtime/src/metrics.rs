@@ -87,6 +87,18 @@ const FAMILY_HELP: &[(&str, &str)] = &[
         "recv_timeout calls that expired empty (poll retries)",
     ),
     (
+        "saath_host_agents",
+        "Emulated agents multiplexed on this agent host",
+    ),
+    (
+        "saath_host_ready_events_total",
+        "Readiness wake-ups (socket or channel) observed by the host loop",
+    ),
+    (
+        "saath_host_parked_writers_total",
+        "Stats reports deferred because the host link was over its write high-water mark",
+    ),
+    (
         "saath_active_coflows",
         "CoFlows arrived and not yet finished, as of the last epoch",
     ),
@@ -116,6 +128,7 @@ const FAMILY_HELP: &[(&str, &str)] = &[
 /// counter). Gauges are set, counters are set-or-added; both render as
 /// their Prometheus type.
 const GAUGES: &[&str] = &[
+    "saath_host_agents",
     "saath_active_coflows",
     "saath_completed_coflows",
     "saath_shard_replica_lag_epochs",
@@ -307,13 +320,25 @@ fn serve_loop(listener: TcpListener, hub: Arc<MetricsHub>, stop: Arc<AtomicBool>
 }
 
 fn handle_conn(mut stream: TcpStream, hub: &MetricsHub) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    // A real scraper sends its GET immediately and reads the reply
+    // promptly. Tight per-syscall timeouts *plus* an overall header
+    // deadline mean a client that trickles bytes (slow-loris) or
+    // stalls mid-read is dropped, instead of pinning the single
+    // serving thread indefinitely — the per-read timeout alone would
+    // still admit one byte per timeout, ~70 minutes to the header cap.
+    stream.set_read_timeout(Some(Duration::from_millis(250)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(1)))?;
     stream.set_nonblocking(false)?;
+    let header_deadline = Instant::now() + Duration::from_secs(1);
     // Read until the end of the request headers (or a small cap —
     // GETs have no body worth reading).
     let mut req = Vec::new();
     let mut chunk = [0u8; 1024];
     while !req.windows(4).any(|w| w == b"\r\n\r\n") && req.len() < 8192 {
+        if Instant::now() >= header_deadline {
+            // Too slow to finish its request line: drop it unanswered.
+            return Ok(());
+        }
         match stream.read(&mut chunk) {
             Ok(0) => break,
             Ok(n) => req.extend_from_slice(&chunk[..n]),
@@ -406,6 +431,54 @@ mod tests {
         assert!(ok.contains("saath_coord_epochs_total 9"));
         let missing = fetch("/nope");
         assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+        server.shutdown();
+    }
+
+    /// Regression (slow-loris): a client that connects and trickles
+    /// header bytes forever must be dropped at the header deadline,
+    /// not pin the single serving thread — a well-behaved scrape
+    /// arriving behind it still completes promptly.
+    #[test]
+    fn stalled_client_does_not_starve_other_scrapes() {
+        let hub = Arc::new(MetricsHub::new());
+        hub.incr("saath_coord_epochs_total", "", 7);
+        let mut server = MetricsServer::serve("127.0.0.1:0", Arc::clone(&hub)).unwrap();
+        let addr = server.addr();
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let loris = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            let header = b"GET /metrics HTTP/1.1\r\n";
+            let mut i = 0usize;
+            // One byte every 100 ms, never the terminating blank line.
+            while !stop2.load(Ordering::SeqCst) {
+                if s.write_all(&header[i % header.len()..][..1]).is_err() {
+                    break; // server dropped us, as it should
+                }
+                i += 1;
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        });
+
+        // Let the loris become the connection being served.
+        std::thread::sleep(Duration::from_millis(200));
+
+        let t0 = Instant::now();
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(s, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 200 OK"), "{out}");
+        assert!(out.contains("saath_coord_epochs_total 7"));
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "scrape starved behind a stalled client for {:?}",
+            t0.elapsed()
+        );
+
+        stop.store(true, Ordering::SeqCst);
+        loris.join().unwrap();
         server.shutdown();
     }
 }

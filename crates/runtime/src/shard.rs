@@ -590,7 +590,10 @@ pub fn run_sharded_coordinator(
                                 let _ = l.send(&fwd);
                             }
                         }
-                        Ok(Some(_)) | Ok(None) => break,
+                        // Multiplexed host links interleave hellos with
+                        // stats; skip strays, keep draining.
+                        Ok(Some(_)) => {}
+                        Ok(None) => break,
                         Err(TransportError::Disconnected) => break,
                         Err(_) => break,
                     }

@@ -91,6 +91,36 @@ pub trait Transport: Send {
     fn stats(&self) -> TransportStats {
         TransportStats::default()
     }
+
+    /// Switches the endpoint to nonblocking mode: `send` queues frames
+    /// in an outbound buffer drained by [`Transport::try_flush`], and
+    /// `recv_timeout` returns `Ok(None)` immediately instead of
+    /// waiting out its budget (callers wait via readiness polling on
+    /// [`Transport::raw_fd`]). The default is a no-op — in-process
+    /// channels never block an event loop in the first place.
+    fn set_nonblocking(&mut self, _on: bool) -> Result<(), TransportError> {
+        Ok(())
+    }
+
+    /// Writes as much queued outbound data as the peer will take
+    /// without blocking. Returns `true` once the queue is empty.
+    fn try_flush(&mut self) -> Result<bool, TransportError> {
+        Ok(true)
+    }
+
+    /// Outbound bytes queued by nonblocking sends and not yet written
+    /// to the wire — the backpressure signal event loops use to park
+    /// writers when a peer stalls.
+    fn queued_bytes(&self) -> usize {
+        0
+    }
+
+    /// The raw OS file descriptor for readiness polling, when the
+    /// endpoint is socket-backed. `None` for in-process transports.
+    #[cfg(unix)]
+    fn raw_fd(&self) -> Option<std::os::fd::RawFd> {
+        None
+    }
 }
 
 /// One end of an in-process transport.
@@ -171,6 +201,11 @@ impl Transport for InProcTransport {
 pub struct TcpTransport {
     stream: TcpStream,
     buf: BytesMut,
+    /// Outbound bytes queued by nonblocking sends, flushed by
+    /// [`Transport::try_flush`] as the socket accepts them. A frame is
+    /// queued whole, so partial writes never interleave frames.
+    out: BytesMut,
+    nonblocking: bool,
     stats: TransportStats,
 }
 
@@ -182,6 +217,8 @@ impl TcpTransport {
         Ok(TcpTransport {
             stream,
             buf: BytesMut::with_capacity(8192),
+            out: BytesMut::new(),
+            nonblocking: false,
             stats: TransportStats::default(),
         })
     }
@@ -190,18 +227,41 @@ impl TcpTransport {
     pub fn connect(addr: &str) -> std::io::Result<TcpTransport> {
         TcpTransport::new(TcpStream::connect(addr)?)
     }
+
+    fn map_write_err(e: std::io::Error) -> TransportError {
+        if is_disconnect(e.kind()) {
+            TransportError::Disconnected
+        } else {
+            TransportError::Io(e)
+        }
+    }
 }
 
 impl Transport for TcpTransport {
     fn send(&mut self, m: &Message) -> Result<(), TransportError> {
         let frame = m.encode()?;
-        self.stream.write_all(&frame).map_err(|e| {
-            if is_disconnect(e.kind()) {
-                TransportError::Disconnected
-            } else {
-                TransportError::Io(e)
-            }
-        })?;
+        if self.nonblocking {
+            // Queue the whole frame, then opportunistically flush.
+            // The queue is unbounded here; event loops bound it by
+            // checking `queued_bytes()` before generating new frames
+            // (see `host::WRITE_HIGH_WATER`), so a stalled peer
+            // back-pressures its own producers instead of blocking
+            // the shared loop.
+            self.out.extend_from_slice(&frame);
+            self.stats.frames_sent += 1;
+            self.stats.bytes_sent += m.encoded_len() as u64;
+            self.try_flush()?;
+            return Ok(());
+        }
+        // Blocking mode: drain anything a nonblocking phase left
+        // queued, then write the frame in full.
+        if !self.out.is_empty() {
+            let queued = self.out.split_to(self.out.len());
+            self.stream
+                .write_all(&queued)
+                .map_err(Self::map_write_err)?;
+        }
+        self.stream.write_all(&frame).map_err(Self::map_write_err)?;
         self.stats.frames_sent += 1;
         self.stats.bytes_sent += m.encoded_len() as u64;
         Ok(())
@@ -223,11 +283,15 @@ impl Transport for TcpTransport {
         let mut chunk = [0u8; 4096];
         loop {
             // Arm the *remaining* budget (min 1 µs so a zero timeout
-            // still performs exactly one non-blocking-ish poll).
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            self.stream
-                .set_read_timeout(Some(remaining.max(WallDuration::from_micros(1))))
-                .map_err(TransportError::Io)?;
+            // still performs exactly one non-blocking-ish poll). In
+            // nonblocking mode the socket returns immediately either
+            // way; skip the timeout syscall.
+            if !self.nonblocking {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                self.stream
+                    .set_read_timeout(Some(remaining.max(WallDuration::from_micros(1))))
+                    .map_err(TransportError::Io)?;
+            }
             match self.stream.read(&mut chunk) {
                 Ok(0) => return Err(TransportError::Disconnected),
                 Ok(n) => {
@@ -257,6 +321,51 @@ impl Transport for TcpTransport {
 
     fn stats(&self) -> TransportStats {
         self.stats
+    }
+
+    fn set_nonblocking(&mut self, on: bool) -> Result<(), TransportError> {
+        if !on && !self.out.is_empty() {
+            // Re-entering blocking mode must not strand queued frames:
+            // drain them synchronously first.
+            self.stream
+                .set_nonblocking(false)
+                .map_err(TransportError::Io)?;
+            let queued = self.out.split_to(self.out.len());
+            self.stream
+                .write_all(&queued)
+                .map_err(Self::map_write_err)?;
+        }
+        self.stream
+            .set_nonblocking(on)
+            .map_err(TransportError::Io)?;
+        self.nonblocking = on;
+        Ok(())
+    }
+
+    fn try_flush(&mut self) -> Result<bool, TransportError> {
+        while !self.out.is_empty() {
+            match self.stream.write(&self.out) {
+                Ok(0) => return Err(TransportError::Disconnected),
+                Ok(n) => {
+                    let _ = self.out.split_to(n);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) if is_disconnect(e.kind()) => return Err(TransportError::Disconnected),
+                Err(e) => return Err(TransportError::Io(e)),
+            }
+        }
+        Ok(true)
+    }
+
+    fn queued_bytes(&self) -> usize {
+        self.out.len()
+    }
+
+    #[cfg(unix)]
+    fn raw_fd(&self) -> Option<std::os::fd::RawFd> {
+        use std::os::fd::AsRawFd as _;
+        Some(self.stream.as_raw_fd())
     }
 }
 
@@ -492,6 +601,89 @@ mod tests {
             err,
             TransportError::Proto(ProtoError::Oversized(_))
         ));
+    }
+
+    /// Nonblocking sends must never block the caller: once the kernel
+    /// socket buffer fills, frames queue in the transport's outbound
+    /// buffer (`queued_bytes` > 0) and drain via `try_flush` as the
+    /// peer reads — with every frame arriving intact and in order.
+    #[test]
+    fn nonblocking_send_queues_and_flushes_without_blocking() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let big = Message::Stats {
+            node: 1,
+            now_ns: 2,
+            flows: (0..100_000)
+                .map(|i| FlowStat {
+                    flow: i,
+                    sent: i as u64,
+                    finished: false,
+                    ready: true,
+                })
+                .collect(),
+        };
+        let n = 32;
+        let expect = big.clone();
+        // The server must not read a byte until every send has
+        // returned — otherwise a concurrent drain could keep the
+        // kernel buffers from ever filling and the queue assertion
+        // would be racy.
+        let (sends_done_tx, sends_done_rx) = std::sync::mpsc::channel::<()>();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut t = TcpTransport::new(stream).unwrap();
+            sends_done_rx.recv().unwrap();
+            for _ in 0..n {
+                let m = t
+                    .recv_timeout(WallDuration::from_secs(10))
+                    .unwrap()
+                    .expect("frame");
+                assert_eq!(m, expect, "frame corrupted across partial writes");
+            }
+        });
+
+        let mut client = TcpTransport::connect(&addr.to_string()).unwrap();
+        client.set_nonblocking(true).unwrap();
+        let mut saw_queue = false;
+        let t0 = Instant::now();
+        for _ in 0..n {
+            client.send(&big).unwrap();
+            saw_queue |= client.queued_bytes() > 0;
+        }
+        // ~45 MB against a socket nobody is reading: the sends must
+        // return fast (no blocking) and the overflow — far more than
+        // any kernel buffer pair holds — must be queued locally.
+        assert!(
+            t0.elapsed() < WallDuration::from_secs(5),
+            "nonblocking sends blocked for {:?}",
+            t0.elapsed()
+        );
+        assert!(saw_queue, "outbound queue never engaged");
+        sends_done_tx.send(()).unwrap();
+
+        let deadline = Instant::now() + WallDuration::from_secs(30);
+        while !client.try_flush().unwrap() {
+            assert!(Instant::now() < deadline, "flush never completed");
+            std::thread::sleep(WallDuration::from_millis(1));
+        }
+        assert_eq!(client.queued_bytes(), 0);
+        server.join().unwrap();
+        assert_eq!(client.stats().frames_sent, n as u64);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn raw_fd_is_exposed_only_for_sockets() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let _srv = std::thread::spawn(move || listener.accept());
+        let client = TcpTransport::connect(&addr.to_string()).unwrap();
+        assert!(client.raw_fd().is_some());
+        let (a, _b) = inproc_pair(4);
+        let boxed: Box<dyn Transport> = Box::new(a);
+        assert!(boxed.raw_fd().is_none());
+        assert_eq!(boxed.queued_bytes(), 0);
     }
 
     #[test]
